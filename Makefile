@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench examples study clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+study:
+	python examples/full_study.py
+
+clean:
+	rm -rf .benchmarks benchmarks/output .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

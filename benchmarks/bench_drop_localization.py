@@ -1,0 +1,35 @@
+"""Motivation bench: where do options packets die? (§2 / [8])
+
+The argument for RR-as-measurement rests on the 2005 finding that 91%
+of options drops happen at the source or destination AS. This bench
+localises drops on the small scenario with TTL-scanned ping-RR plus a
+plain traceroute per pair, and checks the edge share dominates.
+"""
+
+from repro.core.drop_location import DropSite, run_drop_study
+
+
+def test_bench_drop_localization(benchmark, study_2016, write_artifact):
+    study = benchmark.pedantic(
+        run_drop_study,
+        args=(
+            study_2016.scenario,
+            study_2016.ping_survey,
+            study_2016.rr_survey,
+        ),
+        kwargs={"sample": 60},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("s2_drop_localization", study.render())
+
+    counts = study.counts()
+    located = (
+        counts[DropSite.SOURCE]
+        + counts[DropSite.TRANSIT]
+        + counts[DropSite.DESTINATION]
+    )
+    assert located > 20
+    # The 2005 shape: drops concentrate at the edge, transit is rare.
+    assert study.edge_fraction > 0.75
+    assert counts[DropSite.TRANSIT] < located * 0.25

@@ -1,0 +1,55 @@
+"""Extension benches: the paper's forward-pointing suggestions, built.
+
+* **Adaptive per-VP rates** — §4.1: "VPs with lower rate limits are
+  easy to detect and can be configured to use lower VP-specific
+  probing rates to achieve high response rates."
+* **Atlas what-if** — §3.3: probes in many edge networks could extend
+  coverage beyond M-Lab's reach, if the platform allowed IP options.
+"""
+
+from repro.core.adaptive_rate import calibrate_rates
+from repro.core.atlas import run_atlas_study
+
+
+def test_bench_adaptive_rates(benchmark, study_2016, write_artifact):
+    plan = benchmark.pedantic(
+        calibrate_rates,
+        args=(study_2016.scenario, study_2016.rr_survey),
+        kwargs={"sample_size": 50},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("ext_adaptive_rates", plan.render())
+
+    assert plan.calibrations
+    # The policer-free majority keeps the top rate; the limited few
+    # back off — and the whole plan beats fixed conservative pacing.
+    top = max(plan.ladder)
+    at_top = sum(
+        1 for c in plan.calibrations if c.chosen_pps == top
+    )
+    assert at_top > len(plan.calibrations) * 0.4
+    assert plan.limited_vps
+    assert plan.speedup_vs_fixed(10.0) > 1.5
+    # Every chosen rate actually achieves near-baseline responses.
+    for calibration in plan.calibrations:
+        baseline = calibration.response_rate(min(plan.ladder))
+        assert calibration.response_rate(
+            calibration.chosen_pps
+        ) >= baseline * (1 - plan.tolerance) - 1e-9
+
+
+def test_bench_atlas_what_if(benchmark, study_2016, write_artifact):
+    study = benchmark.pedantic(
+        run_atlas_study,
+        args=(study_2016.scenario, study_2016.rr_survey),
+        kwargs={"probe_count": 60, "hunt_sample": 15},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("ext_atlas", study.render())
+
+    # Diversely-placed probes add coverage M-Lab lacks...
+    assert study.atlas_only_reachable > 0
+    # ...but the permitted (options-free) hunt costs real credits.
+    assert study.hunt_credits > 0

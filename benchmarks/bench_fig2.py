@@ -1,0 +1,29 @@
+"""Figure 2 (§3.4): reachability in 2011 vs 2016.
+
+Regenerates the four CDFs (each era, all VPs and the common sites) and
+checks the paper's finding: the RR-reachable fraction grew sharply
+(paper: 0.12 -> 0.66), and the growth persists when holding the VP
+sites fixed — so individual VPs really are "closer" than they were.
+"""
+
+from repro.core.temporal import build_figure2
+
+
+def test_bench_figure2(benchmark, study_2011, study_2016, write_artifact):
+    figure = benchmark(
+        build_figure2, study_2011.rr_survey, study_2016.rr_survey
+    )
+    write_artifact("figure2", figure.render())
+
+    assert figure.reachable_2016_all > figure.reachable_2011_all * 2
+    assert (
+        figure.reachable_2016_common
+        > figure.reachable_2011_common * 1.5
+    )
+    assert figure.common_site_count > 0
+
+    # 2016's curve dominates 2011's pointwise.
+    curve_2016 = dict(figure.series["2016 all VPs"])
+    curve_2011 = dict(figure.series["2011 all VPs"])
+    for hops in range(3, 10):
+        assert curve_2016[hops] >= curve_2011[hops]

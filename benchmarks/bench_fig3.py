@@ -1,0 +1,43 @@
+"""Figure 3 (§3.6): could RR be useful to cloud providers?
+
+Regenerates the traceroute hop-count CDFs (M-Lab to RR-reachable
+destinations vs each cloud to RR-reachable / RR-responsive ones, hops
+counted from the first hop outside the provider AS) and the §3.6
+within-8-hops estimates (paper: EC2 ~40%, Softlayer ~45%, GCE best).
+"""
+
+from repro.analysis.cdf import Cdf
+from repro.core.cloud import run_cloud_study
+
+
+def test_bench_figure3(benchmark, study_2016, write_artifact):
+    study = benchmark.pedantic(
+        run_cloud_study,
+        args=(study_2016.scenario, study_2016.rr_survey),
+        kwargs={"sample_per_class": 250, "mlab_sample": 250},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("figure3", study.render())
+
+    # Provider ordering: the GCE-like cloud (richest peering) is the
+    # closest of the three.
+    assert study.within8["gce"] >= study.within8["ec2"] - 0.05
+    assert study.within8["gce"] >= study.within8["softlayer"] - 0.05
+
+    # All three clouds put a large fraction of RR-responsive dests
+    # within 8 hops (paper: 40-45% for EC2/Softlayer and higher for
+    # GCE).
+    for provider in ("gce", "ec2", "softlayer"):
+        assert study.within8[provider] > 0.3
+
+    # Headline: the GCE-like curve to its RR-reachable set sits left
+    # of (or on) the M-Lab curve at the 8-hop mark.
+    gce = Cdf(study.samples["gce RR-reachable"])
+    mlab = Cdf(study.samples["M-Lab RR-reachable"])
+    assert gce.at(8) >= mlab.at(8) - 0.05
+
+    # And clouds are close to many even of the destinations M-Lab
+    # cannot reach within the RR limit.
+    gce_responsive = Cdf(study.samples["gce RR-responsive"])
+    assert gce_responsive.at(8) > 0.3

@@ -1,0 +1,36 @@
+"""Figure 4 (§4.1): RR responses per VP at 10 vs 100 pps.
+
+Regenerates the per-VP response-count comparison: most VPs lose little
+when probing 10x faster, while a small set behind source-proximate
+options policers crater (paper: 8 of 79 VPs dropped >25%; 56 VPs
+excluded for answering almost nothing at either rate).
+"""
+
+from repro.core.ratelimit import run_rate_limit_study
+
+
+def test_bench_figure4(benchmark, study_2016, write_artifact):
+    study = benchmark.pedantic(
+        run_rate_limit_study,
+        args=(study_2016.scenario, study_2016.rr_survey),
+        kwargs={"sample_size": 300, "low_pps": 10.0, "high_pps": 100.0},
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("figure4", study.render())
+
+    assert study.rows, "every VP excluded — scenario broken"
+
+    severe = study.severe_droppers(threshold=0.25)
+    # A strict minority of VPs is severely limited, but not zero.
+    assert 0 < len(severe) < len(study.rows) * 0.5
+
+    # Most VPs lose little: the median drop is small.
+    drops = sorted(row.drop_fraction for row in study.rows)
+    assert drops[len(drops) // 2] < 0.15
+
+    # The locally-filtered VPs were excluded, like the paper's 56.
+    filtered = {
+        vp.name for vp in study_2016.rr_survey.vps if vp.local_filtered
+    }
+    assert filtered <= set(study.excluded)

@@ -1,0 +1,38 @@
+"""Extension bench: the conclusion's prudence dynamics, quantified.
+
+"Should there be a wide-scale increase in RR traffic, it is possible
+that some operators might configure routers ... to filter" — this
+bench runs the multi-epoch operator-reaction simulation for the
+exhaustive and prudent probing strategies and checks that prudence
+preserves the measurement substrate, as nine years of reverse
+traceroute's moderate traffic did in reality.
+"""
+
+from repro.core.longitudinal import run_longitudinal_study
+from repro.scenarios.presets import tiny
+
+
+def test_bench_longitudinal_prudence(benchmark, write_artifact):
+    study = benchmark.pedantic(
+        run_longitudinal_study,
+        args=(lambda: tiny(seed=42),),
+        kwargs={
+            "epochs": 4,
+            "annoyance_threshold": 1500,
+            "reaction_prob": 0.6,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_artifact("ext_longitudinal", study.render())
+
+    assert study.total_new_filters("exhaustive") > 0
+    assert (
+        study.total_new_filters("prudent")
+        < study.total_new_filters("exhaustive")
+    )
+    assert study.responsiveness_decline("prudent") < 0.1
+    assert (
+        study.responsiveness_decline("exhaustive")
+        > study.responsiveness_decline("prudent")
+    )

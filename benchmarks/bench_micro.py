@@ -1,0 +1,89 @@
+"""Micro-benchmarks for the substrate hot paths.
+
+Not paper artifacts — these track the cost of the primitives every
+experiment leans on: wire encode/decode, RR stamping, valley-free
+routing-tree computation, path expansion, LPM lookups, and a single
+end-to-end ping-RR through the dataplane.
+"""
+
+import pytest
+
+from repro.analysis.ip2as import build_ip2as
+from repro.net.icmp import ICMP_ECHO_REQUEST, IcmpEcho
+from repro.net.options import RecordRouteOption
+from repro.net.packet import IPv4Packet
+from repro.topology.routing import RoutingSystem
+
+
+@pytest.fixture(scope="module")
+def rr_packet_bytes():
+    pkt = IPv4Packet(
+        src=(10 << 16) | 1,
+        dst=(20 << 16) | 2,
+        options=[RecordRouteOption(slots=9, recorded=[1, 2, 3])],
+        payload=IcmpEcho(ICMP_ECHO_REQUEST, 7, 9, b"x" * 16).to_bytes(),
+    )
+    return pkt, pkt.to_bytes()
+
+
+def test_bench_packet_encode(benchmark, rr_packet_bytes):
+    pkt, _wire = rr_packet_bytes
+    assert benchmark(pkt.to_bytes)
+
+
+def test_bench_packet_decode(benchmark, rr_packet_bytes):
+    _pkt, wire = rr_packet_bytes
+    decoded = benchmark(IPv4Packet.from_bytes, wire)
+    assert decoded.record_route is not None
+
+
+def test_bench_rr_stamping(benchmark):
+    def stamp_full():
+        rr = RecordRouteOption(slots=9)
+        for addr in range(1, 12):
+            rr.stamp(addr)
+        return rr
+
+    assert benchmark(stamp_full).full
+
+
+def test_bench_routing_tree(benchmark, study_2016):
+    scenario = study_2016.scenario
+    dest = scenario.topo.edges[0]
+
+    def compute():
+        routing = RoutingSystem(scenario.graph)
+        return routing.routing_tree(dest)
+
+    tree = benchmark(compute)
+    assert len(tree) > len(scenario.graph) * 0.9
+
+
+def test_bench_path_expansion(benchmark, study_2016):
+    scenario = study_2016.scenario
+    src = scenario.mlab_vps[0].asn
+    dest = list(scenario.hitlist)[10]
+    as_path = scenario.routing.as_path(src, dest.asn)
+    assert as_path is not None
+    hops = benchmark(scenario.fabric.expand, as_path, dest.prefix)
+    assert hops
+
+
+def test_bench_ip2as_lookup(benchmark, study_2016):
+    scenario = study_2016.scenario
+    mapping = build_ip2as(scenario.table)
+    addrs = [dest.addr for dest in list(scenario.hitlist)[:512]]
+
+    def lookup_all():
+        return [mapping.asn_of(addr) for addr in addrs]
+
+    results = benchmark(lookup_all)
+    assert all(asn is not None for asn in results)
+
+
+def test_bench_single_ping_rr(benchmark, study_2016):
+    scenario = study_2016.scenario
+    vp = scenario.working_vps[0]
+    dest = list(scenario.hitlist)[5]
+    result = benchmark(scenario.prober.ping_rr, vp, dest.addr)
+    assert result is not None

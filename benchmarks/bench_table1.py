@@ -1,0 +1,53 @@
+"""Table 1 (§3.2): response rates for pings with and without RR.
+
+Regenerates the paper's headline table — probed / ping-responsive /
+RR-responsive counts by IP and by AS, per CAIDA type — plus the §3.2
+per-destination VP-response distribution, and checks the shape facts:
+~75% of pingable IPs answer RR (paper band), every AS-type ratio above
+0.67, ~82% of pingable ASes RR-responsive.
+"""
+
+from repro.core.study import run_full_study
+from repro.core.table1 import build_table1, vp_response_fractions
+from repro.scenarios.presets import tiny
+from repro.topology.autsys import ASType
+
+
+def test_bench_table1_analysis(benchmark, study_2016, write_artifact):
+    """Time the Table 1 aggregation over the completed campaign."""
+    scenario = study_2016.scenario
+    table = benchmark(
+        build_table1,
+        scenario.classification,
+        study_2016.ping_survey,
+        study_2016.rr_survey,
+    )
+    write_artifact("table1", table.render())
+
+    # Paper shapes (small-scale bands around 75% / 82% / >0.67).
+    assert 0.65 < table.ip_rr_over_ping < 0.88
+    assert 0.70 < table.as_rr_over_ping < 0.95
+    for as_type in ASType:
+        assert table.type_ratio(as_type) > 0.55
+
+
+def test_bench_table1_vp_distribution(benchmark, study_2016,
+                                      write_artifact):
+    """§3.2: "80% of destinations ... responded to over 90 [of 141]"."""
+    cdf = benchmark(vp_response_fractions, study_2016.rr_survey)
+    threshold = 0.64  # 90/141 of the paper's VPs
+    fraction_above = 1 - cdf.at(threshold)
+    write_artifact(
+        "table1_vp_distribution",
+        f"P(destination answered > {threshold:.0%} of VPs) = "
+        f"{fraction_above:.2f} (paper: ~0.80)",
+    )
+    assert fraction_above > 0.5
+
+
+def test_bench_full_campaign(benchmark):
+    """Time one complete §3.1 campaign end-to-end (tiny scale)."""
+    result = benchmark.pedantic(
+        lambda: run_full_study(tiny(seed=77)), rounds=1, iterations=1
+    )
+    assert result.rr_survey.rr_responsive_indices()

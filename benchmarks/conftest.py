@@ -1,0 +1,43 @@
+"""Benchmark fixtures.
+
+Benchmarks run against the ``small`` preset (the 2016 study shape at
+laptop scale) and its 2011-era counterpart. The expensive artifact —
+the full §3.1 measurement campaign — is produced once per session and
+shared; individual benchmarks then time their *analysis* stage and/or
+re-run their own probing stage, and every benchmark writes the
+paper-style table/series it regenerates to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import StudyData, get_study
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def study_2016() -> StudyData:
+    """The completed campaign on the small 2016-shape Internet."""
+    return get_study("small", seed=2016)
+
+
+@pytest.fixture(scope="session")
+def study_2011() -> StudyData:
+    """The completed campaign on the small 2011-shape Internet."""
+    return get_study("small-2011", seed=2016)
+
+
+@pytest.fixture(scope="session")
+def write_artifact():
+    """Persist a benchmark's rendered table/figure text."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", "utf-8")
+        print(f"\n{text}\n")
+
+    return _write

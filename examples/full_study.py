@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce the whole paper in one run.
+
+Executes every experiment — Table 1, Figures 1-5, the §3.3
+reclassification, and the §3.5 stamping audit — against the ``small``
+2016-shape Internet (plus its 2011-era counterpart for Figure 2) and
+prints each artifact in the paper's terms. Expect a couple of minutes
+of simulated probing.
+
+Run:  python examples/full_study.py [seed]
+"""
+
+import sys
+import time
+
+from repro.core.cloud import run_cloud_study
+from repro.core.ratelimit import run_rate_limit_study
+from repro.core.reachability import build_figure1
+from repro.core.reclassify import run_reclassification
+from repro.core.report import banner
+from repro.core.stamping_audit import run_stamping_study
+from repro.core.study import run_full_study
+from repro.core.table1 import build_table1, vp_response_fractions
+from repro.core.temporal import build_figure2
+from repro.core.ttl import run_ttl_study
+from repro.scenarios import small, small_2011
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2016
+    started = time.time()
+
+    print(banner("Scenario construction"))
+    scenario = small(seed)
+    scenario_2011 = small_2011(seed)
+    print("2016:", scenario.describe())
+    print("2011:", scenario_2011.describe())
+
+    print(banner("§3.1 measurement studies (ping + all-VPs ping-RR)"))
+    study = run_full_study(scenario)
+    study_2011 = run_full_study(scenario_2011)
+    print(f"campaigns finished at t={time.time() - started:.0f}s")
+
+    print(banner("Table 1 — do destinations respond to RR?"))
+    table = build_table1(
+        scenario.classification, study.ping_survey, study.rr_survey
+    )
+    print(table.render())
+    cdf = vp_response_fractions(study.rr_survey)
+    print(f"destinations answering >64% of VPs: {1 - cdf.at(0.64):.0%} "
+          f"(paper: ~80% answered >90 of 141)")
+
+    print(banner("Figure 1 — are destinations within the 9-hop limit?"))
+    print(build_figure1(study.rr_survey).render())
+
+    print(banner("§3.3 — uncovering additional reachability"))
+    print(run_reclassification(scenario, study.rr_survey).render())
+
+    print(banner("Figure 2 — has reachability changed over time?"))
+    print(build_figure2(study_2011.rr_survey, study.rr_survey).render())
+
+    print(banner("§3.5 — do ASes refuse to stamp packets?"))
+    print(run_stamping_study(scenario, study.rr_survey,
+                             per_vp_cap=120).render())
+
+    print(banner("Figure 3 — could RR be useful to cloud providers?"))
+    print(run_cloud_study(scenario, study.rr_survey,
+                          sample_per_class=200,
+                          mlab_sample=200).render())
+
+    print(banner("Figure 4 — finding evidence of rate limiting"))
+    print(run_rate_limit_study(scenario, study.rr_survey,
+                               sample_size=250).render())
+
+    print(banner("Figure 5 — choosing low-impact TTLs"))
+    print(run_ttl_study(scenario, study.rr_survey,
+                        per_class_per_vp=15, max_vps=10).render())
+
+    print(banner("Done"))
+    print(f"total wall time {time.time() - started:.0f}s; probes sent: "
+          f"{scenario.network.stats.sent + scenario_2011.network.stats.sent}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Combine RR, traceroute, and prespecified timestamps (§2 extension).
+
+The paper argues RR *complements* traceroute: each sees routers the
+other cannot. This example demonstrates the full combination toolkit:
+
+1. fuse paired traceroute/ping-RR measurements (with MIDAR-style alias
+   collapsing) into device-level path views, counting routers only one
+   tool observed;
+2. use prespecified IP Timestamp probes — reverse traceroute's on-path
+   test — to independently confirm that RR-recorded routers really are
+   on the path.
+
+Run:  python examples/option_fusion.py
+"""
+
+from repro.core.fusion import fuse_paths
+from repro.core.onpath import on_path_sweep
+from repro.core.survey import run_rr_survey
+from repro.net.addr import int_to_addr
+from repro.scenarios import tiny
+
+
+def main() -> None:
+    scenario = tiny()
+    print(scenario.describe())
+    print("\nrunning the RR survey ...")
+    survey = run_rr_survey(scenario)
+
+    print("fusing paired traceroute + ping-RR measurements ...")
+    report = fuse_paths(scenario, survey, sample=40)
+    print(report.render())
+
+    interesting = [p for p in report.paths if p.devices_rr_only] or report.paths
+    path = interesting[0]
+    print(f"\nexample path {path.vp_name} -> {int_to_addr(path.dst)}:")
+    print(f"  traceroute saw {len(path.traceroute_addrs)} addresses, "
+          f"RR recorded {len(path.rr_forward_addrs)}")
+    print(f"  device view: {path.devices_both} shared, "
+          f"{path.devices_rr_only} RR-only, "
+          f"{path.devices_trace_only} traceroute-only")
+
+    # Confirm RR's forward stamps with prespecified timestamps.
+    vp = scenario.vp_by_name(path.vp_name)
+    candidates = path.rr_forward_addrs[:4]
+    print(f"\nconfirming {len(candidates)} RR-recorded routers with "
+          f"prespecified ping-TS:")
+    for result in on_path_sweep(scenario.prober, vp, path.dst, candidates):
+        print(f"  {int_to_addr(result.candidate):<15} {result.verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: send one Record Route ping across a simulated Internet.
+
+Builds the ``tiny`` scenario (a seeded ~140-AS Internet with routers,
+hosts, filters, and rate limiters), crafts a real ping-RR packet, and
+walks through what comes back: the RR option copied into the Echo
+Reply, the forward-path stamps, the destination's own stamp, and the
+reverse-path stamps that fill the remaining slots.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.net.addr import int_to_addr
+from repro.net.options import RecordRouteOption
+from repro.scenarios import tiny
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexes = " ".join(f"{byte:02x}" for byte in chunk)
+        lines.append(f"  {offset:04x}  {hexes}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    scenario = tiny()
+    print(scenario.describe())
+    vp = scenario.working_vps[0]
+    print(f"\nprobing from {vp} ...")
+
+    # Find a destination that answers with its address in the header.
+    for dest in scenario.hitlist:
+        result = scenario.prober.ping_rr(vp, dest.addr)
+        if result.reachable:
+            break
+    else:
+        raise SystemExit("no RR-reachable destination found")
+
+    print(f"destination {int_to_addr(dest.addr)} (AS{dest.asn})")
+    print(f"\nthe Record Route option in the reply ({result.rr_slots} "
+          f"slots):")
+    for index, addr in enumerate(result.rr_hops, start=1):
+        role = ""
+        if addr == dest.addr:
+            role = "   <- the destination's own stamp"
+        print(f"  slot {index}: {int_to_addr(addr):<15}{role}")
+
+    slot = result.dest_slot()
+    print(f"\nRR distance: {slot} hops (paper terminology: this "
+          f"destination is RR-reachable)")
+    print("forward path stamps:",
+          [int_to_addr(a) for a in result.forward_hops()])
+    print("reverse path stamps:",
+          [int_to_addr(a) for a in result.reverse_hops()])
+
+    # Show the raw wire format of such an option.
+    option = RecordRouteOption(slots=9, recorded=result.rr_hops)
+    print("\nRFC 791 wire encoding of that option "
+          "(type=0x07, length, pointer, 9 slots):")
+    print(hexdump(option.to_bytes()))
+
+
+if __name__ == "__main__":
+    main()

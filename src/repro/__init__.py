@@ -1,0 +1,34 @@
+"""repro — a full reproduction of "The Record Route Option is an Option!"
+(Goodchild et al., IMC 2017) on a from-scratch simulated Internet.
+
+Public API layout:
+
+* ``repro.net`` — IPv4 wire formats (addresses, options incl. Record
+  Route, packets, ICMP, UDP);
+* ``repro.topology`` — seeded AS-level Internet generation, valley-free
+  routing, router-level fabric, prefixes, hitlists, AS classification;
+* ``repro.sim`` — the dataplane: router/host behaviour, rate limiting,
+  packet walking;
+* ``repro.probing`` — the scamper-equivalent prober, vantage points,
+  probe scheduling, result storage;
+* ``repro.analysis`` — CDFs, ip2as, MIDAR-style alias resolution,
+  AS-path audits;
+* ``repro.scenarios`` — reproducible Internet-in-a-box presets;
+* ``repro.core`` — the paper's studies: Table 1 and Figures 1-5 plus
+  the §3.3/§3.5 analyses and reverse-path measurement.
+
+Quick start::
+
+    from repro.scenarios import tiny
+    from repro.core import run_full_study, build_table1
+
+    study = run_full_study(tiny())
+    table = build_table1(
+        study.scenario.classification, study.ping_survey, study.rr_survey
+    )
+    print(table.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

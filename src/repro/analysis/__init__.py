@@ -1,0 +1,49 @@
+"""Measurement-side analysis: CDFs, ip2as, aliases, AS-path audits."""
+
+from repro.analysis.aliases import (
+    AliasResolver,
+    IpIdSample,
+    UnionFind,
+    estimate_velocity,
+    merged_monotonic,
+    shared_counter,
+    unwrap_series,
+)
+from repro.analysis.asrel import (
+    AsRelInference,
+    InferredRelation,
+    infer_relationships,
+)
+from repro.analysis.aspaths import StampAudit, StampTally, as_set_of_path
+from repro.analysis.cdf import Cdf
+from repro.analysis.ip2as import Ip2As, PrefixTrie, build_ip2as
+from repro.analysis.stats import (
+    counts_by,
+    fraction,
+    greedy_set_cover,
+    percent,
+)
+
+__all__ = [
+    "AliasResolver",
+    "IpIdSample",
+    "UnionFind",
+    "estimate_velocity",
+    "merged_monotonic",
+    "shared_counter",
+    "unwrap_series",
+    "AsRelInference",
+    "InferredRelation",
+    "infer_relationships",
+    "StampAudit",
+    "StampTally",
+    "as_set_of_path",
+    "Cdf",
+    "Ip2As",
+    "PrefixTrie",
+    "build_ip2as",
+    "counts_by",
+    "fraction",
+    "greedy_set_cover",
+    "percent",
+]

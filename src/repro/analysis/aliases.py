@@ -1,0 +1,226 @@
+"""MIDAR-style IP alias resolution.
+
+§3.3 runs MIDAR [12] over every address that was an RR-responsive
+destination or appeared in an RR header, to catch destinations that
+stamped an *alias* instead of the probed address. MIDAR's core signal
+is the IP-ID: many devices generate IP-IDs from one counter shared by
+all interfaces, so samples taken from two aliases of one device
+interleave into a single monotonically-increasing (mod 2^16) series,
+while two independent devices' counters almost surely do not.
+
+This module implements that test honestly against measurement data
+only: sample IP-IDs by pinging candidate addresses in interleaved
+rounds, estimate per-address counter velocities, apply a merged
+monotonic-bound test to candidate pairs, and cluster positives with
+union-find. Ground truth (which router owns which interface) is never
+consulted — tests compare the inference against the fabric's oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.probing.prober import Prober
+from repro.probing.vantage import VantagePoint
+
+__all__ = [
+    "IpIdSample",
+    "unwrap_series",
+    "estimate_velocity",
+    "merged_monotonic",
+    "shared_counter",
+    "UnionFind",
+    "AliasResolver",
+]
+
+_WRAP = 1 << 16
+
+#: Velocity sanity cap (IP-IDs per second) — faster counters wrap too
+#: often to test reliably, as in MIDAR.
+MAX_VELOCITY = 10_000.0
+
+#: Absolute slack (in IP-ID units) tolerated by the monotonic test.
+SLACK = 64.0
+
+
+@dataclass(frozen=True)
+class IpIdSample:
+    """One (time, IP-ID) observation of an address."""
+
+    time: float
+    ipid: int
+    addr: int
+
+
+def unwrap_series(samples: Sequence[IpIdSample]) -> List[float]:
+    """Unwrap one address's 16-bit IP-ID series into a monotone one.
+
+    Assumes at most one wrap between consecutive samples (guaranteed by
+    sampling faster than the counter wraps).
+    """
+    unwrapped: List[float] = []
+    offset = 0
+    previous: Optional[int] = None
+    for sample in sorted(samples, key=lambda s: s.time):
+        if previous is not None and sample.ipid < previous:
+            offset += _WRAP
+        unwrapped.append(sample.ipid + offset)
+        previous = sample.ipid
+    return unwrapped
+
+
+def estimate_velocity(samples: Sequence[IpIdSample]) -> Optional[float]:
+    """IP-IDs per second, from the unwrapped first/last samples."""
+    if len(samples) < 2:
+        return None
+    ordered = sorted(samples, key=lambda s: s.time)
+    span = ordered[-1].time - ordered[0].time
+    if span <= 0:
+        return None
+    unwrapped = unwrap_series(ordered)
+    return (unwrapped[-1] - unwrapped[0]) / span
+
+
+def merged_monotonic(
+    samples_a: Sequence[IpIdSample],
+    samples_b: Sequence[IpIdSample],
+    max_velocity: float = MAX_VELOCITY,
+    slack: float = SLACK,
+) -> bool:
+    """The monotonic-bound test on the merged sample series.
+
+    If both series draw from one shared counter, the merged series —
+    unwrapped greedily — must advance by at most ``max_velocity * dt``
+    (+slack) and never go backwards (beyond slack). Independent
+    counters with random offsets violate the bounds with overwhelming
+    probability once the series interleave.
+    """
+    merged = sorted(list(samples_a) + list(samples_b), key=lambda s: s.time)
+    if len(merged) < 4:
+        return False
+    offset = 0
+    previous_value: Optional[float] = None
+    previous_time = 0.0
+    for sample in merged:
+        value = sample.ipid + offset
+        if previous_value is not None:
+            # Allow a wrap if the raw value stepped backwards too far
+            # to be jitter.
+            if value < previous_value - slack:
+                offset += _WRAP
+                value += _WRAP
+            dt = sample.time - previous_time
+            ceiling = previous_value + max_velocity * max(dt, 0.0) + slack
+            if value < previous_value - slack or value > ceiling:
+                return False
+        previous_value = value
+        previous_time = sample.time
+    return True
+
+
+def shared_counter(
+    samples_a: Sequence[IpIdSample],
+    samples_b: Sequence[IpIdSample],
+    velocity_tolerance: float = 0.35,
+) -> bool:
+    """Full pair test: velocity agreement plus the monotonic bound."""
+    if len(samples_a) < 3 or len(samples_b) < 3:
+        return False
+    velocity_a = estimate_velocity(samples_a)
+    velocity_b = estimate_velocity(samples_b)
+    if velocity_a is None or velocity_b is None:
+        return False
+    if velocity_a > MAX_VELOCITY or velocity_b > MAX_VELOCITY:
+        return False
+    fastest = max(abs(velocity_a), abs(velocity_b), 1.0)
+    if abs(velocity_a - velocity_b) / fastest > velocity_tolerance:
+        return False
+    bound = max(abs(velocity_a), abs(velocity_b)) * 1.5 + 10.0
+    return merged_monotonic(samples_a, samples_b, max_velocity=bound)
+
+
+class UnionFind:
+    """Plain disjoint-set forest with path halving."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        self._parent.setdefault(item, item)
+        while self._parent[item] != item:
+            # Path halving: point item at its grandparent as we climb.
+            self._parent[item] = self._parent[self._parent[item]]
+            item = self._parent[item]
+        return item
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def groups(self) -> List[Set[int]]:
+        clusters: Dict[int, Set[int]] = {}
+        for item in self._parent:
+            clusters.setdefault(self.find(item), set()).add(item)
+        return [group for group in clusters.values() if len(group) > 1]
+
+
+class AliasResolver:
+    """Samples IP-IDs through a prober and clusters shared counters."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        vp: VantagePoint,
+        rounds: int = 5,
+        pps: float = 50.0,
+    ) -> None:
+        if rounds < 3:
+            raise ValueError("need at least three sampling rounds")
+        self.prober = prober
+        self.vp = vp
+        self.rounds = rounds
+        self.pps = pps
+
+    def sample(self, addrs: Sequence[int]) -> Dict[int, List[IpIdSample]]:
+        """Ping every address ``rounds`` times, interleaved."""
+        samples: Dict[int, List[IpIdSample]] = {addr: [] for addr in addrs}
+        for _round in range(self.rounds):
+            for addr in addrs:
+                result = self.prober.ping(self.vp, addr, count=1, pps=self.pps)
+                if result.responded and result.reply_ident is not None:
+                    samples[addr].append(
+                        IpIdSample(
+                            time=result.reply_time or 0.0,
+                            ipid=result.reply_ident,
+                            addr=addr,
+                        )
+                    )
+        return samples
+
+    def resolve_groups(
+        self, candidate_groups: Iterable[Sequence[int]]
+    ) -> List[Set[int]]:
+        """Test all pairs inside each candidate group; cluster positives.
+
+        Candidate groups keep the pair test quadratic only locally (as
+        MIDAR's sharding does); a natural grouping for the §3.3 use is
+        "the destination plus every RR-header address in its /24".
+        """
+        union = UnionFind()
+        tested: Set[Tuple[int, int]] = set()
+        for group in candidate_groups:
+            addrs = sorted(set(group))
+            if len(addrs) < 2:
+                continue
+            samples = self.sample(addrs)
+            for i, addr_a in enumerate(addrs):
+                for addr_b in addrs[i + 1 :]:
+                    pair = (addr_a, addr_b)
+                    if pair in tested:
+                        continue
+                    tested.add(pair)
+                    if shared_counter(samples[addr_a], samples[addr_b]):
+                        union.union(addr_a, addr_b)
+        return union.groups()

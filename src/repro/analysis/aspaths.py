@@ -1,0 +1,115 @@
+"""AS-path derivation and traceroute-vs-RR comparison (§3.5 machinery).
+
+The paper tests whether any AS systematically forwards RR packets
+without stamping by comparing, per measured (VP, destination) pair,
+the set of ASes seen in a traceroute with the set seen in the
+corresponding ping-RR. This module turns IP-level measurements into
+AS-level presence sets and accumulates the per-AS tallies behind the
+"2 never / 143 sometimes / 7,040 always" result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.ip2as import Ip2As
+
+__all__ = [
+    "as_set_of_path",
+    "StampTally",
+    "StampAudit",
+]
+
+
+def as_set_of_path(
+    ip2as: Ip2As, ip_path: Iterable[Optional[int]]
+) -> Set[int]:
+    """The set of ASes a measured IP path traverses (None hops skipped)."""
+    found: Set[int] = set()
+    for addr in ip_path:
+        if addr is None:
+            continue
+        asn = ip2as.asn_of(addr)
+        if asn is not None:
+            found.add(asn)
+    return found
+
+
+@dataclass
+class StampTally:
+    """Per-AS counts across paired traceroute/RR measurements."""
+
+    in_traceroute: int = 0  # paths where traceroute saw the AS
+    in_both: int = 0  # ... and RR saw it too
+
+    @property
+    def miss_rate(self) -> float:
+        if self.in_traceroute == 0:
+            return 0.0
+        return 1.0 - self.in_both / self.in_traceroute
+
+    @property
+    def verdict(self) -> str:
+        """"always" / "sometimes" / "never" stamped when traversed."""
+        if self.in_both == self.in_traceroute:
+            return "always"
+        if self.in_both == 0:
+            return "never"
+        return "sometimes"
+
+
+class StampAudit:
+    """Accumulates traceroute/RR AS-presence pairs into verdicts."""
+
+    def __init__(self, ip2as: Ip2As, min_observations: int = 1) -> None:
+        self._ip2as = ip2as
+        self._min_observations = min_observations
+        self._tallies: Dict[int, StampTally] = {}
+
+    def add_pair(
+        self,
+        traceroute_path: Sequence[Optional[int]],
+        rr_hops: Sequence[int],
+        exclude_asns: Iterable[int] = (),
+    ) -> None:
+        """Record one paired measurement.
+
+        ``exclude_asns`` removes the source and destination ASes: the
+        source AS's stamps depend on VP siting and the destination AS
+        is judged by the destination's own behaviour, so the audit —
+        like the paper's — targets *transited* ASes.
+        """
+        excluded = set(exclude_asns)
+        trace_asns = as_set_of_path(self._ip2as, traceroute_path) - excluded
+        rr_asns = as_set_of_path(self._ip2as, rr_hops) - excluded
+        for asn in trace_asns:
+            tally = self._tallies.setdefault(asn, StampTally())
+            tally.in_traceroute += 1
+            if asn in rr_asns:
+                tally.in_both += 1
+
+    def tallies(self) -> Dict[int, StampTally]:
+        return {
+            asn: tally
+            for asn, tally in self._tallies.items()
+            if tally.in_traceroute >= self._min_observations
+        }
+
+    def verdict_counts(self) -> Dict[str, int]:
+        """How many audited ASes were always/sometimes/never stamped."""
+        counts = {"always": 0, "sometimes": 0, "never": 0}
+        for tally in self.tallies().values():
+            counts[tally.verdict] += 1
+        return counts
+
+    def asns_with_verdict(self, verdict: str) -> List[int]:
+        return sorted(
+            asn
+            for asn, tally in self.tallies().items()
+            if tally.verdict == verdict
+        )
+
+    @property
+    def audited_as_count(self) -> int:
+        return len(self.tallies())

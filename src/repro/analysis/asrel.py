@@ -1,0 +1,189 @@
+"""AS-relationship inference from measured paths (Gao's heuristic).
+
+The paper leans on AS-level interpretations of measured IP paths
+(§3.5's audit, ip2as everywhere); the classic companion problem is
+inferring the *business relationships* between the ASes those paths
+cross. This module implements the core of Gao's algorithm [Gao, ToN
+2001], adapted to traceroute-derived paths:
+
+1. estimate each AS's size by its degree across the observed paths;
+2. in each path, locate the *top provider* (the highest-degree AS):
+   valley-freeness implies edges before it go customer→provider and
+   edges after it go provider→customer;
+3. tally per-edge votes across all paths and classify: consistent
+   votes give customer→provider, conflicting votes between ASes of
+   comparable degree suggest peering.
+
+Purely measurement-side; tests validate the inference against the
+generator's ground-truth relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["InferredRelation", "AsRelInference", "infer_relationships"]
+
+
+@dataclass(frozen=True)
+class InferredRelation:
+    """One inferred edge. ``kind`` is 'p2c' (left is the provider of
+    right) or 'p2p' (peers)."""
+
+    left: int
+    right: int
+    kind: str
+    confidence: float  # vote agreement in [0.5, 1.0]
+
+
+@dataclass
+class AsRelInference:
+    """The full inference output."""
+
+    relations: List[InferredRelation] = field(default_factory=list)
+    paths_used: int = 0
+    degree: Dict[int, int] = field(default_factory=dict)
+
+    def kind_of(self, a: int, b: int) -> str:
+        """'p2c' (a provides b), 'c2p' (b provides a), 'p2p', or
+        'unknown'."""
+        for relation in self.relations:
+            if (relation.left, relation.right) == (a, b):
+                return relation.kind if relation.kind == "p2p" else "p2c"
+            if (relation.left, relation.right) == (b, a):
+                return relation.kind if relation.kind == "p2p" else "c2p"
+        return "unknown"
+
+    def counts(self) -> Dict[str, int]:
+        tally = {"p2c": 0, "p2p": 0}
+        for relation in self.relations:
+            tally[relation.kind] += 1
+        return tally
+
+    def render(self) -> str:
+        tally = self.counts()
+        return (
+            f"AS relationship inference from {self.paths_used} AS "
+            f"paths: {len(self.relations)} edges classified — "
+            f"{tally['p2c']} customer-provider, {tally['p2p']} peer"
+        )
+
+
+def _edge_key(a: int, b: int) -> Tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def infer_relationships(
+    as_paths: Iterable[Sequence[int]],
+    peer_degree_ratio: float = 2.5,
+    peer_vote_balance: float = 0.35,
+    degree_hint: Optional[Dict[int, int]] = None,
+) -> AsRelInference:
+    """Run the inference over an AS-path corpus.
+
+    ``peer_degree_ratio`` and ``peer_vote_balance`` are Gao's knobs: an
+    edge with conflicting uphill/downhill votes (the minority side
+    above ``peer_vote_balance``) between ASes whose degrees differ by
+    less than ``peer_degree_ratio`` is called peer rather than
+    transit.
+
+    ``degree_hint`` supplies external AS-size estimates (Gao's original
+    runs on BGP tables whose degrees reflect the whole Internet; a
+    traceroute corpus from a few vantage ASes under-counts the core,
+    so top-provider detection benefits from richer size data when
+    available). Missing ASes fall back to the observed degree.
+
+    Known limitation, inherent to the method: with a corpus from few
+    vantage networks and no size hints, edges near the corpus's own
+    vantage/core can be mis-oriented because the observed degree of
+    true tier-1s is deflated. Edges toward stubs are reliable
+    regardless.
+    """
+    paths: List[List[int]] = []
+    for path in as_paths:
+        cleaned = [asn for asn in path]
+        if len(cleaned) >= 2 and len(set(cleaned)) == len(cleaned):
+            paths.append(list(cleaned))
+
+    inference = AsRelInference(paths_used=len(paths))
+    if not paths:
+        return inference
+
+    # Degrees over the observed adjacency.
+    neighbours: Dict[int, set] = {}
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            neighbours.setdefault(a, set()).add(b)
+            neighbours.setdefault(b, set()).add(a)
+    degree = {asn: len(peers) for asn, peers in neighbours.items()}
+    inference.degree = degree
+    rank = dict(degree)
+    if degree_hint:
+        for asn in rank:
+            if asn in degree_hint:
+                rank[asn] = degree_hint[asn]
+
+    # Phase 1 — vote per edge: +1 uphill (customer->provider) when the
+    # edge precedes the path's top provider, +1 downhill after it.
+    # Valley-freeness puts peer links only at the summit, so also
+    # track how often each edge sits adjacent to the top: edges that
+    # are *always* at the summit are Gao's peer candidates.
+    up_votes: Dict[Tuple[int, int], int] = {}
+    down_votes: Dict[Tuple[int, int], int] = {}
+    appearances: Dict[Tuple[int, int], int] = {}
+    top_adjacent: Dict[Tuple[int, int], int] = {}
+    for path in paths:
+        top_index = max(
+            range(len(path)), key=lambda i: (rank[path[i]], -i)
+        )
+        for i, (a, b) in enumerate(zip(path, path[1:])):
+            key = _edge_key(a, b)
+            appearances[key] = appearances.get(key, 0) + 1
+            if i in (top_index - 1, top_index):
+                top_adjacent[key] = top_adjacent.get(key, 0) + 1
+            if i < top_index:
+                # a -> b climbs toward the top: b provides a.
+                if key == (a, b):
+                    up_votes[key] = up_votes.get(key, 0) + 1
+                else:
+                    down_votes[key] = down_votes.get(key, 0) + 1
+            else:
+                # a -> b descends: a provides b.
+                if key == (a, b):
+                    down_votes[key] = down_votes.get(key, 0) + 1
+                else:
+                    up_votes[key] = up_votes.get(key, 0) + 1
+
+    # Phase 2 — classify. An edge is peer when its endpoints are of
+    # comparable size AND either (a) its votes genuinely conflict, or
+    # (b) it only ever appears at path summits (where a peer link is
+    # indistinguishable from the last uphill/first downhill step).
+    for key in sorted(appearances):
+        low, high = key
+        up = up_votes.get(key, 0)  # votes that `high` provides `low`
+        down = down_votes.get(key, 0)  # votes that `low` provides `high`
+        total = up + down
+        minority = min(up, down) / total if total else 0.0
+        always_summit = top_adjacent.get(key, 0) == appearances[key]
+        rank_low = rank.get(low, 1)
+        rank_high = rank.get(high, 1)
+        ratio = max(rank_low, rank_high) / max(
+            1, min(rank_low, rank_high)
+        )
+        comparable = ratio <= peer_degree_ratio
+        if comparable and (
+            minority >= peer_vote_balance or always_summit
+        ):
+            inference.relations.append(
+                InferredRelation(low, high, "p2p", 1.0 - minority)
+            )
+        elif up >= down:
+            inference.relations.append(
+                InferredRelation(high, low, "p2c", up / max(total, 1))
+            )
+        else:
+            inference.relations.append(
+                InferredRelation(low, high, "p2c", down / max(total, 1))
+            )
+    return inference

@@ -1,0 +1,65 @@
+"""Empirical CDFs — the paper's figures are all CDF plots.
+
+A tiny, dependency-light ECDF good enough to regenerate Figures 1, 2,
+and 3 as printable series: fraction-at-or-below for integer hop counts.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Cdf"]
+
+
+class Cdf:
+    """An empirical CDF over numeric samples."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self._samples: List[float] = sorted(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def at(self, x: float) -> float:
+        """P(X <= x); 0.0 for an empty CDF."""
+        if not self._samples:
+            return 0.0
+        return bisect_right(self._samples, x) / len(self._samples)
+
+    def quantile(self, q: float) -> float:
+        """The smallest sample value v with P(X <= v) >= q."""
+        if not self._samples:
+            raise ValueError("quantile of an empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if q == 0.0:
+            return self._samples[0]
+        index = min(
+            len(self._samples) - 1, max(0, math.ceil(q * len(self._samples)) - 1)
+        )
+        return self._samples[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        """The plottable (x, P(X <= x)) series at the given x values."""
+        return [(x, self.at(x)) for x in xs]
+
+    def table(self, xs: Sequence[float]) -> Dict[float, float]:
+        return dict(self.series(xs))
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return "Cdf(empty)"
+        return (
+            f"Cdf(n={len(self._samples)}, min={self._samples[0]}, "
+            f"median={self.median}, max={self._samples[-1]})"
+        )

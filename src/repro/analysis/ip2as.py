@@ -1,0 +1,122 @@
+"""Longest-prefix-match IP→AS mapping.
+
+§3.5 and §3.6 derive AS-level paths from IP-level measurements; that
+needs the standard ip2as step: build a binary trie from the advertised
+RIB plus each origin's covering block, and map every measured address
+through longest-prefix match. This is the *measurement-side* mapping —
+simulator internals never use it (they know ground truth), analyses
+never bypass it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.net.addr import Prefix
+from repro.topology.prefixes import PrefixTable, as_block
+
+__all__ = ["PrefixTrie", "Ip2As", "build_ip2as"]
+
+
+class _Node:
+    __slots__ = ("children", "value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node"]] = [None, None]
+        self.value: Optional[int] = None
+
+
+class PrefixTrie:
+    """A binary (unibit) trie keyed by prefix bits, value = origin ASN."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: int) -> None:
+        """Insert/overwrite the value for ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.base >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if node.value is None:
+            self._size += 1
+        node.value = value
+
+    def lookup(self, addr: int) -> Optional[int]:
+        """Longest-prefix-match ``addr``; None when nothing covers it."""
+        node = self._root
+        best = node.value
+        for depth in range(32):
+            node = node.children[(addr >> (31 - depth)) & 1]
+            if node is None:
+                break
+            if node.value is not None:
+                best = node.value
+        return best
+
+    def lookup_with_prefix(self, addr: int) -> Tuple[Optional[Prefix], Optional[int]]:
+        """Like :meth:`lookup` but also reports the matched prefix."""
+        node = self._root
+        best_value = node.value
+        best_depth = 0 if node.value is not None else None
+        for depth in range(32):
+            node = node.children[(addr >> (31 - depth)) & 1]
+            if node is None:
+                break
+            if node.value is not None:
+                best_value = node.value
+                best_depth = depth + 1
+        if best_depth is None:
+            return None, None
+        return Prefix.containing(addr, best_depth), best_value
+
+
+class Ip2As:
+    """IP→origin-AS mapping built from a RIB."""
+
+    def __init__(self, trie: PrefixTrie) -> None:
+        self._trie = trie
+
+    def asn_of(self, addr: int) -> Optional[int]:
+        return self._trie.lookup(addr)
+
+    def as_path_of(self, ip_path: Iterable[Optional[int]]) -> List[int]:
+        """Collapse an IP-level path into its AS-level path.
+
+        Unresponsive hops (None) and unmappable addresses are skipped;
+        consecutive duplicates collapse, but an AS is kept if it
+        reappears later (a detectable routing artifact worth surfacing).
+        """
+        as_path: List[int] = []
+        for addr in ip_path:
+            if addr is None:
+                continue
+            asn = self.asn_of(addr)
+            if asn is None:
+                continue
+            if not as_path or as_path[-1] != asn:
+                as_path.append(asn)
+        return as_path
+
+
+def build_ip2as(table: PrefixTable) -> Ip2As:
+    """Build the mapping from an advertised-prefix table.
+
+    Each origin's covering /16 block is inserted alongside its /24s so
+    infrastructure (router) addresses resolve to the right AS while
+    advertised space still wins by longest match.
+    """
+    trie = PrefixTrie()
+    for asn in table.origin_asns():
+        trie.insert(as_block(asn), asn)
+    for entry in table:
+        trie.insert(entry.prefix, entry.origin_asn)
+    return Ip2As(trie)

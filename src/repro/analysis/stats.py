@@ -1,0 +1,67 @@
+"""Small statistics helpers shared by the study modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "fraction",
+    "percent",
+    "counts_by",
+    "greedy_set_cover",
+]
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+def fraction(part: int, whole: int) -> float:
+    """``part / whole`` with a well-defined 0/0 = 0."""
+    if whole == 0:
+        return 0.0
+    return part / whole
+
+
+def percent(part: int, whole: int, digits: int = 0) -> str:
+    """Render ``part/whole`` as the paper's table percentages."""
+    return f"{round(100 * fraction(part, whole), digits):g}%"
+
+
+def counts_by(items: Iterable[T], key) -> Dict[K, int]:
+    """Count items per ``key(item)``."""
+    counts: Dict[K, int] = {}
+    for item in items:
+        bucket = key(item)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return counts
+
+
+def greedy_set_cover(
+    universe_size: int,
+    candidates: Sequence[Tuple[str, frozenset]],
+    max_picks: Optional[int] = None,
+) -> List[Tuple[str, int]]:
+    """Greedy maximum-coverage selection (§3.3's VP-subset picker).
+
+    ``candidates`` are ``(name, covered-element-set)`` pairs; at each
+    step the candidate adding the most uncovered elements is chosen
+    (ties broken by name, for determinism). Returns the picked names
+    with the cumulative number of covered elements after each pick;
+    stops early when no candidate adds coverage.
+    """
+    covered: set = set()
+    remaining = list(candidates)
+    picks: List[Tuple[str, int]] = []
+    limit = len(candidates) if max_picks is None else max_picks
+    while remaining and len(picks) < limit and len(covered) < universe_size:
+        best_name, best_set, best_gain = None, None, 0
+        for name, elements in sorted(remaining, key=lambda pair: pair[0]):
+            gain = len(elements - covered)
+            if gain > best_gain:
+                best_name, best_set, best_gain = name, elements, gain
+        if best_name is None:
+            break
+        covered |= best_set
+        remaining = [pair for pair in remaining if pair[0] != best_name]
+        picks.append((best_name, len(covered)))
+    return picks

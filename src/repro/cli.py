@@ -1,0 +1,267 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``presets`` — list the available Internet-in-a-box presets;
+* ``study`` — run one (or every) paper experiment against a preset and
+  print the paper-style artifact;
+* ``probe`` — issue a single measurement (ping / ping-RR / ping-RRudp /
+  ping-TS / traceroute) from a named VP and show the decoded result;
+* ``export`` — write the scenario's synthetic datasets (RouteViews-
+  style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.core.cloud import run_cloud_study
+from repro.core.drop_location import run_drop_study
+from repro.core.fusion import fuse_paths
+from repro.core.longitudinal import run_longitudinal_study
+from repro.core.ratelimit import run_rate_limit_study
+from repro.core.reachability import build_figure1
+from repro.core.reclassify import run_reclassification
+from repro.core.report import banner
+from repro.core.stamping_audit import run_stamping_study
+from repro.core.study import StudyData, get_study
+from repro.core.table1 import build_table1
+from repro.core.temporal import build_figure2
+from repro.core.ttl import run_ttl_study
+from repro.net.addr import addr_to_int, int_to_addr
+from repro.scenarios.presets import PRESETS, get_preset
+
+__all__ = ["main", "build_parser"]
+
+
+def _experiment_table1(study: StudyData) -> str:
+    scenario = study.scenario
+    return build_table1(
+        scenario.classification, study.ping_survey, study.rr_survey
+    ).render()
+
+
+def _experiment_fig1(study: StudyData) -> str:
+    return build_figure1(study.rr_survey).render()
+
+
+def _experiment_fig2(study: StudyData) -> str:
+    era_2011 = get_study("small-2011", seed=2016)
+    return build_figure2(era_2011.rr_survey, study.rr_survey).render()
+
+
+def _experiment_fig3(study: StudyData) -> str:
+    return run_cloud_study(
+        study.scenario, study.rr_survey, sample_per_class=200,
+        mlab_sample=200,
+    ).render()
+
+
+def _experiment_fig4(study: StudyData) -> str:
+    return run_rate_limit_study(
+        study.scenario, study.rr_survey, sample_size=250
+    ).render()
+
+
+def _experiment_fig5(study: StudyData) -> str:
+    return run_ttl_study(
+        study.scenario, study.rr_survey, per_class_per_vp=15, max_vps=10
+    ).render()
+
+
+def _experiment_s33(study: StudyData) -> str:
+    return run_reclassification(study.scenario, study.rr_survey).render()
+
+
+def _experiment_s35(study: StudyData) -> str:
+    return run_stamping_study(
+        study.scenario, study.rr_survey, per_vp_cap=120
+    ).render()
+
+
+def _experiment_fusion(study: StudyData) -> str:
+    return fuse_paths(study.scenario, study.rr_survey, sample=40).render()
+
+
+def _experiment_drops(study: StudyData) -> str:
+    return run_drop_study(
+        study.scenario, study.ping_survey, study.rr_survey, sample=50
+    ).render()
+
+
+def _experiment_prudence(_study: StudyData) -> str:
+    from repro.scenarios.presets import tiny
+
+    return run_longitudinal_study(
+        lambda: tiny(seed=42),
+        epochs=4,
+        annoyance_threshold=1500,
+        reaction_prob=0.6,
+    ).render()
+
+
+EXPERIMENTS: Dict[str, Callable[[StudyData], str]] = {
+    "table1": _experiment_table1,
+    "fig1": _experiment_fig1,
+    "fig2": _experiment_fig2,
+    "fig3": _experiment_fig3,
+    "fig4": _experiment_fig4,
+    "fig5": _experiment_fig5,
+    "s33": _experiment_s33,
+    "s35": _experiment_s35,
+    "fusion": _experiment_fusion,
+    "drops": _experiment_drops,
+    "prudence": _experiment_prudence,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Record Route Option is an Option!' "
+            "(IMC 2017) on a simulated Internet."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("presets", help="list scenario presets")
+
+    study = sub.add_parser("study", help="run paper experiments")
+    study.add_argument(
+        "--preset", default="small", choices=sorted(PRESETS)
+    )
+    study.add_argument("--seed", type=int, default=2016)
+    study.add_argument(
+        "--experiment",
+        default="all",
+        choices=sorted(EXPERIMENTS) + ["all"],
+    )
+    study.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the report to this file",
+    )
+
+    probe = sub.add_parser("probe", help="issue a single measurement")
+    probe.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    probe.add_argument("--seed", type=int, default=2016)
+    probe.add_argument(
+        "--vp", default=None,
+        help="VP name (default: first working VP)",
+    )
+    probe.add_argument("--dst", required=True, help="dotted-quad target")
+    probe.add_argument(
+        "--type",
+        dest="probe_type",
+        default="rr",
+        choices=["ping", "rr", "rrudp", "ts", "trace"],
+    )
+    probe.add_argument(
+        "--ttl", type=int, default=64, help="initial TTL (rr probes)"
+    )
+
+    export = sub.add_parser(
+        "export", help="write synthetic datasets to a directory"
+    )
+    export.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    export.add_argument("--seed", type=int, default=2016)
+    export.add_argument("--dir", type=Path, required=True)
+
+    return parser
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    for name in sorted(PRESETS):
+        scenario = get_preset(name)
+        print(f"{name:12} {scenario.describe()}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    study = get_study(args.preset, seed=args.seed)
+    names = (
+        sorted(EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    sections = []
+    for name in names:
+        sections.append(banner(f"{name} — preset {args.preset}"))
+        sections.append(EXPERIMENTS[name](study))
+    report = "\n".join(sections)
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n", "utf-8")
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    scenario = get_preset(args.preset, seed=args.seed)
+    if args.vp is None:
+        vp = scenario.working_vps[0]
+    else:
+        vp = scenario.vp_by_name(args.vp)
+    dst = addr_to_int(args.dst)
+    prober = scenario.prober
+    print(f"{args.probe_type} {int_to_addr(dst)} from {vp}")
+    if args.probe_type == "ping":
+        result = prober.ping(vp, dst)
+        print(f"responded={result.responded} replies={result.replies}")
+    elif args.probe_type == "rr":
+        result = prober.ping_rr(vp, dst, ttl=args.ttl)
+        print(result)
+        if result.reachable:
+            print(f"destination at RR slot {result.dest_slot()}")
+    elif args.probe_type == "rrudp":
+        result = prober.ping_rr_udp(vp, dst)
+        print(result)
+    elif args.probe_type == "ts":
+        result = prober.ping_ts(vp, dst)
+        print(f"responded={result.responded} "
+              f"stamps={result.stamped_count} entries={result.entries}")
+    else:  # trace
+        result = prober.traceroute(vp, dst)
+        print(result)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scenario = get_preset(args.preset, seed=args.seed)
+    args.dir.mkdir(parents=True, exist_ok=True)
+    rib = args.dir / "rib.txt"
+    rib.write_text("\n".join(scenario.table.to_lines()) + "\n", "utf-8")
+    as2type = args.dir / "as2type.txt"
+    as2type.write_text(
+        "\n".join(scenario.classification.to_lines()) + "\n", "utf-8"
+    )
+    hitlist = args.dir / "hitlist.txt"
+    hitlist.write_text(
+        "\n".join(scenario.hitlist.to_lines()) + "\n", "utf-8"
+    )
+    for path in (rib, as2type, hitlist):
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "presets": _cmd_presets,
+    "study": _cmd_study,
+    "probe": _cmd_probe,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

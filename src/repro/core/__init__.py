@@ -1,0 +1,136 @@
+"""The paper's contribution: the RR measurement methodology and studies."""
+
+from repro.core.adaptive_rate import (
+    AdaptiveRatePlan,
+    RateCalibration,
+    calibrate_rates,
+)
+from repro.core.atlas import (
+    AtlasClient,
+    AtlasPolicyError,
+    AtlasStudy,
+    place_atlas_probes,
+    run_atlas_study,
+)
+from repro.core.cloud import CloudStudy, external_hop_count, run_cloud_study
+from repro.core.drop_location import (
+    DropLocalization,
+    DropSite,
+    DropStudy,
+    localize_drop,
+    run_drop_study,
+)
+from repro.core.longitudinal import (
+    EpochStats,
+    LongitudinalStudy,
+    ProbingStrategy,
+    exhaustive_strategy,
+    prudent_strategy,
+    run_longitudinal_study,
+)
+from repro.core.fusion import FusionReport, PathFusion, fuse_paths
+from repro.core.onpath import OnPathResult, confirm_on_path, on_path_sweep
+from repro.core.ratelimit import RateLimitStudy, run_rate_limit_study
+from repro.core.reachability import (
+    Figure1,
+    REVERSE_PATH_HOP_LIMIT,
+    build_figure1,
+    figure_series,
+    fraction_reachable,
+    greedy_site_selection,
+    reachability_cdf,
+)
+from repro.core.reclassify import ReclassificationReport, run_reclassification
+from repro.core.report import banner, format_series, format_table
+from repro.core.reverse_path import (
+    ReversePathMeasurement,
+    measure_reverse_path,
+    reverse_coverage,
+)
+from repro.core.stamping_audit import StampingStudy, run_stamping_study
+from repro.core.study import (
+    StudyData,
+    clear_study_cache,
+    get_study,
+    run_full_study,
+)
+from repro.core.survey import (
+    PingSurvey,
+    RRSurvey,
+    load_survey,
+    run_ping_survey,
+    run_rr_survey,
+    save_survey,
+)
+from repro.core.table1 import Table1, build_table1, vp_response_fractions
+from repro.core.temporal import Figure2, build_figure2, common_sites
+from repro.core.ttl import DEFAULT_TTL_SWEEP, TtlStudy, run_ttl_study
+
+__all__ = [
+    "AdaptiveRatePlan",
+    "RateCalibration",
+    "calibrate_rates",
+    "AtlasClient",
+    "AtlasPolicyError",
+    "AtlasStudy",
+    "place_atlas_probes",
+    "run_atlas_study",
+    "CloudStudy",
+    "external_hop_count",
+    "run_cloud_study",
+    "DropLocalization",
+    "DropSite",
+    "DropStudy",
+    "localize_drop",
+    "run_drop_study",
+    "EpochStats",
+    "LongitudinalStudy",
+    "ProbingStrategy",
+    "exhaustive_strategy",
+    "prudent_strategy",
+    "run_longitudinal_study",
+    "FusionReport",
+    "PathFusion",
+    "fuse_paths",
+    "OnPathResult",
+    "confirm_on_path",
+    "on_path_sweep",
+    "RateLimitStudy",
+    "run_rate_limit_study",
+    "Figure1",
+    "REVERSE_PATH_HOP_LIMIT",
+    "build_figure1",
+    "figure_series",
+    "fraction_reachable",
+    "greedy_site_selection",
+    "reachability_cdf",
+    "ReclassificationReport",
+    "run_reclassification",
+    "banner",
+    "format_series",
+    "format_table",
+    "ReversePathMeasurement",
+    "measure_reverse_path",
+    "reverse_coverage",
+    "StampingStudy",
+    "run_stamping_study",
+    "StudyData",
+    "clear_study_cache",
+    "get_study",
+    "run_full_study",
+    "PingSurvey",
+    "RRSurvey",
+    "load_survey",
+    "run_ping_survey",
+    "run_rr_survey",
+    "save_survey",
+    "Table1",
+    "build_table1",
+    "vp_response_fractions",
+    "Figure2",
+    "build_figure2",
+    "common_sites",
+    "DEFAULT_TTL_SWEEP",
+    "TtlStudy",
+    "run_ttl_study",
+]

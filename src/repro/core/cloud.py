@@ -1,0 +1,198 @@
+"""§3.6 / Figure 3: could RR be useful to cloud providers?
+
+The paper could not issue ping-RR from clouds (the providers filter or
+strip options), so it *estimates* cloud RR range from traceroute hop
+counts: if a cloud's traceroute path-length distribution to a set of
+destinations sits left of the M-Lab distribution to destinations
+*known* to be RR-reachable from M-Lab, those destinations are very
+likely within RR range of the cloud too.
+
+Method reproduced here:
+
+* traceroute from each M-Lab VP to (a sample of) its RR-reachable
+  destinations — the calibration distribution;
+* traceroute from each cloud VP to samples of RR-reachable and
+  RR-responsive-but-unreachable destinations, counting hops **from the
+  first hop outside the provider's AS** (the paper assumes clouds can
+  tunnel to their AS edge without consuming RR slots);
+* join the two datasets by /24, as the paper did to match its 2015
+  cloud traceroutes against 2017 RR data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.ip2as import Ip2As, build_ip2as
+from repro.core.survey import RRSurvey
+from repro.probing.results import TracerouteResult
+from repro.probing.vantage import Platform
+from repro.rng import stable_rng
+from repro.scenarios.internet import Scenario
+
+__all__ = ["CloudStudy", "run_cloud_study", "external_hop_count"]
+
+
+def external_hop_count(
+    trace: TracerouteResult, provider_asn: int, ip2as: Ip2As
+) -> Optional[int]:
+    """Hop count starting at the first hop outside the provider AS.
+
+    Returns None when the destination was not reached. Unresponsive
+    leading hops are conservatively treated as in-provider only if we
+    have not yet seen an external hop.
+    """
+    if not trace.reached:
+        return None
+    external = 0
+    seen_external = False
+    for addr in trace.hops:
+        if not seen_external:
+            if addr is None:
+                continue
+            asn = ip2as.asn_of(addr)
+            if asn == provider_asn:
+                continue
+            seen_external = True
+        external += 1
+    return external if seen_external else 0
+
+
+@dataclass
+class CloudStudy:
+    """Figure 3's series plus the §3.6 headline fractions."""
+
+    #: label -> sorted traceroute hop counts (the CDF samples).
+    samples: Dict[str, List[int]] = field(default_factory=dict)
+    #: per provider: fraction of RR-responsive dests within 8 hops.
+    within8: Dict[str, float] = field(default_factory=dict)
+    #: fraction of cloud RR-responsive dests within 5 hops (GCE claim).
+    gce_within5: float = 0.0
+    mlab_within5: float = 0.0
+
+    def series(
+        self, label: str, max_hops: int = 20
+    ) -> List[Tuple[int, float]]:
+        cdf = Cdf(self.samples.get(label, []))
+        return [(hops, cdf.at(hops)) for hops in range(1, max_hops + 1)]
+
+    def render(self) -> str:
+        lines = ["Figure 3 — traceroute hop-count CDFs:"]
+        xs = list(range(2, 21, 2))
+        lines.append("hops:".rjust(28) + "".join(f"{x:>6}" for x in xs))
+        for label in sorted(self.samples):
+            cdf = Cdf(self.samples[label])
+            lines.append(
+                f"{label:>27} "
+                + "".join(f"{cdf.at(x):6.2f}" for x in xs)
+                + f"  (n={len(cdf)})"
+            )
+        for provider, fraction_within in sorted(self.within8.items()):
+            lines.append(
+                f"{provider}: within 8 hops of "
+                f"{fraction_within:.0%} of RR-responsive destinations"
+            )
+        lines.append(
+            f"gce within 5 hops of {self.gce_within5:.0%} of RR-responsive "
+            f"dests; M-Lab within 5 of {self.mlab_within5:.0%} of its "
+            f"RR-reachable dests"
+        )
+        return "\n".join(lines)
+
+
+def _slash24(addr: int) -> int:
+    return addr >> 8
+
+
+def run_cloud_study(
+    scenario: Scenario,
+    survey: RRSurvey,
+    sample_per_class: int = 300,
+    mlab_sample: int = 300,
+    ip2as: Optional[Ip2As] = None,
+) -> CloudStudy:
+    """Reproduce Figure 3 and the §3.6 within-8-hop estimates."""
+    mapping = build_ip2as(scenario.table) if ip2as is None else ip2as
+    study = CloudStudy()
+    prober = scenario.prober
+    rng = stable_rng(scenario.seed, "cloud-study")
+
+    reachable = survey.reachable_indices()
+    responsive_only = [
+        index
+        for index in survey.rr_responsive_indices()
+        if survey.min_slot(index) is None
+    ]
+
+    # M-Lab calibration: closest VP's traceroute to reachable dests.
+    mlab_indices = survey.vp_indices(
+        platform=Platform.MLAB, include_filtered=False
+    )
+    mlab_targets = (
+        rng.sample(reachable, mlab_sample)
+        if len(reachable) > mlab_sample
+        else list(reachable)
+    )
+    mlab_lengths: Dict[int, int] = {}  # /24 -> hops
+    for dest_index in mlab_targets:
+        dest = survey.dests[dest_index]
+        closest = min(
+            (
+                (survey.slot_from_vp(dest_index, vp_index), vp_index)
+                for vp_index in mlab_indices
+                if survey.slot_from_vp(dest_index, vp_index) is not None
+            ),
+            default=None,
+        )
+        if closest is None:
+            continue
+        vp = survey.vps[closest[1]]
+        trace = prober.traceroute(vp, dest.addr)
+        if trace.reached and trace.hop_count is not None:
+            mlab_lengths[_slash24(dest.addr)] = trace.hop_count
+    study.samples["M-Lab RR-reachable"] = sorted(mlab_lengths.values())
+
+    # Cloud traceroutes, joined to the RR survey by /24.
+    reachable_24 = {_slash24(survey.dests[i].addr) for i in reachable}
+    for vp in scenario.cloud_vps:
+        provider = vp.site  # "gce", "ec2", "softlayer"
+        lengths_reach: Dict[int, int] = {}
+        lengths_resp: Dict[int, int] = {}
+        for label, pool, sink in (
+            ("reach", reachable, lengths_reach),
+            ("resp", responsive_only, lengths_resp),
+        ):
+            sample = (
+                rng.sample(pool, sample_per_class)
+                if len(pool) > sample_per_class
+                else list(pool)
+            )
+            for dest_index in sample:
+                dest = survey.dests[dest_index]
+                trace = prober.traceroute(vp, dest.addr)
+                hops = external_hop_count(trace, vp.asn, mapping)
+                if hops is not None:
+                    sink[_slash24(dest.addr)] = hops
+        # /24 join against the RR survey's classification.
+        reach_joined = [
+            hops
+            for key, hops in lengths_reach.items()
+            if key in reachable_24
+        ]
+        resp_joined = list(lengths_resp.values())
+        study.samples[f"{provider} RR-reachable"] = sorted(reach_joined)
+        study.samples[f"{provider} RR-responsive"] = sorted(resp_joined)
+        both = reach_joined + resp_joined
+        if both:
+            within = sum(1 for hops in both if hops <= 8)
+            study.within8[provider] = within / len(both)
+
+    gce = study.samples.get("gce RR-responsive", [])
+    if gce:
+        study.gce_within5 = sum(1 for hops in gce if hops <= 5) / len(gce)
+    mlab = study.samples.get("M-Lab RR-reachable", [])
+    if mlab:
+        study.mlab_within5 = sum(1 for h in mlab if h <= 5) / len(mlab)
+    return study

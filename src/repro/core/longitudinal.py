@@ -1,0 +1,247 @@
+"""Longitudinal prudence study (the paper's conclusion, simulated).
+
+The conclusion warns: "Should there be a wide-scale increase in RR
+traffic, it is possible that some operators might configure routers
+within their networks to filter or refuse to stamp packets with RR
+enabled ... For this reason, we suggest exercising prudence" — while
+noting that nine years of reverse traceroute's moderate daily RR
+traffic caused no visible decline.
+
+This module simulates that dynamic over probing epochs:
+
+* every AS accrues slow-path load (options packets its routers
+  process, the §4.2/[10] cost) during each epoch's probing round;
+* an operator whose network's per-epoch load exceeds an annoyance
+  threshold flips on options filtering with some probability, and the
+  filter is sticky (operators rarely revisit hardening changes);
+* two probing strategies run in separate worlds from the same seed:
+  **exhaustive** (every working VP probes every destination at full
+  TTL every epoch) and **prudent** (a greedy subset of sites, §4.2
+  TTL limiting, and per-VP response-calibrated pacing).
+
+The output is the RR-responsiveness trajectory per strategy — the
+quantified version of the conclusion's advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.reachability import greedy_site_selection
+from repro.core.survey import RRSurvey, run_rr_survey
+from repro.probing.vantage import Platform, VantagePoint
+from repro.rng import stable_uniform
+from repro.scenarios.internet import Scenario
+
+__all__ = [
+    "EpochStats",
+    "LongitudinalStudy",
+    "ProbingStrategy",
+    "exhaustive_strategy",
+    "prudent_strategy",
+    "run_longitudinal_study",
+]
+
+
+@dataclass(frozen=True)
+class ProbingStrategy:
+    """One probing discipline, applied every epoch."""
+
+    name: str
+    #: Choose the VPs used each epoch from the scenario's platform VPs.
+    pick_vps: Callable[[Scenario, RRSurvey], List[VantagePoint]]
+    ttl: int = 64
+    pps: float = 20.0
+
+
+def exhaustive_strategy() -> ProbingStrategy:
+    """Every working VP, default TTL, every destination, every epoch."""
+    return ProbingStrategy(
+        name="exhaustive",
+        pick_vps=lambda scenario, _survey: scenario.working_vps,
+        ttl=64,
+    )
+
+
+def prudent_strategy(sites: int = 5, ttl: int = 12) -> ProbingStrategy:
+    """Greedy site subset + TTL limiting (§3.3 + §4.2 combined)."""
+
+    def pick(scenario: Scenario, survey: RRSurvey) -> List[VantagePoint]:
+        picks = greedy_site_selection(
+            survey, Platform.MLAB, max_picks=sites
+        )
+        chosen_sites = {site for site, _coverage in picks}
+        chosen = [
+            vp
+            for vp in scenario.working_vps
+            if vp.site in chosen_sites and vp.platform is Platform.MLAB
+        ]
+        return chosen or scenario.working_vps[:sites]
+
+    return ProbingStrategy(name="prudent", pick_vps=pick, ttl=ttl)
+
+
+@dataclass
+class EpochStats:
+    """One epoch's outcome for one strategy."""
+
+    epoch: int
+    rr_responsive: int
+    reachable: int
+    probes_sent: int
+    slow_path_load: int  # total options packets processed by routers
+    newly_filtering_asns: List[int] = field(default_factory=list)
+
+
+@dataclass
+class LongitudinalStudy:
+    """Per-strategy trajectories across epochs."""
+
+    epochs: int = 0
+    trajectories: Dict[str, List[EpochStats]] = field(default_factory=dict)
+
+    def final_responsive(self, strategy: str) -> int:
+        return self.trajectories[strategy][-1].rr_responsive
+
+    def responsiveness_decline(self, strategy: str) -> float:
+        """Relative loss of RR-responsive destinations, first→last."""
+        series = self.trajectories[strategy]
+        first = series[0].rr_responsive
+        if first == 0:
+            return 0.0
+        return 1.0 - series[-1].rr_responsive / first
+
+    def total_new_filters(self, strategy: str) -> int:
+        return sum(
+            len(stats.newly_filtering_asns)
+            for stats in self.trajectories[strategy]
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"Longitudinal prudence study over {self.epochs} epochs:",
+            f"{'strategy':>12} {'epoch':>6} {'responsive':>11} "
+            f"{'reachable':>10} {'load':>10} {'new filters':>12}",
+        ]
+        for name, series in sorted(self.trajectories.items()):
+            for stats in series:
+                lines.append(
+                    f"{name:>12} {stats.epoch:>6} "
+                    f"{stats.rr_responsive:>11} {stats.reachable:>10} "
+                    f"{stats.slow_path_load:>10} "
+                    f"{len(stats.newly_filtering_asns):>12}"
+                )
+        for name in sorted(self.trajectories):
+            lines.append(
+                f"{name}: responsiveness declined "
+                f"{self.responsiveness_decline(name):.1%}; "
+                f"{self.total_new_filters(name)} ASes started filtering"
+            )
+        return "\n".join(lines)
+
+
+def _apply_operator_reactions(
+    scenario: Scenario,
+    epoch: int,
+    annoyance_threshold: int,
+    reaction_prob: float,
+) -> List[int]:
+    """Flip filters on over-loaded ASes; returns the newly-filtering."""
+    network = scenario.network
+    flipped = []
+    for asn, load in sorted(network.options_load.items()):
+        autsys = scenario.graph[asn]
+        if autsys.filters_options or load < annoyance_threshold:
+            continue
+        draw = stable_uniform(
+            scenario.seed, "operator-reaction", asn, epoch
+        )
+        if draw < reaction_prob:
+            network.set_as_options_filter(asn, True)
+            flipped.append(asn)
+    return flipped
+
+
+def run_longitudinal_study(
+    scenario_factory: Callable[[], Scenario],
+    strategies: Optional[Sequence[ProbingStrategy]] = None,
+    epochs: int = 5,
+    annoyance_threshold: int = 4000,
+    reaction_prob: float = 0.5,
+) -> LongitudinalStudy:
+    """Run each strategy in its own world for ``epochs`` rounds.
+
+    ``scenario_factory`` must build identical worlds (same seed) so
+    the strategies face the same Internet; each gets a private copy
+    because operator reactions mutate filtering state.
+    """
+    if strategies is None:
+        strategies = [exhaustive_strategy(), prudent_strategy()]
+    study = LongitudinalStudy(epochs=epochs)
+
+    for strategy in strategies:
+        scenario = scenario_factory()
+        network = scenario.network
+        series: List[EpochStats] = []
+        survey = run_rr_survey(scenario)  # epoch-0 calibration census
+        for epoch in range(epochs):
+            network.reset_options_load()
+            network.stats.reset()
+            vps = strategy.pick_vps(scenario, survey)
+            survey = run_rr_survey(
+                scenario,
+                vps=vps,
+                pps=strategy.pps,
+                slots=9,
+            ) if strategy.ttl == 64 else _limited_survey(
+                scenario, vps, strategy
+            )
+            flipped = _apply_operator_reactions(
+                scenario, epoch, annoyance_threshold, reaction_prob
+            )
+            series.append(
+                EpochStats(
+                    epoch=epoch,
+                    rr_responsive=len(survey.rr_responsive_indices()),
+                    reachable=len(survey.reachable_indices()),
+                    probes_sent=network.stats.sent,
+                    slow_path_load=sum(network.options_load.values()),
+                    newly_filtering_asns=flipped,
+                )
+            )
+        study.trajectories[strategy.name] = series
+    return study
+
+
+def _limited_survey(
+    scenario: Scenario,
+    vps: Sequence[VantagePoint],
+    strategy: ProbingStrategy,
+) -> RRSurvey:
+    """A TTL-limited probing round (quoted-RR recoveries still count
+    toward load reduction, but only echo replies define
+    responsiveness, as in Figure 5)."""
+    from repro.probing.scheduler import ProbeOrder, order_destinations
+
+    targets = list(scenario.hitlist)
+    survey = RRSurvey(
+        vps=list(vps),
+        dests=targets,
+        responses=[{} for _ in targets],
+        inprefix_addrs=[set() for _ in targets],
+    )
+    position = {dest.addr: index for index, dest in enumerate(targets)}
+    for vp_index, vp in enumerate(vps):
+        ordered = order_destinations(
+            targets, ProbeOrder.RANDOM, seed=scenario.seed, salt=vp.name
+        )
+        for dest in ordered:
+            result = scenario.prober.ping_rr(
+                vp, dest.addr, ttl=strategy.ttl, pps=strategy.pps
+            )
+            if result.rr_responsive:
+                survey.responses[position[dest.addr]][vp_index] = (
+                    result.dest_slot()
+                )
+    return survey

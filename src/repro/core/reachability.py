@@ -1,0 +1,189 @@
+"""§3.3: are destinations within the nine-hop limit? (Figure 1)
+
+Computes closest-VP RR-hop distances over RR-responsive destinations,
+the Figure 1 CDFs for VP subsets (all M-Lab, the best ten M-Lab sites,
+one site, all PlanetLab), the headline reachability fractions (66%
+within nine hops, ~60% within the eight hops reverse traceroute
+needs), and the greedy site-selection trade-off ("73% with one site
+... 95% with 10").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import fraction, greedy_set_cover
+from repro.core.survey import RRSurvey
+from repro.probing.vantage import Platform
+
+__all__ = [
+    "reachability_cdf",
+    "fraction_reachable",
+    "greedy_site_selection",
+    "Figure1",
+    "build_figure1",
+    "REVERSE_PATH_HOP_LIMIT",
+]
+
+#: Reverse traceroute needs the destination within eight hops so at
+#: least one slot remains to record the reverse path [11].
+REVERSE_PATH_HOP_LIMIT = 8
+
+
+def reachability_cdf(
+    survey: RRSurvey, vp_indices: Optional[Sequence[int]] = None
+) -> Tuple[Cdf, int]:
+    """Closest-VP distance CDF over RR-responsive destinations.
+
+    Returns ``(cdf-of-min-slots, rr_responsive_count)``; the figure's
+    y axis is ``cdf.at(x) * len(cdf) / rr_responsive_count`` — i.e.
+    normalised by all RR-responsive destinations so unreachable ones
+    hold the curve below 1.0 (Figure 1 tops out around 0.66).
+    """
+    slots = []
+    responsive = 0
+    for index in range(len(survey.dests)):
+        if not survey.rr_responsive(index):
+            continue
+        responsive += 1
+        slot = survey.min_slot(index, vp_indices)
+        if slot is not None:
+            slots.append(slot)
+    return Cdf(slots), responsive
+
+
+def figure_series(
+    survey: RRSurvey,
+    vp_indices: Optional[Sequence[int]] = None,
+    max_hops: int = 9,
+) -> List[Tuple[int, float]]:
+    """The plottable Figure 1/2 series: x = 1..max_hops, y = fraction
+    of RR-responsive destinations within x RR hops of the VP set."""
+    cdf, responsive = reachability_cdf(survey, vp_indices)
+    if responsive == 0:
+        return [(x, 0.0) for x in range(1, max_hops + 1)]
+    scale = len(cdf) / responsive
+    return [(x, cdf.at(x) * scale) for x in range(1, max_hops + 1)]
+
+
+def fraction_reachable(
+    survey: RRSurvey,
+    vp_indices: Optional[Sequence[int]] = None,
+    hop_limit: int = 9,
+) -> float:
+    """Fraction of RR-responsive destinations within ``hop_limit``."""
+    responsive = reachable = 0
+    for index in range(len(survey.dests)):
+        if not survey.rr_responsive(index):
+            continue
+        responsive += 1
+        slot = survey.min_slot(index, vp_indices)
+        if slot is not None and slot <= hop_limit:
+            reachable += 1
+    return fraction(reachable, responsive)
+
+
+def greedy_site_selection(
+    survey: RRSurvey,
+    platform: Platform = Platform.MLAB,
+    max_picks: int = 10,
+    hop_limit: int = 9,
+) -> List[Tuple[str, float]]:
+    """§3.3's greedy M-Lab site picker.
+
+    Returns ``(site, cumulative coverage)`` pairs where coverage is the
+    fraction of *all-VPs* RR-reachable destinations covered so far —
+    the paper's "73% with one site (NYC), ... 95% with 10" statistic.
+    """
+    universe = set(survey.reachable_indices())
+    if not universe:
+        return []
+    sites: Dict[str, set] = {}
+    for vp_index, vp in enumerate(survey.vps):
+        if vp.platform is not platform:
+            continue
+        covered = {
+            index
+            for index in universe
+            if (slot := survey.slot_from_vp(index, vp_index)) is not None
+            and slot <= hop_limit
+        }
+        sites.setdefault(vp.site, set()).update(covered)
+    candidates = [
+        (site, frozenset(covered)) for site, covered in sites.items()
+    ]
+    picks = greedy_set_cover(len(universe), candidates, max_picks=max_picks)
+    return [
+        (site, covered_count / len(universe))
+        for site, covered_count in picks
+    ]
+
+
+@dataclass
+class Figure1:
+    """Figure 1's four series plus the §3.3 headline numbers."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    greedy: List[Tuple[str, float]] = field(default_factory=list)
+    reachable_9: float = 0.0
+    reachable_8: float = 0.0
+    planetlab_vs_full: float = 0.0  # PL coverage / full-set coverage
+
+    def render(self) -> str:
+        lines = ["Figure 1 — RR hops from closest vantage point (CDF):"]
+        xs = [x for x, _y in next(iter(self.series.values()))]
+        header = "hops:".rjust(22) + "".join(f"{x:>7}" for x in xs)
+        lines.append(header)
+        for label, series in self.series.items():
+            lines.append(
+                f"{label:>21} " + "".join(f"{y:7.3f}" for _x, y in series)
+            )
+        lines.append(
+            f"RR-reachable within 9 hops: {self.reachable_9:.1%}; "
+            f"within 8 (reverse-path limit): {self.reachable_8:.1%}"
+        )
+        greedy_text = ", ".join(
+            f"{count + 1}:{site}={coverage:.0%}"
+            for count, (site, coverage) in enumerate(self.greedy)
+        )
+        lines.append(f"Greedy M-Lab sites: {greedy_text}")
+        return "\n".join(lines)
+
+
+def build_figure1(survey: RRSurvey, max_hops: int = 9) -> Figure1:
+    """All of Figure 1 from one RR survey."""
+    figure = Figure1()
+    mlab = survey.vp_indices(platform=Platform.MLAB)
+    planetlab = survey.vp_indices(platform=Platform.PLANETLAB)
+    greedy = greedy_site_selection(survey, Platform.MLAB, max_picks=10)
+    figure.greedy = greedy
+
+    figure.series["all M-Lab sites"] = figure_series(survey, mlab, max_hops)
+    if greedy:
+        top_sites = [site for site, _cov in greedy]
+        figure.series["10 M-Lab sites"] = figure_series(
+            survey,
+            survey.vp_indices(platform=Platform.MLAB, sites=top_sites[:10]),
+            max_hops,
+        )
+        figure.series["1 M-Lab site"] = figure_series(
+            survey,
+            survey.vp_indices(platform=Platform.MLAB, sites=top_sites[:1]),
+            max_hops,
+        )
+    figure.series["all PlanetLab sites"] = figure_series(
+        survey, planetlab, max_hops
+    )
+
+    figure.reachable_9 = fraction_reachable(survey, hop_limit=9)
+    figure.reachable_8 = fraction_reachable(
+        survey, hop_limit=REVERSE_PATH_HOP_LIMIT
+    )
+    full = fraction_reachable(survey, hop_limit=9)
+    planetlab_cov = fraction_reachable(survey, planetlab, hop_limit=9)
+    figure.planetlab_vs_full = fraction(
+        round(planetlab_cov * 10_000), round(full * 10_000)
+    )
+    return figure

@@ -1,0 +1,43 @@
+"""Plain-text rendering helpers for paper-style tables and series."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align ``rows`` under ``headers`` (all cells str()-ed)."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, series: Sequence[Tuple[float, float]], precision: int = 3
+) -> str:
+    """One CDF series as a compact, plot-ready line."""
+    points = " ".join(f"{x:g}:{y:.{precision}f}" for x, y in series)
+    return f"{label}: {points}"
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section banner for study output."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"

@@ -1,0 +1,97 @@
+"""Reverse-path measurement with spare RR slots (§2's motivation).
+
+The destination copies the probe's RR option into its Echo Reply, so
+any slots left after the destination's own stamp get filled by
+*reverse-path* routers — the only general way to see the path back
+from a destination, and the primitive reverse traceroute [11] builds
+on. A destination within eight RR hops leaves at least one spare slot;
+that is why §3.3 highlights the fraction of destinations within eight
+hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.ip2as import Ip2As, build_ip2as
+from repro.core.reachability import REVERSE_PATH_HOP_LIMIT
+from repro.core.survey import RRSurvey
+from repro.probing.vantage import VantagePoint
+from repro.scenarios.internet import Scenario
+
+__all__ = ["ReversePathMeasurement", "measure_reverse_path", "reverse_coverage"]
+
+
+@dataclass
+class ReversePathMeasurement:
+    """One successful reverse-path observation."""
+
+    vp_name: str
+    dst: int
+    dest_slot: int
+    forward_hops: List[int] = field(default_factory=list)
+    reverse_hops: List[int] = field(default_factory=list)
+    forward_as_path: List[int] = field(default_factory=list)
+    reverse_as_path: List[int] = field(default_factory=list)
+
+    @property
+    def spare_slots_used(self) -> int:
+        return len(self.reverse_hops)
+
+    @property
+    def asymmetric(self) -> bool:
+        """True when the visible reverse ASes differ from the forward
+        ones — the routing asymmetry traceroute alone cannot see."""
+        return (
+            bool(self.reverse_as_path)
+            and self.reverse_as_path != list(reversed(self.forward_as_path))
+        )
+
+
+def measure_reverse_path(
+    scenario: Scenario,
+    vp: VantagePoint,
+    dst: int,
+    ip2as: Optional[Ip2As] = None,
+) -> Optional[ReversePathMeasurement]:
+    """Issue one ping-RR and decode forward/reverse hops from the reply.
+
+    Returns None when the destination did not respond, did not stamp
+    itself, or left no spare slots (beyond the nine-hop limit minus
+    one, i.e. farther than eight hops).
+    """
+    mapping = build_ip2as(scenario.table) if ip2as is None else ip2as
+    result = scenario.prober.ping_rr(vp, dst)
+    slot = result.dest_slot()
+    if not result.rr_responsive or slot is None:
+        return None
+    if slot > REVERSE_PATH_HOP_LIMIT:
+        return None
+    forward = result.forward_hops()
+    reverse = result.reverse_hops()
+    return ReversePathMeasurement(
+        vp_name=vp.name,
+        dst=dst,
+        dest_slot=slot,
+        forward_hops=forward,
+        reverse_hops=reverse,
+        forward_as_path=mapping.as_path_of(forward),
+        reverse_as_path=mapping.as_path_of(reverse),
+    )
+
+
+def reverse_coverage(
+    survey: RRSurvey, hop_limit: int = REVERSE_PATH_HOP_LIMIT
+) -> float:
+    """Fraction of RR-responsive destinations within the reverse-path
+    hop limit of some VP (§3.3's "~60% within eight hops")."""
+    responsive = eligible = 0
+    for index in range(len(survey.dests)):
+        if not survey.rr_responsive(index):
+            continue
+        responsive += 1
+        slot = survey.min_slot(index)
+        if slot is not None and slot <= hop_limit:
+            eligible += 1
+    return eligible / responsive if responsive else 0.0

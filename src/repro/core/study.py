@@ -1,0 +1,74 @@
+"""Full-study orchestration and shared-campaign caching.
+
+Several experiments read the same expensive artifact — the all-VPs RR
+survey plus the origin ping survey (§3.1's two studies). ``StudyData``
+bundles them with the scenario, and :func:`get_study` memoises by
+(preset, seed) so a test session or benchmark run probes each
+simulated Internet exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.survey import (
+    PingSurvey,
+    RRSurvey,
+    run_ping_survey,
+    run_rr_survey,
+)
+from repro.scenarios.internet import Scenario
+from repro.scenarios.presets import get_preset
+
+__all__ = ["StudyData", "run_full_study", "get_study", "clear_study_cache"]
+
+
+@dataclass
+class StudyData:
+    """One scenario's completed §3.1 measurement campaigns."""
+
+    scenario: Scenario
+    ping_survey: PingSurvey
+    rr_survey: RRSurvey
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+
+def run_full_study(scenario: Scenario) -> StudyData:
+    """Run both §3.1 studies against a scenario."""
+    ping_survey = run_ping_survey(scenario)
+    rr_survey = run_rr_survey(scenario)
+    return StudyData(
+        scenario=scenario, ping_survey=ping_survey, rr_survey=rr_survey
+    )
+
+
+_CACHE: Dict[Tuple[str, int], StudyData] = {}
+
+
+def get_study(
+    preset: str = "small",
+    seed: int = 2016,
+    factory: Optional[Callable[[], Scenario]] = None,
+) -> StudyData:
+    """Memoised full study for a preset scenario.
+
+    ``factory`` overrides preset lookup (still cached under
+    ``(preset, seed)``) for callers with custom scenarios.
+    """
+    key = (preset, seed)
+    cached = _CACHE.get(key)
+    if cached is None:
+        scenario = factory() if factory is not None else get_preset(
+            preset, seed
+        )
+        cached = run_full_study(scenario)
+        _CACHE[key] = cached
+    return cached
+
+
+def clear_study_cache() -> None:
+    _CACHE.clear()

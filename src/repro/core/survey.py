@@ -1,0 +1,304 @@
+"""The two measurement studies of §3.1.
+
+* The **ping survey**: three plain pings to every hitlist destination
+  from a single origin machine (the paper's USC host), defining
+  *ping-responsive*.
+* The **RR survey**: one ``ping-RR`` from every vantage point to every
+  destination at a paced 20 pps in per-VP random order, defining
+  *RR-responsive* (some VP got an Echo Reply with the option copied)
+  and *RR-reachable* (the destination's address appears in the RR
+  header — the paper's test, false negatives and all).
+
+:class:`RRSurvey` stores, per destination, a compact map from VP index
+to the destination's 1-based RR slot (or None when the destination
+address is absent from the header), plus any same-/24 addresses seen
+in RR headers (the §3.3 alias-candidate pool). All downstream analyses
+— Table 1, Figures 1/2, greedy VP selection, reclassification — read
+from this structure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.net.addr import parse_prefix, same_slash24
+from repro.probing.prober import DEFAULT_PPS
+from repro.probing.scheduler import ProbeOrder, order_destinations
+from repro.probing.vantage import Platform, VantagePoint
+from repro.scenarios.internet import Scenario
+from repro.topology.hitlist import Destination
+
+__all__ = [
+    "PingSurvey",
+    "RRSurvey",
+    "run_ping_survey",
+    "run_rr_survey",
+    "save_survey",
+    "load_survey",
+]
+
+
+@dataclass
+class PingSurvey:
+    """Plain-ping responsiveness from the origin host."""
+
+    origin_name: str
+    responsive: Dict[int, bool] = field(default_factory=dict)
+
+    def is_responsive(self, addr: int) -> bool:
+        return self.responsive.get(addr, False)
+
+    @property
+    def responsive_count(self) -> int:
+        return sum(1 for answered in self.responsive.values() if answered)
+
+
+@dataclass
+class RRSurvey:
+    """The all-VPs ping-RR matrix, in analysis-ready form."""
+
+    vps: List[VantagePoint]
+    dests: List[Destination]
+    #: Per destination: vp_index -> destination slot (1-based) for every
+    #: VP that received an RR-copying Echo Reply; None = dest absent.
+    responses: List[Dict[int, Optional[int]]] = field(default_factory=list)
+    #: Per destination: other same-/24 addresses seen in its RR replies.
+    inprefix_addrs: List[Set[int]] = field(default_factory=list)
+    rr_slots: int = 9
+
+    # -- indexing ---------------------------------------------------------
+
+    def index_of_addr(self, addr: int) -> int:
+        try:
+            return self._addr_index[addr]
+        except AttributeError:
+            self._addr_index = {
+                dest.addr: i for i, dest in enumerate(self.dests)
+            }
+            return self._addr_index[addr]
+
+    def vp_indices(
+        self,
+        platform: Optional[Platform] = None,
+        sites: Optional[Iterable[str]] = None,
+        names: Optional[Iterable[str]] = None,
+        include_filtered: bool = True,
+    ) -> List[int]:
+        """Select VP indices by platform, site, or name."""
+        wanted_sites = None if sites is None else set(sites)
+        wanted_names = None if names is None else set(names)
+        picked = []
+        for index, vp in enumerate(self.vps):
+            if platform is not None and vp.platform is not platform:
+                continue
+            if wanted_sites is not None and vp.site not in wanted_sites:
+                continue
+            if wanted_names is not None and vp.name not in wanted_names:
+                continue
+            if not include_filtered and vp.local_filtered:
+                continue
+            picked.append(index)
+        return picked
+
+    # -- per-destination views ------------------------------------------------
+
+    def rr_responsive(self, dest_index: int) -> bool:
+        """§3.1: at least one VP received an RR-copying Echo Reply."""
+        return bool(self.responses[dest_index])
+
+    def responding_vp_count(self, dest_index: int) -> int:
+        return len(self.responses[dest_index])
+
+    def min_slot(
+        self, dest_index: int, vp_indices: Optional[Sequence[int]] = None
+    ) -> Optional[int]:
+        """Closest-VP RR distance: the smallest slot the destination's
+        address occupies across the selected VPs (None = unreachable)."""
+        observed = self.responses[dest_index]
+        best: Optional[int] = None
+        indices = observed.keys() if vp_indices is None else vp_indices
+        for vp_index in indices:
+            slot = observed.get(vp_index)
+            if slot is not None and (best is None or slot < best):
+                best = slot
+        return best
+
+    def reachable(
+        self, dest_index: int, vp_indices: Optional[Sequence[int]] = None
+    ) -> bool:
+        return self.min_slot(dest_index, vp_indices) is not None
+
+    def slot_from_vp(self, dest_index: int, vp_index: int) -> Optional[int]:
+        return self.responses[dest_index].get(vp_index)
+
+    # -- aggregate views ---------------------------------------------------
+
+    def rr_responsive_indices(self) -> List[int]:
+        return [
+            index
+            for index in range(len(self.dests))
+            if self.responses[index]
+        ]
+
+    def reachable_indices(
+        self, vp_indices: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        return [
+            index
+            for index in range(len(self.dests))
+            if self.min_slot(index, vp_indices) is not None
+        ]
+
+    def reachable_from_vp(self, vp_index: int) -> List[int]:
+        """Destinations whose address this VP saw in an RR header."""
+        return [
+            index
+            for index in range(len(self.dests))
+            if self.responses[index].get(vp_index) is not None
+        ]
+
+
+def save_survey(survey: RRSurvey, path: Union[str, Path]) -> None:
+    """Persist a completed RR survey as JSON.
+
+    Campaigns are the expensive artifact; saving them lets analyses
+    (and future sessions) run without re-probing. Everything needed to
+    reconstruct the survey — VPs, destinations, per-destination
+    observations — is stored; the scenario itself is not (surveys are
+    measurement data, independent of the world that produced them).
+    """
+    record = {
+        "version": 1,
+        "rr_slots": survey.rr_slots,
+        "vps": [
+            {
+                "name": vp.name,
+                "site": vp.site,
+                "platform": vp.platform.value,
+                "asn": vp.asn,
+                "addr": vp.addr,
+                "local_filtered": vp.local_filtered,
+            }
+            for vp in survey.vps
+        ],
+        "dests": [
+            {
+                "addr": dest.addr,
+                "prefix": str(dest.prefix),
+                "asn": dest.asn,
+            }
+            for dest in survey.dests
+        ],
+        "responses": [
+            {str(vp_index): slot for vp_index, slot in observed.items()}
+            for observed in survey.responses
+        ],
+        "inprefix_addrs": [
+            sorted(addrs) for addrs in survey.inprefix_addrs
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(record, separators=(",", ":")), "utf-8"
+    )
+
+
+def load_survey(path: Union[str, Path]) -> RRSurvey:
+    """Load a survey previously written by :func:`save_survey`."""
+    record = json.loads(Path(path).read_text("utf-8"))
+    if record.get("version") != 1:
+        raise ValueError(
+            f"unsupported survey file version {record.get('version')!r}"
+        )
+    vps = [
+        VantagePoint(
+            name=vp["name"],
+            site=vp["site"],
+            platform=Platform(vp["platform"]),
+            asn=vp["asn"],
+            addr=vp["addr"],
+            local_filtered=vp["local_filtered"],
+        )
+        for vp in record["vps"]
+    ]
+    dests = [
+        Destination(
+            addr=dest["addr"],
+            prefix=parse_prefix(dest["prefix"]),
+            asn=dest["asn"],
+        )
+        for dest in record["dests"]
+    ]
+    return RRSurvey(
+        vps=vps,
+        dests=dests,
+        responses=[
+            {int(vp_index): slot for vp_index, slot in observed.items()}
+            for observed in record["responses"]
+        ],
+        inprefix_addrs=[set(addrs) for addrs in record["inprefix_addrs"]],
+        rr_slots=record["rr_slots"],
+    )
+
+
+def run_ping_survey(
+    scenario: Scenario,
+    dests: Optional[Sequence[Destination]] = None,
+    count: int = 3,
+    pps: float = DEFAULT_PPS,
+) -> PingSurvey:
+    """The origin-host plain-ping study (§3.1's second study)."""
+    if scenario.origin is None:
+        raise ValueError("scenario has no origin vantage point")
+    targets = list(scenario.hitlist) if dests is None else list(dests)
+    survey = PingSurvey(origin_name=scenario.origin.name)
+    for dest in targets:
+        result = scenario.prober.ping(
+            scenario.origin, dest.addr, count=count, pps=pps
+        )
+        survey.responsive[dest.addr] = result.responded
+    return survey
+
+
+def run_rr_survey(
+    scenario: Scenario,
+    dests: Optional[Sequence[Destination]] = None,
+    vps: Optional[Sequence[VantagePoint]] = None,
+    pps: float = DEFAULT_PPS,
+    order: ProbeOrder = ProbeOrder.RANDOM,
+    slots: int = 9,
+) -> RRSurvey:
+    """The all-VPs ping-RR study (§3.1's first study).
+
+    Every VP (locally-filtered ones included — they simply never
+    answer, as in the real study) probes every destination once, in
+    its own random order, at ``pps``.
+    """
+    targets = list(scenario.hitlist) if dests is None else list(dests)
+    vp_list = list(scenario.vps) if vps is None else list(vps)
+    survey = RRSurvey(
+        vps=vp_list,
+        dests=targets,
+        responses=[{} for _ in targets],
+        inprefix_addrs=[set() for _ in targets],
+        rr_slots=slots,
+    )
+    position = {dest.addr: index for index, dest in enumerate(targets)}
+    for vp_index, vp in enumerate(vp_list):
+        ordered = order_destinations(
+            targets, order, seed=scenario.seed, salt=vp.name
+        )
+        for dest in ordered:
+            result = scenario.prober.ping_rr(
+                vp, dest.addr, slots=slots, pps=pps
+            )
+            if not result.rr_responsive:
+                continue
+            dest_index = position[dest.addr]
+            survey.responses[dest_index][vp_index] = result.dest_slot()
+            for addr in result.rr_hops:
+                if addr != dest.addr and same_slash24(addr, dest.addr):
+                    survey.inprefix_addrs[dest_index].add(addr)
+    return survey

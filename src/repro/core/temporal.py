@@ -1,0 +1,105 @@
+"""§3.4 / Figure 2: has reachability changed between 2011 and 2016?
+
+Runs the RR survey against two scenario "eras" and compares the
+closest-VP distance CDFs, both for each era's full VP set and for the
+*common* VPs — sites (by name) present in both years — which is how
+the paper separates "we have more/better VPs now" from "individual VPs
+are closer than they used to be".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.reachability import figure_series, fraction_reachable
+from repro.core.survey import RRSurvey
+
+__all__ = ["Figure2", "build_figure2", "common_sites"]
+
+
+def common_sites(early: RRSurvey, late: RRSurvey) -> List[str]:
+    """Site names present in both surveys' VP sets (platform-qualified).
+
+    Sites are compared as ``(platform, site)`` so an M-Lab 'nyc' does
+    not match a PlanetLab 'nyc'.
+    """
+    def keys(survey: RRSurvey) -> set:
+        return {(vp.platform, vp.site) for vp in survey.vps}
+
+    shared = keys(early) & keys(late)
+    return sorted(site for _platform, site in shared)
+
+
+def _common_vp_indices(survey: RRSurvey, shared: set) -> List[int]:
+    return [
+        index
+        for index, vp in enumerate(survey.vps)
+        if (vp.platform, vp.site) in shared
+    ]
+
+
+@dataclass
+class Figure2:
+    """The four Figure 2 series plus headline reachable fractions."""
+
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    reachable_2016_all: float = 0.0
+    reachable_2011_all: float = 0.0
+    reachable_2016_common: float = 0.0
+    reachable_2011_common: float = 0.0
+    common_site_count: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "Figure 2 — RR hops from closest VP, 2011 vs 2016 (CDF):",
+        ]
+        xs = [x for x, _y in next(iter(self.series.values()))]
+        lines.append("hops:".rjust(22) + "".join(f"{x:>7}" for x in xs))
+        for label, series in self.series.items():
+            lines.append(
+                f"{label:>21} " + "".join(f"{y:7.3f}" for _x, y in series)
+            )
+        lines.append(
+            f"RR-reachable fraction: 2011 all-VPs "
+            f"{self.reachable_2011_all:.2f} -> 2016 all-VPs "
+            f"{self.reachable_2016_all:.2f}; common VPs "
+            f"({self.common_site_count} sites) "
+            f"{self.reachable_2011_common:.2f} -> "
+            f"{self.reachable_2016_common:.2f}"
+        )
+        return "\n".join(lines)
+
+
+def build_figure2(
+    survey_2011: RRSurvey, survey_2016: RRSurvey, max_hops: int = 9
+) -> Figure2:
+    """Figure 2 from the two eras' RR surveys."""
+    shared = {
+        (vp.platform, vp.site) for vp in survey_2011.vps
+    } & {(vp.platform, vp.site) for vp in survey_2016.vps}
+    common_2011 = _common_vp_indices(survey_2011, shared)
+    common_2016 = _common_vp_indices(survey_2016, shared)
+
+    figure = Figure2(common_site_count=len(shared))
+    figure.series["2016 all VPs"] = figure_series(
+        survey_2016, None, max_hops
+    )
+    figure.series["2016 common VPs"] = figure_series(
+        survey_2016, common_2016, max_hops
+    )
+    figure.series["2011 all VPs"] = figure_series(
+        survey_2011, None, max_hops
+    )
+    figure.series["2011 common VPs"] = figure_series(
+        survey_2011, common_2011, max_hops
+    )
+    figure.reachable_2016_all = fraction_reachable(survey_2016)
+    figure.reachable_2011_all = fraction_reachable(survey_2011)
+    figure.reachable_2016_common = fraction_reachable(
+        survey_2016, common_2016
+    )
+    figure.reachable_2011_common = fraction_reachable(
+        survey_2011, common_2011
+    )
+    return figure

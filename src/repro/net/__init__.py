@@ -1,0 +1,83 @@
+"""IPv4 wire-format substrate: addresses, options, packets, ICMP, UDP."""
+
+from repro.net.addr import (
+    IPv4Address,
+    Prefix,
+    addr_to_int,
+    int_to_addr,
+    parse_prefix,
+    prefix_of,
+    same_slash24,
+)
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.icmp import (
+    CODE_PORT_UNREACH,
+    CODE_TTL_EXCEEDED,
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    IcmpEcho,
+    IcmpError,
+)
+from repro.net.options import (
+    IPOPT_EOL,
+    IPOPT_NOP,
+    IPOPT_RR,
+    RR_MAX_SLOTS,
+    OptionDecodeError,
+    RecordRouteOption,
+    decode_options,
+    encode_options,
+)
+from repro.net.packet import (
+    DEFAULT_TTL,
+    PROTO_ICMP,
+    PROTO_UDP,
+    IPv4Packet,
+    PacketDecodeError,
+)
+from repro.net.timestamp import (
+    IPOPT_TS,
+    TimestampOption,
+    TsFlag,
+)
+from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "addr_to_int",
+    "int_to_addr",
+    "parse_prefix",
+    "prefix_of",
+    "same_slash24",
+    "internet_checksum",
+    "verify_checksum",
+    "IcmpEcho",
+    "IcmpError",
+    "ICMP_ECHO_REQUEST",
+    "ICMP_ECHO_REPLY",
+    "ICMP_TIME_EXCEEDED",
+    "ICMP_DEST_UNREACH",
+    "CODE_TTL_EXCEEDED",
+    "CODE_PORT_UNREACH",
+    "RecordRouteOption",
+    "RR_MAX_SLOTS",
+    "IPOPT_RR",
+    "IPOPT_NOP",
+    "IPOPT_EOL",
+    "OptionDecodeError",
+    "decode_options",
+    "encode_options",
+    "IPv4Packet",
+    "PacketDecodeError",
+    "PROTO_ICMP",
+    "PROTO_UDP",
+    "DEFAULT_TTL",
+    "UdpDatagram",
+    "HIGH_PORT_FLOOR",
+    "IPOPT_TS",
+    "TimestampOption",
+    "TsFlag",
+]

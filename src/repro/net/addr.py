@@ -1,0 +1,189 @@
+"""IPv4 addresses and prefixes.
+
+The whole repository manipulates addresses as plain ``int`` values in the
+range ``[0, 2**32)`` for speed, and uses :class:`IPv4Address` /
+:class:`Prefix` wrappers at API boundaries where readability matters.
+Millions of addresses flow through the simulator, so the hot paths
+(longest-prefix match, hitlist generation) stay on raw integers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "addr_to_int",
+    "int_to_addr",
+    "parse_prefix",
+    "prefix_of",
+    "same_slash24",
+]
+
+_DOTTED_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+MAX_ADDR = (1 << 32) - 1
+
+
+def addr_to_int(text: str) -> int:
+    """Parse dotted-quad ``text`` into an integer address.
+
+    >>> addr_to_int("10.0.0.1")
+    167772161
+    """
+    match = _DOTTED_RE.match(text)
+    if match is None:
+        raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for octet_text in match.groups():
+        octet = int(octet_text)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_addr(value: int) -> str:
+    """Format integer ``value`` as a dotted quad.
+
+    >>> int_to_addr(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_ADDR:
+        raise ValueError(f"address out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def prefix_of(value: int, length: int) -> int:
+    """Return the network base of ``value`` under a ``length``-bit mask."""
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    mask = (MAX_ADDR << (32 - length)) & MAX_ADDR
+    return value & mask
+
+
+def same_slash24(a: int, b: int) -> bool:
+    """True if integer addresses ``a`` and ``b`` share a /24.
+
+    The paper's §3.6 equates destinations in the same /24 because they
+    "generally share similar paths from a vantage point".
+    """
+    return (a >> 8) == (b >> 8)
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A single IPv4 address, hashable and ordered by numeric value."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= MAX_ADDR:
+            raise ValueError(f"address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        return cls(addr_to_int(text))
+
+    def __str__(self) -> str:
+        return int_to_addr(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Address":
+        if len(data) != 4:
+            raise ValueError(f"expected 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix (network base + mask length).
+
+    Instances are normalised: host bits below the mask must be zero.
+    """
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if prefix_of(self.base, self.length) != self.base:
+            raise ValueError(
+                f"host bits set in prefix base: "
+                f"{int_to_addr(self.base)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        return parse_prefix(text)
+
+    @classmethod
+    def containing(cls, addr: int, length: int) -> "Prefix":
+        """The ``length``-bit prefix containing integer address ``addr``."""
+        return cls(prefix_of(addr, length), length)
+
+    def __str__(self) -> str:
+        return f"{int_to_addr(self.base)}/{self.length}"
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.length)
+
+    @property
+    def last(self) -> int:
+        """Highest address inside the prefix."""
+        return self.base + self.num_addresses - 1
+
+    def __contains__(self, addr: object) -> bool:
+        if isinstance(addr, IPv4Address):
+            addr = addr.value
+        if not isinstance(addr, int):
+            return NotImplemented  # type: ignore[return-value]
+        return prefix_of(addr, self.length) == self.base
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or nested inside this prefix."""
+        return (
+            other.length >= self.length
+            and prefix_of(other.base, self.length) == self.base
+        )
+
+    def addresses(self) -> Iterator[int]:
+        """Iterate every integer address in the prefix (use with care)."""
+        return iter(range(self.base, self.base + self.num_addresses))
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Iterate the ``new_length``-bit subnets of this prefix."""
+        if new_length < self.length:
+            raise ValueError(
+                f"cannot subnet /{self.length} into larger /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        for base in range(self.base, self.base + self.num_addresses, step):
+            yield Prefix(base, new_length)
+
+
+def parse_prefix(text: str) -> Prefix:
+    """Parse ``"a.b.c.d/len"`` into a :class:`Prefix`.
+
+    >>> str(parse_prefix("192.0.2.0/24"))
+    '192.0.2.0/24'
+    """
+    addr_text, sep, length_text = text.partition("/")
+    if not sep:
+        raise ValueError(f"missing '/length' in prefix: {text!r}")
+    return Prefix(addr_to_int(addr_text), int(length_text))

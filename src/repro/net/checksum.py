@@ -1,0 +1,38 @@
+"""The Internet checksum (RFC 1071).
+
+Used by the IPv4 header, ICMP messages, and (optionally) UDP. Implemented
+as the classic ones'-complement sum over 16-bit words with end-around
+carry folding.
+"""
+
+from __future__ import annotations
+
+__all__ = ["internet_checksum", "verify_checksum"]
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit Internet checksum of ``data``.
+
+    Odd-length input is implicitly padded with a zero byte, per RFC 1071.
+    The returned value is the ones' complement of the ones'-complement sum,
+    ready to be written into a header's checksum field.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    # Fold 32-bit sum into 16 bits with end-around carry.
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (including its embedded checksum field) verifies.
+
+    A correct RFC 1071 checksum makes the ones'-complement sum of the
+    whole datagram equal ``0xFFFF``, i.e. :func:`internet_checksum`
+    over it returns zero.
+    """
+    return internet_checksum(data) == 0

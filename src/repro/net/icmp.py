@@ -1,0 +1,213 @@
+"""ICMP message wire formats and quoting semantics.
+
+Covers the four message kinds the paper's methodology depends on:
+
+* Echo Request / Echo Reply — the ``ping`` and ``ping-RR`` probes. Per
+  RFC 792 the replying host copies the request's identifier, sequence
+  number, and data; per RFC 791/1122 it also copies the Record Route
+  option into its reply header (that copy is what makes ``ping-RR``
+  measure round-trip paths).
+* Time Exceeded (TTL) — emitted by routers when a probe's TTL expires;
+  the quoted offending header is how §4.2's TTL-limited ``ping-RR``
+  recovers the RR contents.
+* Destination Unreachable (port) — triggered by ``ping-RRudp`` probes to
+  high UDP ports; the quoted header exposes RR slots at the destination
+  even when it does not honor RR (§3.3).
+
+Error messages quote the offending packet: RFC 792 mandates the IP header
+(including options) plus at least eight payload bytes, and RFC 1812
+encourages more; quoting behaviour is configurable per device, mirroring
+the diversity measured by Malone & Luckie [16].
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.checksum import internet_checksum
+from repro.net.packet import IPv4Packet, PacketDecodeError
+
+__all__ = [
+    "ICMP_ECHO_REPLY",
+    "ICMP_DEST_UNREACH",
+    "ICMP_ECHO_REQUEST",
+    "ICMP_TIME_EXCEEDED",
+    "CODE_PORT_UNREACH",
+    "CODE_TTL_EXCEEDED",
+    "IcmpDecodeError",
+    "IcmpEcho",
+    "IcmpError",
+    "build_quote",
+]
+
+ICMP_ECHO_REPLY = 0
+ICMP_DEST_UNREACH = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+CODE_PORT_UNREACH = 3
+CODE_TTL_EXCEEDED = 0
+
+_ECHO_HEADER = struct.Struct("!BBHHH")
+_ERROR_HEADER = struct.Struct("!BBHI")
+
+#: RFC 792's minimum quoted payload: IP header + 8 bytes.
+MIN_QUOTE_PAYLOAD_BYTES = 8
+
+
+class IcmpDecodeError(ValueError):
+    """Raised when ICMP bytes cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class IcmpEcho:
+    """An ICMP Echo Request or Echo Reply."""
+
+    kind: int  # ICMP_ECHO_REQUEST or ICMP_ECHO_REPLY
+    ident: int
+    seq: int
+    data: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+            raise ValueError(f"not an echo type: {self.kind}")
+
+    @property
+    def is_request(self) -> bool:
+        return self.kind == ICMP_ECHO_REQUEST
+
+    def reply(self) -> "IcmpEcho":
+        """The Echo Reply a conforming host generates for this request."""
+        if not self.is_request:
+            raise ValueError("can only reply to an Echo Request")
+        return IcmpEcho(ICMP_ECHO_REPLY, self.ident, self.seq, self.data)
+
+    def to_bytes(self) -> bytes:
+        header = bytearray(
+            _ECHO_HEADER.pack(self.kind, 0, 0, self.ident, self.seq)
+        )
+        message = bytes(header) + self.data
+        checksum = internet_checksum(message)
+        return (
+            message[:2] + checksum.to_bytes(2, "big") + message[4:]
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes, verify: bool = True) -> "IcmpEcho":
+        if len(data) < _ECHO_HEADER.size:
+            raise IcmpDecodeError("short ICMP echo")
+        kind, code, _checksum, ident, seq = _ECHO_HEADER.unpack_from(data)
+        if kind not in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+            raise IcmpDecodeError(f"not an echo type: {kind}")
+        if code != 0:
+            raise IcmpDecodeError(f"bad echo code {code}")
+        if verify and internet_checksum(data) != 0:
+            raise IcmpDecodeError("ICMP checksum mismatch")
+        return cls(kind, ident, seq, data[_ECHO_HEADER.size :])
+
+
+def build_quote(offending: IPv4Packet, payload_bytes: int) -> bytes:
+    """Serialize the quote an error message carries for ``offending``.
+
+    The quote is the full IP header *including options* — which is what
+    lets a probing source read back RR contents from expired or rejected
+    probes — followed by up to ``payload_bytes`` of the offending payload.
+    """
+    if payload_bytes < MIN_QUOTE_PAYLOAD_BYTES:
+        raise ValueError(
+            f"quotes must include at least {MIN_QUOTE_PAYLOAD_BYTES} "
+            f"payload bytes (got {payload_bytes})"
+        )
+    wire = offending.to_bytes()
+    header_len = offending.header_length
+    return wire[: header_len + min(payload_bytes, len(offending.payload))]
+
+
+@dataclass(frozen=True)
+class IcmpError:
+    """An ICMP error (Time Exceeded or Destination Unreachable).
+
+    ``quote`` holds the quoted offending datagram bytes (IP header with
+    options plus leading payload bytes).
+    """
+
+    kind: int
+    code: int
+    quote: bytes
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ICMP_TIME_EXCEEDED, ICMP_DEST_UNREACH):
+            raise ValueError(f"not an error type: {self.kind}")
+
+    @classmethod
+    def time_exceeded(
+        cls, offending: IPv4Packet, payload_bytes: int = MIN_QUOTE_PAYLOAD_BYTES
+    ) -> "IcmpError":
+        return cls(
+            ICMP_TIME_EXCEEDED,
+            CODE_TTL_EXCEEDED,
+            build_quote(offending, payload_bytes),
+        )
+
+    @classmethod
+    def port_unreachable(
+        cls, offending: IPv4Packet, payload_bytes: int = MIN_QUOTE_PAYLOAD_BYTES
+    ) -> "IcmpError":
+        return cls(
+            ICMP_DEST_UNREACH,
+            CODE_PORT_UNREACH,
+            build_quote(offending, payload_bytes),
+        )
+
+    def quoted_packet(self) -> Optional[IPv4Packet]:
+        """Parse the quoted offending datagram, or None if unparseable.
+
+        Real quotes are frequently truncated below the quoted packet's
+        claimed total length, so parsing tolerates a short payload by
+        padding (the IP header itself must be intact).
+        """
+        quote = self.quote
+        if len(quote) < 20:
+            return None
+        claimed = int.from_bytes(quote[2:4], "big")
+        if claimed > len(quote):
+            quote = quote + b"\x00" * (claimed - len(quote))
+        try:
+            return IPv4Packet.from_bytes(quote, verify=False)
+        except PacketDecodeError:
+            return None
+
+    def to_bytes(self) -> bytes:
+        header = _ERROR_HEADER.pack(self.kind, self.code, 0, 0)
+        message = header + self.quote
+        checksum = internet_checksum(message)
+        return message[:2] + checksum.to_bytes(2, "big") + message[4:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes, verify: bool = True) -> "IcmpError":
+        if len(data) < _ERROR_HEADER.size:
+            raise IcmpDecodeError("short ICMP error")
+        kind, code, _checksum, _unused = _ERROR_HEADER.unpack_from(data)
+        if kind not in (ICMP_TIME_EXCEEDED, ICMP_DEST_UNREACH):
+            raise IcmpDecodeError(f"not an error type: {kind}")
+        if verify and internet_checksum(data) != 0:
+            raise IcmpDecodeError("ICMP checksum mismatch")
+        return cls(kind, code, data[_ERROR_HEADER.size :])
+
+
+def parse_icmp(data: bytes, verify: bool = True) -> Tuple[int, object]:
+    """Parse ICMP bytes into ``(type, message)``.
+
+    ``message`` is an :class:`IcmpEcho` or :class:`IcmpError` depending on
+    the type byte.
+    """
+    if not data:
+        raise IcmpDecodeError("empty ICMP message")
+    kind = data[0]
+    if kind in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+        return kind, IcmpEcho.from_bytes(data, verify=verify)
+    if kind in (ICMP_TIME_EXCEEDED, ICMP_DEST_UNREACH):
+        return kind, IcmpError.from_bytes(data, verify=verify)
+    raise IcmpDecodeError(f"unsupported ICMP type {kind}")

@@ -1,0 +1,222 @@
+"""IPv4 options wire format, centred on Record Route (RFC 791 §3.1).
+
+The Record Route (RR) option is laid out as::
+
+    +--------+--------+--------+---------//--------+
+    |00000111| length | pointer|     route data    |
+    +--------+--------+--------+---------//--------+
+      type=7
+
+``pointer`` is 1-based relative to the start of the option and points at
+the next free four-octet slot; it starts at 4 (the first slot) and a
+router with an address to record writes it at ``pointer`` and advances
+``pointer`` by 4. When ``pointer > length`` the option is full and
+routers forward the packet without recording (RFC 791: "If the route
+data area is already full ... the datagram is forwarded without
+inserting the address").
+
+The IPv4 options area is capped at 40 bytes, so an RR option can hold at
+most ``(40 - 3) // 4 = 9`` addresses — the paper's "nine hop limit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.net.addr import int_to_addr
+
+__all__ = [
+    "IPOPT_EOL",
+    "IPOPT_NOP",
+    "IPOPT_RR",
+    "MAX_OPTIONS_BYTES",
+    "RR_MAX_SLOTS",
+    "OptionDecodeError",
+    "RecordRouteOption",
+    "decode_options",
+    "encode_options",
+    "register_option_decoder",
+]
+
+IPOPT_EOL = 0  # End of Option List
+IPOPT_NOP = 1  # No Operation
+IPOPT_RR = 7  # Record Route
+
+MAX_OPTIONS_BYTES = 40
+RR_MAX_SLOTS = 9
+
+# Smallest legal RR: type + length + pointer, zero slots.
+_RR_HEADER_BYTES = 3
+
+
+class OptionDecodeError(ValueError):
+    """Raised when an options area cannot be parsed."""
+
+
+@dataclass
+class RecordRouteOption:
+    """A mutable in-flight Record Route option.
+
+    Attributes:
+        slots: total number of four-octet address slots allocated.
+        recorded: integer addresses stamped so far, in stamping order.
+    """
+
+    slots: int = RR_MAX_SLOTS
+    recorded: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.slots <= RR_MAX_SLOTS:
+            raise ValueError(
+                f"RR slots must be in [1, {RR_MAX_SLOTS}], got {self.slots}"
+            )
+        if len(self.recorded) > self.slots:
+            raise ValueError("more recorded addresses than slots")
+
+    # -- semantics ---------------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Number of free slots left."""
+        return self.slots - len(self.recorded)
+
+    @property
+    def full(self) -> bool:
+        return self.remaining == 0
+
+    def stamp(self, addr: int) -> bool:
+        """Record ``addr`` if a slot is free.
+
+        Returns True if the address was recorded; False if the option was
+        already full (the packet is forwarded unmodified in that case).
+        """
+        if self.full:
+            return False
+        self.recorded.append(addr)
+        return True
+
+    def copy(self) -> "RecordRouteOption":
+        return RecordRouteOption(self.slots, list(self.recorded))
+
+    # -- wire format -------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """On-the-wire option length byte (header + all slots)."""
+        return _RR_HEADER_BYTES + 4 * self.slots
+
+    @property
+    def pointer(self) -> int:
+        """On-the-wire pointer byte (1-based offset of next free slot)."""
+        return _RR_HEADER_BYTES + 1 + 4 * len(self.recorded)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out.append(IPOPT_RR)
+        out.append(self.length)
+        out.append(self.pointer)
+        for addr in self.recorded:
+            out += addr.to_bytes(4, "big")
+        out += b"\x00" * (4 * self.remaining)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RecordRouteOption":
+        """Decode a single RR option from ``data`` (exactly the option)."""
+        if len(data) < _RR_HEADER_BYTES:
+            raise OptionDecodeError("RR option shorter than 3 bytes")
+        if data[0] != IPOPT_RR:
+            raise OptionDecodeError(f"not an RR option (type {data[0]})")
+        length, pointer = data[1], data[2]
+        if length != len(data):
+            raise OptionDecodeError(
+                f"RR length byte {length} != option size {len(data)}"
+            )
+        route_bytes = length - _RR_HEADER_BYTES
+        if route_bytes % 4:
+            raise OptionDecodeError("RR route data not a multiple of 4")
+        slots = route_bytes // 4
+        if not 1 <= slots <= RR_MAX_SLOTS:
+            raise OptionDecodeError(f"RR slot count {slots} out of range")
+        if pointer < _RR_HEADER_BYTES + 1 or (pointer - 4) % 4:
+            raise OptionDecodeError(f"bad RR pointer {pointer}")
+        used = (pointer - (_RR_HEADER_BYTES + 1)) // 4
+        if used > slots:
+            raise OptionDecodeError("RR pointer beyond allocated slots")
+        recorded = [
+            int.from_bytes(data[3 + 4 * i : 7 + 4 * i], "big")
+            for i in range(used)
+        ]
+        return cls(slots=slots, recorded=recorded)
+
+    def __str__(self) -> str:
+        hops = ", ".join(int_to_addr(a) for a in self.recorded)
+        return f"RR({len(self.recorded)}/{self.slots}: [{hops}])"
+
+
+#: Decoders for option kinds beyond Record Route, registered by their
+#: implementing modules (e.g. :mod:`repro.net.timestamp`) so this
+#: module stays dependency-free.
+_EXTRA_DECODERS = {}
+
+
+def register_option_decoder(kind: int, decoder) -> None:
+    """Register ``decoder(bytes) -> option`` for option type ``kind``."""
+    if kind in (IPOPT_EOL, IPOPT_NOP, IPOPT_RR):
+        raise ValueError(f"option kind {kind} is built in")
+    _EXTRA_DECODERS[kind] = decoder
+
+
+def encode_options(options: Sequence[RecordRouteOption]) -> bytes:
+    """Encode an options list into a padded IPv4 options area.
+
+    The area is padded with EOL to a multiple of four bytes as required by
+    the IHL field's word granularity. Raises :class:`OptionDecodeError` if
+    the encoded area would exceed 40 bytes.
+    """
+    out = bytearray()
+    for option in options:
+        out += option.to_bytes()
+    if len(out) > MAX_OPTIONS_BYTES:
+        raise OptionDecodeError(
+            f"options area {len(out)} bytes exceeds {MAX_OPTIONS_BYTES}"
+        )
+    while len(out) % 4:
+        out.append(IPOPT_EOL)
+    return bytes(out)
+
+
+def decode_options(data: bytes) -> List[RecordRouteOption]:
+    """Decode an IPv4 options area into its known options.
+
+    Record Route decodes natively; other kinds (e.g. Timestamp) decode
+    through registered decoders. NOP and EOL are consumed as padding;
+    EOL terminates parsing. Unknown options with a valid length byte
+    are skipped (routers must ignore options they do not implement);
+    malformed areas raise :class:`OptionDecodeError`.
+    """
+    if len(data) > MAX_OPTIONS_BYTES:
+        raise OptionDecodeError(
+            f"options area {len(data)} bytes exceeds {MAX_OPTIONS_BYTES}"
+        )
+    found: List[RecordRouteOption] = []
+    i = 0
+    while i < len(data):
+        kind = data[i]
+        if kind == IPOPT_EOL:
+            break
+        if kind == IPOPT_NOP:
+            i += 1
+            continue
+        if i + 2 > len(data):
+            raise OptionDecodeError("truncated option header")
+        length = data[i + 1]
+        if length < 2 or i + length > len(data):
+            raise OptionDecodeError(f"bad option length {length}")
+        if kind == IPOPT_RR:
+            found.append(RecordRouteOption.from_bytes(data[i : i + length]))
+        elif kind in _EXTRA_DECODERS:
+            found.append(_EXTRA_DECODERS[kind](data[i : i + length]))
+        i += length
+    return found

@@ -1,0 +1,198 @@
+"""IPv4 packet model with full wire-format round-tripping.
+
+The simulator mostly walks :class:`IPv4Packet` objects directly (parsing
+bytes at every hop would be needless work), but the prober layer encodes
+and decodes real packet bytes at the edges — exactly where scamper would
+— so the wire format is exercised on every measurement.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.net.addr import int_to_addr
+from repro.net.checksum import internet_checksum
+from repro.net.options import (
+    MAX_OPTIONS_BYTES,
+    OptionDecodeError,
+    RecordRouteOption,
+    decode_options,
+    encode_options,
+)
+# Importing repro.net.timestamp registers its option decoder, so any
+# packet parsed through this module understands TS options too.
+from repro.net.timestamp import TimestampOption
+
+__all__ = [
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "DEFAULT_TTL",
+    "PacketDecodeError",
+    "IPv4Packet",
+]
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: The conventional default initial TTL used by the paper's probes (§4.2).
+DEFAULT_TTL = 64
+
+_BASE_HEADER = struct.Struct("!BBHHHBBHII")
+_BASE_HEADER_BYTES = 20
+
+
+class PacketDecodeError(ValueError):
+    """Raised when packet bytes cannot be parsed."""
+
+
+@dataclass
+class IPv4Packet:
+    """An IPv4 packet: header fields, options, and an opaque payload.
+
+    ``src`` and ``dst`` are integer addresses. ``options`` holds decoded
+    Record Route options (this repository needs no others). ``payload``
+    carries the encoded transport message (ICMP or UDP bytes).
+    """
+
+    src: int
+    dst: int
+    proto: int = PROTO_ICMP
+    ttl: int = DEFAULT_TTL
+    ident: int = 0
+    tos: int = 0
+    flags: int = 0
+    frag_offset: int = 0
+    options: List[RecordRouteOption] = field(default_factory=list)
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+        if not 0 <= self.ident <= 0xFFFF:
+            raise ValueError(f"IP ID out of range: {self.ident}")
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def record_route(self) -> Optional[RecordRouteOption]:
+        """The packet's Record Route option, if any (first one wins)."""
+        for option in self.options:
+            if isinstance(option, RecordRouteOption):
+                return option
+        return None
+
+    @property
+    def timestamp_option(self) -> Optional["TimestampOption"]:
+        """The packet's Timestamp option, if any (first one wins)."""
+        for option in self.options:
+            if isinstance(option, TimestampOption):
+                return option
+        return None
+
+    @property
+    def has_options(self) -> bool:
+        return bool(self.options)
+
+    def copy(self) -> "IPv4Packet":
+        return replace(
+            self,
+            options=[opt.copy() for opt in self.options],
+        )
+
+    @property
+    def header_length(self) -> int:
+        """Header size in bytes, including the padded options area."""
+        options_len = len(encode_options(self.options))
+        return _BASE_HEADER_BYTES + options_len
+
+    @property
+    def total_length(self) -> int:
+        return self.header_length + len(self.payload)
+
+    # -- wire format -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a correct IHL, total length, and checksum."""
+        options_area = encode_options(self.options)
+        ihl_words = (_BASE_HEADER_BYTES + len(options_area)) // 4
+        if ihl_words > 15:
+            raise OptionDecodeError("header exceeds maximum IHL")
+        version_ihl = (4 << 4) | ihl_words
+        flags_frag = ((self.flags & 0x7) << 13) | (self.frag_offset & 0x1FFF)
+        header = bytearray(
+            _BASE_HEADER.pack(
+                version_ihl,
+                self.tos,
+                self.total_length,
+                self.ident,
+                flags_frag,
+                self.ttl,
+                self.proto,
+                0,  # checksum placeholder
+                self.src,
+                self.dst,
+            )
+        )
+        header += options_area
+        checksum = internet_checksum(bytes(header))
+        header[10:12] = checksum.to_bytes(2, "big")
+        return bytes(header) + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes, verify: bool = True) -> "IPv4Packet":
+        """Parse packet bytes; raises :class:`PacketDecodeError` on junk."""
+        if len(data) < _BASE_HEADER_BYTES:
+            raise PacketDecodeError(f"short packet ({len(data)} bytes)")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            ident,
+            flags_frag,
+            ttl,
+            proto,
+            checksum,
+            src,
+            dst,
+        ) = _BASE_HEADER.unpack_from(data)
+        version = version_ihl >> 4
+        if version != 4:
+            raise PacketDecodeError(f"not IPv4 (version {version})")
+        header_len = (version_ihl & 0xF) * 4
+        if header_len < _BASE_HEADER_BYTES or header_len > len(data):
+            raise PacketDecodeError(f"bad IHL ({header_len} bytes)")
+        if total_length < header_len or total_length > len(data):
+            raise PacketDecodeError(f"bad total length {total_length}")
+        if verify and internet_checksum(data[:header_len]) != 0:
+            raise PacketDecodeError("header checksum mismatch")
+        options_area = data[_BASE_HEADER_BYTES:header_len]
+        if len(options_area) > MAX_OPTIONS_BYTES:
+            raise PacketDecodeError("options area too large")
+        try:
+            options = decode_options(options_area)
+        except OptionDecodeError as exc:
+            raise PacketDecodeError(f"bad options area: {exc}") from exc
+        return cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            ttl=ttl,
+            ident=ident,
+            tos=tos,
+            flags=(flags_frag >> 13) & 0x7,
+            frag_offset=flags_frag & 0x1FFF,
+            options=options,
+            payload=data[header_len:total_length],
+        )
+
+    def __str__(self) -> str:
+        rr = self.record_route
+        rr_text = f" {rr}" if rr is not None else ""
+        return (
+            f"IPv4({int_to_addr(self.src)} -> {int_to_addr(self.dst)} "
+            f"proto={self.proto} ttl={self.ttl}{rr_text})"
+        )

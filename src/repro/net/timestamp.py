@@ -1,0 +1,265 @@
+"""The IP Timestamp option (RFC 791 §3.1, option type 68).
+
+The paper's companion systems use Timestamp alongside Record Route:
+reverse traceroute [11] issues *prespecified* timestamp probes to test
+whether specific routers sit on a path, and "Measuring Networks Using
+IP Options" [17] surveys both options as measurement primitives. This
+module implements the full wire format so the prober can issue
+``ping-TS`` probes as an extension experiment:
+
+* flag 0 (``TS_ONLY``) — consecutive 32-bit timestamps only: up to
+  nine per option (same 40-byte budget arithmetic as RR... actually
+  ``(40-4)//4 = 9``);
+* flag 1 (``TS_ADDR``) — (address, timestamp) pairs: up to four;
+* flag 3 (``TS_PRESPEC``) — sender-prespecified addresses; only the
+  named routers fill in their timestamp slot.
+
+The ``overflow`` nibble counts devices that wanted to stamp but found
+the option full — a quirk RR does not have.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net.addr import int_to_addr
+from repro.net.options import OptionDecodeError, register_option_decoder
+
+__all__ = [
+    "IPOPT_TS",
+    "TsFlag",
+    "TimestampOption",
+    "MAX_TS_ONLY_SLOTS",
+    "MAX_TS_ADDR_SLOTS",
+]
+
+IPOPT_TS = 68
+
+#: Milliseconds since midnight UT, per RFC 791.
+_MS_MOD = 1 << 32
+
+_HEADER_BYTES = 4  # type, length, pointer, overflow|flags
+
+MAX_TS_ONLY_SLOTS = 9
+MAX_TS_ADDR_SLOTS = 4
+
+
+class TsFlag(enum.IntEnum):
+    """The option's flag nibble."""
+
+    TS_ONLY = 0
+    TS_ADDR = 1
+    TS_PRESPEC = 3
+
+
+@dataclass
+class TimestampOption:
+    """A mutable in-flight Timestamp option.
+
+    For ``TS_ONLY``, ``entries`` holds ``(None, timestamp)`` tuples;
+    for the address'd flags it holds ``(address, timestamp)`` where a
+    prespecified, not-yet-stamped slot has ``timestamp is None``.
+    """
+
+    flag: TsFlag = TsFlag.TS_ONLY
+    slots: int = MAX_TS_ONLY_SLOTS
+    entries: List[Tuple[Optional[int], Optional[int]]] = field(
+        default_factory=list
+    )
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        limit = (
+            MAX_TS_ONLY_SLOTS
+            if self.flag is TsFlag.TS_ONLY
+            else MAX_TS_ADDR_SLOTS
+        )
+        if not 1 <= self.slots <= limit:
+            raise ValueError(
+                f"{self.flag.name} supports 1..{limit} slots, got "
+                f"{self.slots}"
+            )
+        if self.flag is TsFlag.TS_PRESPEC:
+            if len(self.entries) != self.slots:
+                raise ValueError(
+                    "prespecified options must name every slot up front"
+                )
+        elif len(self.entries) > self.slots:
+            raise ValueError("more entries than slots")
+        if not 0 <= self.overflow <= 15:
+            raise ValueError(f"overflow nibble out of range: {self.overflow}")
+
+    # -- semantics ---------------------------------------------------------
+
+    @classmethod
+    def prespecified(cls, addrs: List[int]) -> "TimestampOption":
+        """A TS_PRESPEC option asking exactly ``addrs`` to stamp."""
+        if not 1 <= len(addrs) <= MAX_TS_ADDR_SLOTS:
+            raise ValueError(
+                f"prespecify 1..{MAX_TS_ADDR_SLOTS} addresses"
+            )
+        return cls(
+            flag=TsFlag.TS_PRESPEC,
+            slots=len(addrs),
+            entries=[(addr, None) for addr in addrs],
+        )
+
+    @property
+    def stamped_count(self) -> int:
+        return sum(1 for _addr, ts in self.entries if ts is not None)
+
+    @property
+    def full(self) -> bool:
+        if self.flag is TsFlag.TS_PRESPEC:
+            return self.stamped_count == self.slots
+        return len(self.entries) >= self.slots
+
+    def stamp(self, device_addrs: List[int], now_ms: int) -> bool:
+        """Record a timestamp for a device owning ``device_addrs``.
+
+        Returns True if a slot was written. TS_PRESPEC stamps only when
+        one of the device's addresses matches the next unstamped
+        prespecified slot (RFC 791: slots are consumed in order). When
+        the option is full, the overflow counter increments (capped at
+        15), mirroring the RFC.
+        """
+        now_ms %= _MS_MOD
+        if self.flag is TsFlag.TS_PRESPEC:
+            for index, (addr, ts) in enumerate(self.entries):
+                if ts is not None:
+                    continue
+                if addr in device_addrs:
+                    self.entries[index] = (addr, now_ms)
+                    return True
+                return False  # next slot names someone else
+            return False
+        if self.full:
+            if self.overflow < 15:
+                self.overflow += 1
+            return False
+        if self.flag is TsFlag.TS_ONLY:
+            self.entries.append((None, now_ms))
+        else:
+            self.entries.append((device_addrs[0], now_ms))
+        return True
+
+    def copy(self) -> "TimestampOption":
+        return TimestampOption(
+            flag=self.flag,
+            slots=self.slots,
+            entries=list(self.entries),
+            overflow=self.overflow,
+        )
+
+    # -- wire format -------------------------------------------------------
+
+    @property
+    def _entry_bytes(self) -> int:
+        return 4 if self.flag is TsFlag.TS_ONLY else 8
+
+    @property
+    def length(self) -> int:
+        return _HEADER_BYTES + self.slots * self._entry_bytes
+
+    @property
+    def pointer(self) -> int:
+        if self.flag is TsFlag.TS_PRESPEC:
+            used = self.stamped_count
+        else:
+            used = len(self.entries)
+        return _HEADER_BYTES + 1 + used * self._entry_bytes
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out.append(IPOPT_TS)
+        out.append(self.length)
+        out.append(self.pointer)
+        out.append(((self.overflow & 0xF) << 4) | int(self.flag))
+        for addr, ts in self.entries:
+            if self.flag is not TsFlag.TS_ONLY:
+                out += (addr or 0).to_bytes(4, "big")
+            out += (ts if ts is not None else 0).to_bytes(4, "big")
+        free = self.slots - len(self.entries)
+        out += b"\x00" * (free * self._entry_bytes)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TimestampOption":
+        if len(data) < _HEADER_BYTES:
+            raise OptionDecodeError("timestamp option shorter than 4 bytes")
+        if data[0] != IPOPT_TS:
+            raise OptionDecodeError(
+                f"not a timestamp option (type {data[0]})"
+            )
+        length, pointer = data[1], data[2]
+        overflow, flag_value = data[3] >> 4, data[3] & 0xF
+        try:
+            flag = TsFlag(flag_value)
+        except ValueError:
+            raise OptionDecodeError(
+                f"unknown timestamp flag {flag_value}"
+            ) from None
+        if length != len(data):
+            raise OptionDecodeError(
+                f"TS length byte {length} != option size {len(data)}"
+            )
+        entry_bytes = 4 if flag is TsFlag.TS_ONLY else 8
+        body = length - _HEADER_BYTES
+        if body % entry_bytes:
+            raise OptionDecodeError("TS body not a multiple of entry size")
+        slots = body // entry_bytes
+        if pointer < _HEADER_BYTES + 1 or (
+            (pointer - _HEADER_BYTES - 1) % entry_bytes
+        ):
+            raise OptionDecodeError(f"bad TS pointer {pointer}")
+        used = (pointer - _HEADER_BYTES - 1) // entry_bytes
+        if used > slots:
+            raise OptionDecodeError("TS pointer beyond allocated slots")
+
+        entries: List[Tuple[Optional[int], Optional[int]]] = []
+        offset = _HEADER_BYTES
+        for index in range(slots):
+            if flag is TsFlag.TS_ONLY:
+                if index >= used:
+                    break
+                ts = int.from_bytes(data[offset : offset + 4], "big")
+                entries.append((None, ts))
+                offset += 4
+            else:
+                addr = int.from_bytes(data[offset : offset + 4], "big")
+                ts = int.from_bytes(data[offset + 4 : offset + 8], "big")
+                offset += 8
+                if flag is TsFlag.TS_PRESPEC:
+                    entries.append((addr, ts if index < used else None))
+                elif index < used:
+                    entries.append((addr, ts))
+        option = cls.__new__(cls)
+        option.flag = flag
+        option.slots = slots
+        option.entries = entries
+        option.overflow = overflow
+        return option
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TimestampOption)
+            and self.flag == other.flag
+            and self.slots == other.slots
+            and self.entries == other.entries
+            and self.overflow == other.overflow
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            f"{int_to_addr(addr) if addr is not None else '*'}@{ts}"
+            for addr, ts in self.entries
+        )
+        return (
+            f"TS({self.flag.name} {self.stamped_count}/{self.slots}"
+            f" ovf={self.overflow}: [{rendered}])"
+        )
+
+
+register_option_decoder(IPOPT_TS, TimestampOption.from_bytes)

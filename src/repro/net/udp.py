@@ -1,0 +1,71 @@
+"""UDP datagram wire format.
+
+``ping-RRudp`` (§3.3) sends UDP datagrams to high-numbered ports with the
+RR option enabled so destinations answer with ICMP port-unreachable
+errors that quote the offending header. This module provides the minimal
+UDP encode/decode those probes need, including the IPv4 pseudo-header
+checksum.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum
+
+__all__ = ["HIGH_PORT_FLOOR", "UdpDecodeError", "UdpDatagram"]
+
+_UDP_HEADER = struct.Struct("!HHHH")
+
+#: scamper-style "high-numbered" destination ports start here; ports above
+#: this floor are overwhelmingly closed on end hosts, which is what makes
+#: them reliable port-unreachable triggers.
+HIGH_PORT_FLOOR = 33434  # traceroute's classic base port
+
+
+class UdpDecodeError(ValueError):
+    """Raised when UDP bytes cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram (header fields plus payload)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{name} port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        return _UDP_HEADER.size + len(self.payload)
+
+    def _pseudo_header(self, src: int, dst: int) -> bytes:
+        return struct.pack(
+            "!IIBBH", src, dst, 0, 17, self.length
+        )
+
+    def to_bytes(self, src: int = 0, dst: int = 0) -> bytes:
+        """Serialize; ``src``/``dst`` feed the pseudo-header checksum."""
+        header = _UDP_HEADER.pack(
+            self.src_port, self.dst_port, self.length, 0
+        )
+        message = header + self.payload
+        checksum = internet_checksum(self._pseudo_header(src, dst) + message)
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: zero means "no checksum"
+        return message[:6] + checksum.to_bytes(2, "big") + message[8:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < _UDP_HEADER.size:
+            raise UdpDecodeError("short UDP datagram")
+        src_port, dst_port, length, _checksum = _UDP_HEADER.unpack_from(data)
+        if length < _UDP_HEADER.size or length > len(data):
+            raise UdpDecodeError(f"bad UDP length {length}")
+        return cls(src_port, dst_port, data[_UDP_HEADER.size : length])

@@ -1,0 +1,407 @@
+"""The prober: this repository's scamper.
+
+Every measurement the paper issues exists here as a method:
+
+* :meth:`Prober.ping` — plain ICMP echo rounds (the USC study);
+* :meth:`Prober.ping_rr` — ping with the Record Route option, with a
+  configurable initial TTL (§4.2) and slot count;
+* :meth:`Prober.ping_rr_udp` — UDP to a high port with RR enabled, to
+  harvest quoted headers from port-unreachable errors (§3.3);
+* :meth:`Prober.traceroute` — one ICMP probe per TTL (§3.5, §3.6);
+* :meth:`Prober.batch_ping_rr` — a paced batch at a chosen pps, the
+  unit of §4.1's rate-limiting experiments.
+
+Probes are serialised to real packet bytes and replies parsed back
+from bytes, so the wire formats in :mod:`repro.net` are exercised by
+every single measurement. Pacing advances the simulated clock by
+``1/pps`` per probe, which is what router token buckets see.
+
+A locally-filtered VP (site firewall drops options packets) sends
+plain pings fine but gets nothing back for any probe carrying options
+— the paper's "filtered locally" case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.net.icmp import (
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_TIME_EXCEEDED,
+    CODE_PORT_UNREACH,
+    IcmpDecodeError,
+    IcmpEcho,
+    IcmpError,
+    ICMP_ECHO_REQUEST,
+    parse_icmp,
+)
+from repro.net.options import RR_MAX_SLOTS, RecordRouteOption
+from repro.net.packet import (
+    DEFAULT_TTL,
+    IPv4Packet,
+    PROTO_ICMP,
+    PROTO_UDP,
+    PacketDecodeError,
+)
+from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram
+from repro.net.timestamp import TimestampOption, TsFlag
+from repro.probing.results import (
+    PingResult,
+    RRPingResult,
+    RRUdpResult,
+    TracerouteResult,
+    TsPingResult,
+)
+from repro.probing.vantage import VantagePoint
+from repro.sim.network import Network
+
+__all__ = ["Prober", "DEFAULT_PPS"]
+
+#: The paper's main-study probing rate (§3.1).
+DEFAULT_PPS = 20.0
+
+#: Abort a traceroute after this many consecutive silent hops.
+_GAP_LIMIT = 6
+
+
+class Prober:
+    """Issues probes from vantage points through a simulated network."""
+
+    def __init__(self, network: Network, default_pps: float = DEFAULT_PPS):
+        if default_pps <= 0:
+            raise ValueError(f"pps must be positive: {default_pps}")
+        self.network = network
+        self.default_pps = default_pps
+        self._ident = 0
+        self._seq = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _next_ids(self) -> tuple:
+        self._ident = (self._ident + 1) & 0xFFFF
+        self._seq = (self._seq + 1) & 0xFFFF
+        return self._ident, self._seq
+
+    def _roundtrip(
+        self, pkt: IPv4Packet, pps: Optional[float]
+    ) -> Optional[IPv4Packet]:
+        """Pace, serialise, inject, and parse any reply."""
+        rate = self.default_pps if pps is None else pps
+        self.network.clock.advance(1.0 / rate)
+        reply_bytes = self.network.send_wire(pkt.to_bytes())
+        if reply_bytes is None:
+            return None
+        try:
+            return IPv4Packet.from_bytes(reply_bytes)
+        except PacketDecodeError:  # pragma: no cover - defensive
+            return None
+
+    # -- plain ping ---------------------------------------------------------
+
+    def ping(
+        self,
+        vp: VantagePoint,
+        dst: int,
+        count: int = 3,
+        pps: Optional[float] = None,
+    ) -> PingResult:
+        """Send ``count`` plain Echo Requests; stop early on a reply."""
+        replies = 0
+        reply_ident: Optional[int] = None
+        reply_time: Optional[float] = None
+        sent = 0
+        for _ in range(count):
+            ident, seq = self._next_ids()
+            pkt = IPv4Packet(
+                src=vp.addr,
+                dst=dst,
+                proto=PROTO_ICMP,
+                ttl=DEFAULT_TTL,
+                ident=ident,
+                payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, seq).to_bytes(),
+            )
+            sent += 1
+            reply = self._roundtrip(pkt, pps)
+            if reply is None or reply.proto != PROTO_ICMP:
+                continue
+            try:
+                kind, _message = parse_icmp(reply.payload)
+            except IcmpDecodeError:
+                continue
+            if kind == ICMP_ECHO_REPLY:
+                replies += 1
+                reply_ident = reply.ident
+                reply_time = self.network.clock.now
+                break
+        return PingResult(
+            vp_name=vp.name,
+            dst=dst,
+            sent=sent,
+            replies=replies,
+            reply_ident=reply_ident,
+            reply_time=reply_time,
+        )
+
+    # -- ping-RR ---------------------------------------------------------
+
+    def ping_rr(
+        self,
+        vp: VantagePoint,
+        dst: int,
+        slots: int = RR_MAX_SLOTS,
+        ttl: int = DEFAULT_TTL,
+        pps: Optional[float] = None,
+    ) -> RRPingResult:
+        """One Echo Request carrying a Record Route option."""
+        if vp.local_filtered:
+            return RRPingResult(
+                vp_name=vp.name, dst=dst, responded=False, rr_slots=slots
+            )
+        ident, seq = self._next_ids()
+        pkt = IPv4Packet(
+            src=vp.addr,
+            dst=dst,
+            proto=PROTO_ICMP,
+            ttl=ttl,
+            ident=ident,
+            options=[RecordRouteOption(slots=slots)],
+            payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, seq).to_bytes(),
+        )
+        reply = self._roundtrip(pkt, pps)
+        if reply is None or reply.proto != PROTO_ICMP:
+            return RRPingResult(
+                vp_name=vp.name, dst=dst, responded=False, rr_slots=slots
+            )
+        try:
+            kind, message = parse_icmp(reply.payload)
+        except IcmpDecodeError:  # pragma: no cover - defensive
+            return RRPingResult(
+                vp_name=vp.name, dst=dst, responded=False, rr_slots=slots
+            )
+        if kind == ICMP_ECHO_REPLY:
+            rr = reply.record_route
+            return RRPingResult(
+                vp_name=vp.name,
+                dst=dst,
+                responded=True,
+                rr_hops=list(rr.recorded) if rr is not None else [],
+                rr_slots=slots,
+                reply_has_rr=rr is not None,
+            )
+        if kind == ICMP_TIME_EXCEEDED and isinstance(message, IcmpError):
+            quoted = message.quoted_packet()
+            quoted_rr = quoted.record_route if quoted is not None else None
+            return RRPingResult(
+                vp_name=vp.name,
+                dst=dst,
+                responded=False,
+                rr_slots=slots,
+                ttl_exceeded=True,
+                error_source=reply.src,
+                quoted_rr_hops=(
+                    list(quoted_rr.recorded) if quoted_rr is not None else []
+                ),
+            )
+        return RRPingResult(
+            vp_name=vp.name, dst=dst, responded=False, rr_slots=slots
+        )
+
+    # -- ping-TS ---------------------------------------------------------
+
+    def ping_ts(
+        self,
+        vp: VantagePoint,
+        dst: int,
+        flag: TsFlag = TsFlag.TS_ONLY,
+        slots: Optional[int] = None,
+        prespecified: Optional[Sequence[int]] = None,
+        pps: Optional[float] = None,
+    ) -> TsPingResult:
+        """One Echo Request carrying an IP Timestamp option.
+
+        With ``flag=TS_PRESPEC`` pass the addresses to prespecify; a
+        filled slot in the result confirms the named device sits on the
+        round-trip path (reverse traceroute's on-path test [11]).
+        """
+        if vp.local_filtered:
+            return TsPingResult(
+                vp_name=vp.name, dst=dst, responded=False, flag=int(flag)
+            )
+        if flag is TsFlag.TS_PRESPEC:
+            if not prespecified:
+                raise ValueError("TS_PRESPEC needs prespecified addresses")
+            option = TimestampOption.prespecified(list(prespecified))
+        else:
+            default_slots = 9 if flag is TsFlag.TS_ONLY else 4
+            option = TimestampOption(
+                flag=flag, slots=slots or default_slots
+            )
+        ident, seq = self._next_ids()
+        pkt = IPv4Packet(
+            src=vp.addr,
+            dst=dst,
+            proto=PROTO_ICMP,
+            ttl=DEFAULT_TTL,
+            ident=ident,
+            options=[option],
+            payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, seq).to_bytes(),
+        )
+        reply = self._roundtrip(pkt, pps)
+        if reply is None or reply.proto != PROTO_ICMP:
+            return TsPingResult(
+                vp_name=vp.name, dst=dst, responded=False, flag=int(flag)
+            )
+        try:
+            kind, _message = parse_icmp(reply.payload)
+        except IcmpDecodeError:  # pragma: no cover - defensive
+            kind = None
+        if kind != ICMP_ECHO_REPLY:
+            return TsPingResult(
+                vp_name=vp.name, dst=dst, responded=False, flag=int(flag)
+            )
+        reply_ts = reply.timestamp_option
+        return TsPingResult(
+            vp_name=vp.name,
+            dst=dst,
+            responded=True,
+            flag=int(flag),
+            entries=(
+                [list(entry) for entry in reply_ts.entries]
+                if reply_ts is not None
+                else []
+            ),
+            overflow=reply_ts.overflow if reply_ts is not None else 0,
+            reply_has_ts=reply_ts is not None,
+        )
+
+    # -- ping-RRudp ---------------------------------------------------------
+
+    def ping_rr_udp(
+        self,
+        vp: VantagePoint,
+        dst: int,
+        slots: int = RR_MAX_SLOTS,
+        pps: Optional[float] = None,
+    ) -> RRUdpResult:
+        """UDP to a high port with RR enabled; reads the quoted error."""
+        if vp.local_filtered:
+            return RRUdpResult(vp_name=vp.name, dst=dst, got_unreachable=False)
+        ident, seq = self._next_ids()
+        datagram = UdpDatagram(
+            src_port=40000 + (ident % 20000),
+            dst_port=HIGH_PORT_FLOOR + (seq % 1000),
+        )
+        pkt = IPv4Packet(
+            src=vp.addr,
+            dst=dst,
+            proto=PROTO_UDP,
+            ttl=DEFAULT_TTL,
+            ident=ident,
+            options=[RecordRouteOption(slots=slots)],
+            payload=datagram.to_bytes(vp.addr, dst),
+        )
+        reply = self._roundtrip(pkt, pps)
+        if reply is None or reply.proto != PROTO_ICMP:
+            return RRUdpResult(vp_name=vp.name, dst=dst, got_unreachable=False)
+        try:
+            kind, message = parse_icmp(reply.payload)
+        except IcmpDecodeError:  # pragma: no cover - defensive
+            return RRUdpResult(vp_name=vp.name, dst=dst, got_unreachable=False)
+        if (
+            kind != ICMP_DEST_UNREACH
+            or not isinstance(message, IcmpError)
+            or message.code != CODE_PORT_UNREACH
+        ):
+            return RRUdpResult(vp_name=vp.name, dst=dst, got_unreachable=False)
+        quoted = message.quoted_packet()
+        quoted_rr = quoted.record_route if quoted is not None else None
+        return RRUdpResult(
+            vp_name=vp.name,
+            dst=dst,
+            got_unreachable=True,
+            quoted_rr_hops=(
+                list(quoted_rr.recorded) if quoted_rr is not None else []
+            ),
+            quoted_slots=quoted_rr.slots if quoted_rr is not None else None,
+            error_source=reply.src,
+        )
+
+    # -- traceroute ---------------------------------------------------------
+
+    def traceroute(
+        self,
+        vp: VantagePoint,
+        dst: int,
+        max_ttl: int = 32,
+        attempts: int = 2,
+        pps: Optional[float] = None,
+    ) -> TracerouteResult:
+        """ICMP traceroute: one (retryable) probe per TTL."""
+        hops: List[Optional[int]] = []
+        gap = 0
+        for ttl in range(1, max_ttl + 1):
+            hop_addr: Optional[int] = None
+            reached = False
+            for _attempt in range(attempts):
+                ident, seq = self._next_ids()
+                pkt = IPv4Packet(
+                    src=vp.addr,
+                    dst=dst,
+                    proto=PROTO_ICMP,
+                    ttl=ttl,
+                    ident=ident,
+                    payload=IcmpEcho(
+                        ICMP_ECHO_REQUEST, ident, seq
+                    ).to_bytes(),
+                )
+                reply = self._roundtrip(pkt, pps)
+                if reply is None or reply.proto != PROTO_ICMP:
+                    continue
+                try:
+                    kind, _message = parse_icmp(reply.payload)
+                except IcmpDecodeError:  # pragma: no cover - defensive
+                    continue
+                if kind == ICMP_ECHO_REPLY:
+                    hop_addr = reply.src
+                    reached = True
+                elif kind == ICMP_TIME_EXCEEDED:
+                    hop_addr = reply.src
+                if hop_addr is not None:
+                    break
+            hops.append(hop_addr)
+            if reached:
+                return TracerouteResult(
+                    vp_name=vp.name, dst=dst, hops=hops, reached=True
+                )
+            gap = gap + 1 if hop_addr is None else 0
+            if gap >= _GAP_LIMIT:
+                break
+        return TracerouteResult(
+            vp_name=vp.name, dst=dst, hops=hops, reached=False
+        )
+
+    # -- batches ---------------------------------------------------------
+
+    def batch_ping_rr(
+        self,
+        vp: VantagePoint,
+        dests: Sequence[int],
+        pps: Optional[float] = None,
+        slots: int = RR_MAX_SLOTS,
+        ttl: int = DEFAULT_TTL,
+    ) -> List[RRPingResult]:
+        """Probe ``dests`` in the given order at a steady ``pps``."""
+        return [
+            self.ping_rr(vp, dst, slots=slots, ttl=ttl, pps=pps)
+            for dst in dests
+        ]
+
+    def batch_ping(
+        self,
+        vp: VantagePoint,
+        dests: Iterable[int],
+        count: int = 3,
+        pps: Optional[float] = None,
+    ) -> List[PingResult]:
+        return [self.ping(vp, dst, count=count, pps=pps) for dst in dests]

@@ -1,0 +1,101 @@
+"""A JSONL result store — this repository's warts files.
+
+Measurement studies write streams of typed results to disk and analyses
+read them back without needing the simulator. The format is one JSON
+object per line with a ``type`` tag, so files are greppable, diffable,
+and appendable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Type, Union
+
+from repro.probing.results import (
+    PingResult,
+    RRPingResult,
+    RRUdpResult,
+    TracerouteResult,
+    TsPingResult,
+)
+
+__all__ = ["ResultStore", "dump_results", "load_results"]
+
+ResultType = Union[
+    PingResult, RRPingResult, RRUdpResult, TracerouteResult, TsPingResult
+]
+
+_REGISTRY: dict = {
+    "ping": PingResult,
+    "rr_ping": RRPingResult,
+    "rr_udp": RRUdpResult,
+    "traceroute": TracerouteResult,
+    "ts_ping": TsPingResult,
+}
+_TYPE_TAGS = {cls: tag for tag, cls in _REGISTRY.items()}
+
+
+def _encode(result: ResultType) -> str:
+    tag = _TYPE_TAGS.get(type(result))
+    if tag is None:
+        raise TypeError(f"unsupported result type: {type(result).__name__}")
+    record = dataclasses.asdict(result)
+    record["type"] = tag
+    return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+def _decode(line: str) -> ResultType:
+    record = json.loads(line)
+    tag = record.pop("type", None)
+    cls: Type = _REGISTRY.get(tag)
+    if cls is None:
+        raise ValueError(f"unknown result type tag: {tag!r}")
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(record) - field_names
+    if unknown:
+        raise ValueError(f"unknown fields for {tag}: {sorted(unknown)}")
+    return cls(**record)
+
+
+def dump_results(results: Iterable[ResultType], fh: IO[str]) -> int:
+    """Write results as JSONL; returns the number written."""
+    count = 0
+    for result in results:
+        fh.write(_encode(result))
+        fh.write("\n")
+        count += 1
+    return count
+
+
+def load_results(fh: IO[str]) -> Iterator[ResultType]:
+    """Stream results back from JSONL (blank lines skipped)."""
+    for line in fh:
+        line = line.strip()
+        if line:
+            yield _decode(line)
+
+
+class ResultStore:
+    """Convenience wrapper binding the codec to a file path."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, results: Iterable[ResultType]) -> int:
+        with self.path.open("w", encoding="utf-8") as fh:
+            return dump_results(results, fh)
+
+    def append(self, results: Iterable[ResultType]) -> int:
+        with self.path.open("a", encoding="utf-8") as fh:
+            return dump_results(results, fh)
+
+    def read(self) -> List[ResultType]:
+        if not self.path.exists():
+            return []
+        with self.path.open("r", encoding="utf-8") as fh:
+            return list(load_results(fh))
+
+    def __iter__(self) -> Iterator[ResultType]:
+        return iter(self.read())

@@ -1,0 +1,82 @@
+"""Vantage points: where probes are launched from.
+
+The paper's VPs are "one randomly chosen machine at each operational
+PlanetLab (55) and M-Lab (86) site" plus a machine at USC for plain
+pings. Placement is what drives Figure 1's M-Lab-vs-PlanetLab gap:
+M-Lab sites sit in "centrally-located transit networks and colocation
+facilities, while most PlanetLab VPs are hosted in university
+networks". Scenario builders therefore attach M-Lab VPs to colo
+tier-2 ASes, PlanetLab VPs to university stubs, and cloud VPs to the
+designated cloud ASes.
+
+A VP can be *locally filtered*: its site firewall or kernel drops
+options packets before they ever reach the network — the paper's
+observation (after [8]) that "a host that can send RR packets without
+being filtered locally can likely reach most destinations that support
+the Option" implies many hosts cannot. Locally-filtered VPs answer
+nothing for ping-RR, like the 56 VPs Figure 4 had to exclude.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Platform", "VantagePoint", "vp_addr", "SITE_CITIES"]
+
+#: /24 index inside an AS block reserved for measurement hosts.
+_VP_SUBNET_INDEX = 230
+
+#: City codes used to name sites, in deployment order. The first few
+#: match cities the paper calls out (NYC, LA, Denver, Miami, Milan) so
+#: greedy-selection output reads like §3.3's.
+SITE_CITIES: List[str] = [
+    "nyc", "lax", "den", "mia", "mil", "lhr", "iad", "sea", "ord", "atl",
+    "ams", "fra", "cdg", "syd", "nrt", "gru", "yyz", "dfw", "svo", "bom",
+    "hkg", "sin", "jnb", "mex", "scl", "arn", "waw", "prg", "vie", "zrh",
+    "dub", "bru", "mad", "lis", "ath", "hel", "osl", "cph", "bud", "otp",
+    "kix", "icn", "tpe", "kul", "bkk", "del", "dxb", "doh", "cai", "lad",
+    "los", "nbo", "cpt", "bog", "lim", "eze", "mvd", "pty", "sjc", "phx",
+    "slc", "msp", "det", "bos", "phl", "clt", "mco", "bna", "stl", "mci",
+    "pdx", "san", "aus", "iah", "pit", "cle", "cmh", "ind", "mke", "okc",
+    "abq", "tus", "elp", "sat", "mem", "jax", "rdu", "ric", "orf", "sdf",
+    "buf", "roc", "alb", "btv", "pwm", "mht", "pvd", "hfd", "isp", "acy",
+]
+
+
+class Platform(enum.Enum):
+    """Measurement platform a VP belongs to."""
+
+    MLAB = "mlab"
+    PLANETLAB = "planetlab"
+    CLOUD = "cloud"
+    ATLAS = "atlas"  # RIPE-Atlas-style probes (§3.3's what-if)
+    LOCAL = "local"  # the USC-style origin used for plain pings
+
+
+def vp_addr(asn: int, index: int) -> int:
+    """The address of measurement host ``index`` inside AS ``asn``.
+
+    Measurement hosts live in the AS block's /24 index 230, below the
+    infrastructure region and above advertised space.
+    """
+    if not 0 <= index <= 253:
+        raise ValueError(f"VP index out of range: {index}")
+    return (asn << 16) | (_VP_SUBNET_INDEX << 8) | (index + 1)
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One measurement host."""
+
+    name: str  # e.g. "mlab-nyc-0"
+    site: str  # e.g. "nyc"; site identity is what persists across years
+    platform: Platform
+    asn: int
+    addr: int
+    local_filtered: bool = False
+
+    def __str__(self) -> str:
+        flag = " [filtered]" if self.local_filtered else ""
+        return f"{self.name} (AS{self.asn}){flag}"

@@ -1,0 +1,90 @@
+"""Deterministic, structure-keyed randomness.
+
+Every stochastic decision in the simulator (does this host answer pings?
+does this router stamp RR? how many internal hops does this AS have?) is
+derived from a scenario seed plus the identity of the entity deciding.
+That makes whole scenarios reproducible bit-for-bit from a single integer
+seed, independent of iteration order, process hash randomisation, and
+call ordering — a property the tests and benchmarks rely on heavily.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "stable_u64",
+    "stable_uniform",
+    "stable_choice",
+    "stable_randint",
+    "stable_rng",
+    "derive_seed",
+]
+
+T = TypeVar("T")
+
+
+def _digest(parts: Tuple[object, ...]) -> bytes:
+    """Hash a tuple of primitive parts into 8 stable bytes."""
+    hasher = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        hasher.update(repr(part).encode("utf-8"))
+        hasher.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return hasher.digest()
+
+
+def stable_u64(*parts: object) -> int:
+    """A uniform 64-bit integer keyed by ``parts``."""
+    return int.from_bytes(_digest(parts), "big")
+
+
+def stable_uniform(*parts: object) -> float:
+    """A uniform float in [0, 1) keyed by ``parts``."""
+    return stable_u64(*parts) / (1 << 64)
+
+
+def stable_randint(low: int, high: int, *parts: object) -> int:
+    """A uniform integer in [low, high] inclusive, keyed by ``parts``."""
+    if high < low:
+        raise ValueError(f"empty range [{low}, {high}]")
+    return low + stable_u64(*parts) % (high - low + 1)
+
+
+def stable_choice(options: Sequence[T], *parts: object) -> T:
+    """Pick one of ``options`` uniformly, keyed by ``parts``."""
+    if not options:
+        raise ValueError("cannot choose from an empty sequence")
+    return options[stable_u64(*parts) % len(options)]
+
+
+def stable_rng(*parts: object) -> random.Random:
+    """A :class:`random.Random` seeded stably by ``parts``.
+
+    Use when a decision needs many draws (e.g. shuffling a probe order);
+    for one-shot decisions prefer :func:`stable_uniform` and friends.
+    """
+    return random.Random(stable_u64(*parts))
+
+
+def derive_seed(seed: int, label: str) -> int:
+    """Derive an independent child seed from ``seed`` for ``label``."""
+    return stable_u64(seed, "derive", label)
+
+
+def weighted_choice(
+    rng: random.Random, weighted: Iterable[Tuple[T, float]]
+) -> T:
+    """Pick an item from ``(item, weight)`` pairs using ``rng``."""
+    pairs = list(weighted)
+    total = sum(weight for _item, weight in pairs)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    target = rng.random() * total
+    accumulated = 0.0
+    for item, weight in pairs:
+        accumulated += weight
+        if target < accumulated:
+            return item
+    return pairs[-1][0]

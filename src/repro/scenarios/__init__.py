@@ -1,0 +1,31 @@
+"""Reproducible Internet-in-a-box scenarios."""
+
+from repro.scenarios.internet import (
+    CLOUD_NAMES,
+    Scenario,
+    ScenarioParams,
+    build_scenario,
+)
+from repro.scenarios.presets import (
+    PRESETS,
+    get_preset,
+    small,
+    small_2011,
+    study_2011,
+    study_2016,
+    tiny,
+)
+
+__all__ = [
+    "CLOUD_NAMES",
+    "Scenario",
+    "ScenarioParams",
+    "build_scenario",
+    "PRESETS",
+    "get_preset",
+    "small",
+    "small_2011",
+    "study_2011",
+    "study_2016",
+    "tiny",
+]

@@ -1,0 +1,25 @@
+"""Dataplane simulator: routers, hosts, rate limiting, packet walking."""
+
+from repro.sim.clock import SimClock
+from repro.sim.host import SimHost, build_host
+from repro.sim.network import Network, NetworkStats
+from repro.sim.policies import (
+    HostRRMode,
+    RouterPolicy,
+    SimParams,
+    build_router_policy,
+)
+from repro.sim.rate_limiter import TokenBucket
+
+__all__ = [
+    "SimClock",
+    "SimHost",
+    "build_host",
+    "Network",
+    "NetworkStats",
+    "HostRRMode",
+    "RouterPolicy",
+    "SimParams",
+    "build_router_policy",
+    "TokenBucket",
+]

@@ -1,0 +1,44 @@
+"""Simulated wall-clock time.
+
+Probing rate is a first-class experimental variable in the paper (§4.1
+probes at 10/20/100 pps), so the simulator cannot use real time: a
+:class:`SimClock` advances only when the prober says so (one tick per
+probe at the configured pps), and router rate limiters read it to
+refill their token buckets.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Jump to an absolute time, which must not be in the past."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot rewind clock from {self._now} to {when}"
+            )
+        self._now = when
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,484 @@
+"""The dataplane: walking packets hop-by-hop across the simulated Internet.
+
+:class:`Network` is where every mechanism the paper measures actually
+executes:
+
+* forward and reverse paths come from valley-free routing (and can be
+  asymmetric, because each direction uses its own routing tree);
+* every traversed router applies its policy — TTL decrement, options
+  filtering, slow-path rate limiting against the simulated clock, and
+  RR stamping of its outgoing interface while slots remain;
+* destination hosts answer pings, copy the RR option into Echo Replies
+  (stamping themselves, an alias, or nothing, per host), and emit
+  port-unreachable errors with quoted headers for ``ping-RRudp``;
+* Echo Replies carrying the copied RR option walk the reverse path,
+  where routers keep stamping into the remaining slots — the mechanism
+  reverse traceroute builds on [11] — and remain subject to filters;
+* TTL expiry produces Time Exceeded errors quoting the offending
+  header, RR contents included, which is what makes §4.2's TTL-limited
+  probing able to recover measurements from expired probes.
+
+Two documented shortcuts keep the walk affordable: ICMP *error*
+messages (which never carry options themselves, so no mechanism under
+study acts on them) are delivered straight back to the prober, and
+control-plane pings to router interfaces (used only by alias
+resolution) are answered without a path walk.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.icmp import (
+    ICMP_ECHO_REQUEST,
+    IcmpDecodeError,
+    IcmpEcho,
+    IcmpError,
+)
+from repro.net.packet import IPv4Packet, PROTO_ICMP, PROTO_UDP
+from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram, UdpDecodeError
+from repro.rng import derive_seed
+from repro.sim.clock import SimClock
+from repro.sim.host import SimHost, build_host
+from repro.sim.policies import RouterPolicy, SimParams, build_router_policy
+from repro.sim.rate_limiter import TokenBucket
+from repro.topology.generator import GeneratedTopology
+from repro.topology.hitlist import Destination, Hitlist
+from repro.topology.routers import Hop, RouterFabric, RouterNode
+from repro.topology.routing import RoutingSystem
+
+__all__ = ["NetworkStats", "Network", "MIN_QUOTE", "FULL_QUOTE"]
+
+#: Quote sizes: the RFC 792 minimum and "the whole packet" [16].
+MIN_QUOTE = 8
+FULL_QUOTE = 1 << 16
+
+
+@dataclass
+class NetworkStats:
+    """Drop/delivery counters, for tests and diagnostics."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_no_route: int = 0
+    dropped_filtered: int = 0
+    dropped_rate_limited: int = 0
+    dropped_ttl: int = 0
+    dropped_host: int = 0
+    dropped_loss: int = 0
+    ttl_exceeded_sent: int = 0
+    port_unreach_sent: int = 0
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+# Walk outcomes.
+_ARRIVED = 0
+_DROPPED = 1
+_ERROR = 2
+
+
+class Network:
+    """The simulated Internet's dataplane."""
+
+    def __init__(
+        self,
+        topo: GeneratedTopology,
+        routing: RoutingSystem,
+        fabric: RouterFabric,
+        hitlist: Hitlist,
+        params: SimParams,
+    ) -> None:
+        self.topo = topo
+        self.graph = topo.graph
+        self.routing = routing
+        self.fabric = fabric
+        self.hitlist = hitlist
+        self.params = params
+        self.clock = SimClock()
+        self.stats = NetworkStats()
+        self._policies: Dict[Tuple, RouterPolicy] = {}
+        self._limiters: Dict[Tuple, TokenBucket] = {}
+        self._hosts: Dict[int, SimHost] = {}
+        self._alias_owner: Dict[int, SimHost] = {}
+        self._trunks: Dict[Tuple[int, int], Optional[Tuple[Hop, ...]]] = {}
+        self._tails: Dict[int, Tuple[Hop, ...]] = {}
+        self._loss_rng = random.Random(derive_seed(params.seed, "loss"))
+        #: Slow-path load: options packets processed per AS, i.e. the
+        #: route-processor work [10] that §4.2's TTL limiting exists to
+        #: reduce and that the conclusion worries operators will react
+        #: to. Counted per router traversal of an options packet.
+        self.options_load: Dict[int, int] = {}
+
+    # -- entity resolution ---------------------------------------------------
+
+    def host_for(self, dest: Destination) -> SimHost:
+        """The (lazily built, cached) host behind a hitlist destination."""
+        host = self._hosts.get(dest.addr)
+        if host is None:
+            host = build_host(self.params, self.graph, dest)
+            self._hosts[dest.addr] = host
+            if host.alias_addr is not None:
+                self._alias_owner[host.alias_addr] = host
+        return host
+
+    def host_of_addr(self, addr: int) -> Optional[SimHost]:
+        """Find the host owning ``addr`` (probed address or alias)."""
+        dest = self.hitlist.by_addr(addr)
+        if dest is not None:
+            return self.host_for(dest)
+        owner = self._alias_owner.get(addr)
+        if owner is not None:
+            return owner
+        # The alias interface of a host we have not built yet: find the
+        # /24's destination, build it, and re-check.
+        dest = self.hitlist.by_prefix(Prefix.containing(addr, 24))
+        if dest is not None:
+            host = self.host_for(dest)
+            if host.alias_addr == addr:
+                return host
+        return None
+
+    def policy_of(self, router: RouterNode) -> RouterPolicy:
+        policy = self._policies.get(router.key)
+        if policy is None:
+            policy = build_router_policy(self.params, self.graph, router)
+            self._policies[router.key] = policy
+        return policy
+
+    def _limiter_of(self, router: RouterNode, pps: float) -> TokenBucket:
+        limiter = self._limiters.get(router.key)
+        if limiter is None:
+            limiter = TokenBucket(
+                pps, self.params.rate_limit_burst, start=self.clock.now
+            )
+            self._limiters[router.key] = limiter
+        return limiter
+
+    def reset_limiters(self) -> None:
+        """Refill every token bucket (between independent probing runs)."""
+        for limiter in self._limiters.values():
+            limiter.reset(self.clock.now)
+
+    def reset_options_load(self) -> None:
+        """Zero the per-AS slow-path counters (between epochs)."""
+        self.options_load.clear()
+
+    def set_as_options_filter(self, asn: int, filters: bool) -> None:
+        """Flip an AS's options-filtering policy at runtime.
+
+        Models an operator reacting to options traffic (the concern
+        the paper's conclusion raises). Cached per-router policies for
+        that AS are invalidated so the change takes effect on the next
+        packet.
+        """
+        self.graph[asn].filters_options = filters
+        stale = [
+            key for key in self._policies if key[0] == asn
+        ]
+        for key in stale:
+            del self._policies[key]
+        # Hosts inherit nothing from the AS filter directly (their
+        # drops_options was drawn independently), so host caches stay.
+
+    # -- chains ---------------------------------------------------------
+
+    def _trunk(self, src_asn: int, dst_asn: int) -> Optional[Tuple[Hop, ...]]:
+        key = (src_asn, dst_asn)
+        if key in self._trunks:
+            return self._trunks[key]
+        as_path = self.routing.as_path(src_asn, dst_asn)
+        trunk = (
+            None if as_path is None else tuple(self.fabric.expand_trunk(as_path))
+        )
+        self._trunks[key] = trunk
+        return trunk
+
+    def _tail(self, dest: Destination) -> Tuple[Hop, ...]:
+        tail = self._tails.get(dest.prefix.base)
+        if tail is None:
+            tail = tuple(self.fabric.tail_hops(dest.asn, dest.prefix))
+            self._tails[dest.prefix.base] = tail
+        return tail
+
+    def clear_caches(self) -> None:
+        self._trunks.clear()
+        self._tails.clear()
+
+    # -- the walk ---------------------------------------------------------
+
+    def _walk(
+        self, pkt: IPv4Packet, segments: Tuple[Tuple[Hop, ...], ...]
+    ) -> Tuple[int, Optional[IPv4Packet]]:
+        """Advance ``pkt`` across the hop segments, in order.
+
+        Returns ``(_ARRIVED, None)``, ``(_DROPPED, None)``, or
+        ``(_ERROR, reply)`` when a router generated an ICMP error.
+        """
+        now = self.clock.now
+        now_ms = int(now * 1000)
+        rr = pkt.record_route
+        ts = pkt.timestamp_option
+        has_options = pkt.has_options
+        for segment in segments:
+            for hop in segment:
+                policy = self.policy_of(hop.router)
+                if policy.decrements_ttl:
+                    if pkt.ttl <= 1:
+                        pkt.ttl = 0
+                        if policy.sends_ttl_exceeded:
+                            self.stats.ttl_exceeded_sent += 1
+                            return _ERROR, self._icmp_error_reply(
+                                IcmpError.time_exceeded(
+                                    pkt, self._quote_bytes(policy.quote_full)
+                                ),
+                                src=hop.icmp_addr,
+                                dst=pkt.src,
+                            )
+                        self.stats.dropped_ttl += 1
+                        return _DROPPED, None
+                    pkt.ttl -= 1
+                if has_options:
+                    asn = hop.router.asn
+                    self.options_load[asn] = (
+                        self.options_load.get(asn, 0) + 1
+                    )
+                    if policy.drops_options:
+                        self.stats.dropped_filtered += 1
+                        return _DROPPED, None
+                    if policy.rate_limit_pps is not None:
+                        limiter = self._limiter_of(
+                            hop.router, policy.rate_limit_pps
+                        )
+                        if not limiter.allow(now):
+                            self.stats.dropped_rate_limited += 1
+                            return _DROPPED, None
+                    if policy.stamps_rr:
+                        if rr is not None:
+                            rr.stamp(hop.stamp_addr)
+                        if ts is not None:
+                            # Routers that honor RR honor Timestamp too
+                            # (both ride the same slow path).
+                            ts.stamp(hop.router.addrs, now_ms)
+        return _ARRIVED, None
+
+    @staticmethod
+    def _quote_bytes(full: bool) -> int:
+        return FULL_QUOTE if full else MIN_QUOTE
+
+    def _icmp_error_reply(
+        self, error: IcmpError, src: int, dst: int
+    ) -> Optional[IPv4Packet]:
+        """Deliver an ICMP error straight back to the prober.
+
+        Errors never carry IP options of their own, so none of the
+        mechanisms under study can act on them; skipping the reverse
+        walk is a documented simulation shortcut.
+        """
+        if self._lost():
+            return None
+        return IPv4Packet(
+            src=src,
+            dst=dst,
+            proto=PROTO_ICMP,
+            ttl=64,
+            payload=error.to_bytes(),
+        )
+
+    def _lost(self) -> bool:
+        if self.params.loss_prob <= 0:
+            return False
+        if self._loss_rng.random() < self.params.loss_prob:
+            self.stats.dropped_loss += 1
+            return True
+        return False
+
+    # -- sending ---------------------------------------------------------
+
+    def send_wire(self, data: bytes) -> Optional[bytes]:
+        """Wire-level entry point: bytes in, reply bytes (or None) out."""
+        reply = self.send_packet(IPv4Packet.from_bytes(data))
+        return None if reply is None else reply.to_bytes()
+
+    def send_packet(self, pkt: IPv4Packet) -> Optional[IPv4Packet]:
+        """Inject ``pkt`` at its source AS; returns any reply packet.
+
+        The source AS is derived from the source address's /16 block
+        (the simulator's allocation invariant); measurement-side code
+        must use :mod:`repro.analysis.ip2as` instead.
+        """
+        self.stats.sent += 1
+        src_asn = pkt.src >> 16
+        if src_asn not in self.graph:
+            self.stats.dropped_no_route += 1
+            return None
+        host = self.host_of_addr(pkt.dst)
+        if host is not None:
+            return self._deliver_to_host(pkt, host, src_asn)
+        router = self.fabric.router_of_addr(pkt.dst)
+        if router is not None:
+            return self._deliver_to_router(pkt, router)
+        self.stats.dropped_no_route += 1
+        return None
+
+    def _deliver_to_host(
+        self, pkt: IPv4Packet, host: SimHost, src_asn: int
+    ) -> Optional[IPv4Packet]:
+        dest = host.dest
+        trunk = self._trunk(src_asn, dest.asn)
+        if trunk is None:
+            self.stats.dropped_no_route += 1
+            return None
+        outcome, error_reply = self._walk(pkt, (trunk, self._tail(dest)))
+        if outcome == _ERROR:
+            return error_reply
+        if outcome == _DROPPED:
+            return None
+
+        # Silent last-metre devices: decrement TTL, touch nothing else.
+        if host.silent_hops:
+            if pkt.ttl <= host.silent_hops:
+                self.stats.dropped_ttl += 1
+                return None
+            pkt.ttl -= host.silent_hops
+
+        if pkt.has_options and host.drops_options:
+            self.stats.dropped_host += 1
+            return None
+        if self._lost():
+            return None
+
+        if pkt.proto == PROTO_ICMP:
+            return self._host_icmp(pkt, host, src_asn)
+        if pkt.proto == PROTO_UDP:
+            return self._host_udp(pkt, host)
+        self.stats.dropped_host += 1
+        return None
+
+    def _host_icmp(
+        self, pkt: IPv4Packet, host: SimHost, src_asn: int
+    ) -> Optional[IPv4Packet]:
+        try:
+            echo = IcmpEcho.from_bytes(pkt.payload)
+        except IcmpDecodeError:
+            self.stats.dropped_host += 1
+            return None
+        if echo.kind != ICMP_ECHO_REQUEST or not host.ping_responsive:
+            self.stats.dropped_host += 1
+            return None
+
+        options = []
+        rr = pkt.record_route
+        if rr is not None:
+            reply_rr = host.stamp_reply(rr)
+            if reply_rr is not None:
+                options.append(reply_rr)
+        ts = pkt.timestamp_option
+        if ts is not None:
+            reply_ts = host.stamp_timestamp(
+                ts, int(self.clock.now * 1000)
+            )
+            if reply_ts is not None:
+                options.append(reply_ts)
+        reply = IPv4Packet(
+            src=pkt.dst,
+            dst=pkt.src,
+            proto=PROTO_ICMP,
+            ttl=64,
+            ident=host.ipid(self.clock.now),
+            options=options,
+            payload=echo.reply().to_bytes(),
+        )
+        return self._reverse_deliver(reply, host, src_asn)
+
+    def _host_udp(
+        self, pkt: IPv4Packet, host: SimHost
+    ) -> Optional[IPv4Packet]:
+        try:
+            datagram = UdpDatagram.from_bytes(pkt.payload)
+        except UdpDecodeError:
+            self.stats.dropped_host += 1
+            return None
+        if datagram.dst_port < HIGH_PORT_FLOOR or not host.udp_unreachable:
+            self.stats.dropped_host += 1
+            return None
+        self.stats.port_unreach_sent += 1
+        # The quote reflects the packet as it arrived: the RR option with
+        # every slot the *path* filled, but no stamp from the host itself
+        # — exactly the signal §3.3's ping-RRudp test reads.
+        return self._icmp_error_reply(
+            IcmpError.port_unreachable(
+                pkt, self._quote_bytes(host.quote_full)
+            ),
+            src=host.addr,
+            dst=pkt.src,
+        )
+
+    def _reverse_deliver(
+        self, reply: IPv4Packet, host: SimHost, src_asn: int
+    ) -> Optional[IPv4Packet]:
+        """Walk a host's reply back to the prober.
+
+        The reply retraverses the destination's access router (if any)
+        and then an independently-routed trunk toward the prober's AS —
+        RR options in the reply keep collecting reverse-path stamps
+        while slots remain.
+        """
+        trunk = self._trunk(host.asn, src_asn)
+        if trunk is None:
+            self.stats.dropped_no_route += 1
+            return None
+        tail = self._tails.get(host.dest.prefix.base) or ()
+        access = tuple(
+            hop for hop in tail if hop.router.key[1] == "access"
+        )
+        outcome, error_reply = self._walk(reply, (access, trunk))
+        if outcome == _ERROR:
+            return error_reply  # reply's own TTL expired (pathological)
+        if outcome == _DROPPED:
+            return None
+        if self._lost():
+            return None
+        self.stats.delivered += 1
+        return reply
+
+    def _deliver_to_router(
+        self, pkt: IPv4Packet, router: RouterNode
+    ) -> Optional[IPv4Packet]:
+        """Control-plane ping to a router interface (alias resolution).
+
+        Routers answer from a shared IP-ID counter across all their
+        interfaces — MIDAR's signal. Delivered without a path walk
+        (documented shortcut; alias probes carry no options).
+        """
+        policy = self.policy_of(router)
+        if pkt.proto != PROTO_ICMP or not policy.ping_responsive:
+            self.stats.dropped_host += 1
+            return None
+        try:
+            echo = IcmpEcho.from_bytes(pkt.payload)
+        except IcmpDecodeError:
+            self.stats.dropped_host += 1
+            return None
+        if echo.kind != ICMP_ECHO_REQUEST:
+            self.stats.dropped_host += 1
+            return None
+        if self._lost():
+            return None
+        ident = (
+            policy.ipid_seed + int(policy.ipid_velocity * self.clock.now)
+        ) & 0xFFFF
+        self.stats.delivered += 1
+        return IPv4Packet(
+            src=pkt.dst,
+            dst=pkt.src,
+            proto=PROTO_ICMP,
+            ttl=64,
+            ident=ident,
+            payload=echo.reply().to_bytes(),
+        )

@@ -1,0 +1,200 @@
+"""Behavioural policy assignment for routers and hosts.
+
+Structure (which routers exist, which interfaces they have) lives in
+``repro.topology``; *behaviour* — does this router stamp RR, decrement
+TTL, police options, does this host answer pings, honor RR, quote
+errors — is assigned here, one stable draw per entity, keyed by the
+simulation seed. Defaults are calibrated so the study-level outcomes
+match the paper's Table 1 / §3 figures (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.topology.autsys import ASGraph, ASType
+from repro.topology.routers import RouterNode
+from repro.rng import stable_u64, stable_uniform
+
+__all__ = [
+    "SimParams",
+    "RouterPolicy",
+    "HostRRMode",
+    "build_router_policy",
+]
+
+
+class HostRRMode(enum.Enum):
+    """How a (responsive, options-accepting) host treats an RR ping."""
+
+    STAMP = "stamp"  # copy RR to the reply and record the probed address
+    ALIAS = "alias"  # copy RR and record a *different* interface (§3.3)
+    NO_STAMP = "no_stamp"  # copy RR but never record itself (§3.3)
+    STRIP = "strip"  # reply without the option at all (rare)
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Behavioural probabilities; defaults model the 2016 Internet.
+
+    Probabilities keyed by :class:`ASType` are stored as tuples of
+    pairs so the dataclass stays hashable/frozen.
+    """
+
+    seed: int = 2016
+
+    #: P(host answers plain pings), by destination AS type — tuned to
+    #: Table 1's ping-responsive rows (76/84/84/62%).
+    ping_responsive: Tuple[Tuple[ASType, float], ...] = (
+        (ASType.TRANSIT_ACCESS, 0.76),
+        (ASType.ENTERPRISE, 0.84),
+        (ASType.CONTENT, 0.84),
+        (ASType.UNKNOWN, 0.62),
+    )
+
+    #: P(host's stack drops packets carrying IP options), by AS type —
+    #: together with AS-level filtering this yields Table 1's
+    #: RR-responsive/ping-responsive ratios (~0.76/0.68/0.77/0.82).
+    host_drops_options: Tuple[Tuple[ASType, float], ...] = (
+        (ASType.TRANSIT_ACCESS, 0.165),
+        (ASType.ENTERPRISE, 0.13),
+        (ASType.CONTENT, 0.155),
+        (ASType.UNKNOWN, 0.035),
+    )
+
+    #: Among hosts that accept options: how they handle RR. The ALIAS
+    #: and NO_STAMP slices are §3.3's ~10k reclassifiable destinations.
+    host_alias_prob: float = 0.022
+    host_no_stamp_prob: float = 0.016
+    host_strip_prob: float = 0.004
+
+    #: P(host emits port-unreachable for UDP probes to closed ports).
+    host_udp_unreach_prob: float = 0.85
+
+    #: Per-probe packet loss applied to any delivery.
+    loss_prob: float = 0.003
+
+    #: Distribution of "silent hops" in front of a destination prefix —
+    #: CPE/L2 devices that decrement TTL but never touch options.
+    #: Weights for 0, 1, 2, 3 silent hops.
+    silent_hop_weights: Tuple[float, ...] = (0.45, 0.30, 0.18, 0.07)
+
+    #: Per-router extra chance of forwarding RR without stamping, on
+    #: top of the AS-wide stamp_fraction (router-level config drift).
+    router_no_stamp_prob: float = 0.02
+    #: Access routers frequently skip stamping (aggregation gear).
+    access_no_stamp_prob: float = 0.40
+
+    #: Routers that never decrement TTL (anonymous routers [21]) and
+    #: routers that decrement but stay silent at expiry.
+    anonymous_router_prob: float = 0.02
+    no_ttl_exceeded_prob: float = 0.03
+
+    #: Options rate limiting: fraction of core/border routers policing
+    #: the slow path, and the pps values they are configured with
+    #: (Cisco's guidance is ~10 pps [4]; deployments vary upward).
+    rate_limit_prob: float = 0.02
+    rate_limit_choices: Tuple[float, ...] = (10.0, 25.0, 40.0, 60.0, 120.0)
+    rate_limit_burst: float = 5.0
+
+    #: Fraction of error quotes that include the full offending packet
+    #: rather than the RFC-792 minimum (header + 8 bytes) [16].
+    quote_full_prob: float = 0.30
+
+    #: Host/router IP-ID counter velocities (increments per second of
+    #: background traffic), drawn log-uniformly between these bounds.
+    ipid_velocity_range: Tuple[float, float] = (20.0, 1500.0)
+
+    #: P(router control plane answers plain pings to its interfaces).
+    router_ping_responsive: float = 0.97
+
+    def prob_of(
+        self, table: Tuple[Tuple[ASType, float], ...], as_type: ASType
+    ) -> float:
+        for found, prob in table:
+            if found is as_type:
+                return prob
+        return 0.0
+
+
+@dataclass
+class RouterPolicy:
+    """One router's resolved behaviour (derived once, then cached)."""
+
+    stamps_rr: bool = True
+    drops_options: bool = False
+    decrements_ttl: bool = True
+    sends_ttl_exceeded: bool = True
+    ping_responsive: bool = True
+    rate_limit_pps: Optional[float] = None
+    quote_full: bool = False
+    ipid_seed: int = 0
+    ipid_velocity: float = 100.0
+
+
+def _draw_velocity(params: SimParams, *key: object) -> float:
+    low, high = params.ipid_velocity_range
+    # Log-uniform: most devices slow, a heavy tail of busy ones.
+    u = stable_uniform(params.seed, "ipid-vel", *key)
+    return math.exp(math.log(low) + u * (math.log(high) - math.log(low)))
+
+
+def build_router_policy(
+    params: SimParams, graph: ASGraph, router: RouterNode
+) -> RouterPolicy:
+    """Resolve the behaviour of ``router`` from seeded draws.
+
+    AS-wide attributes (options filtering, stamp fraction) come from the
+    topology; router-level drift comes from per-router draws.
+    """
+    seed = params.seed
+    key = router.key
+    autsys = graph[router.asn]
+    role = key[1]  # "core" | "border" | "access"
+
+    policy = RouterPolicy()
+    policy.ipid_seed = stable_u64(seed, "ipid", key) & 0xFFFF
+    policy.ipid_velocity = _draw_velocity(params, key)
+    policy.quote_full = (
+        stable_uniform(seed, "quote", key) < params.quote_full_prob
+    )
+    policy.ping_responsive = (
+        stable_uniform(seed, "rping", key) < params.router_ping_responsive
+    )
+
+    # Options filtering: AS-wide policy applies to every router in it.
+    policy.drops_options = autsys.filters_options
+
+    # Stamping: AS-wide fraction, plus per-router drift, plus the
+    # access-gear exception.
+    stamps = stable_uniform(seed, "stamp", key) < autsys.stamp_fraction
+    if stamps and role == "access":
+        stamps = (
+            stable_uniform(seed, "access-stamp", key)
+            >= params.access_no_stamp_prob
+        )
+    if stamps:
+        stamps = (
+            stable_uniform(seed, "drift", key) >= params.router_no_stamp_prob
+        )
+    policy.stamps_rr = stamps
+
+    # TTL behaviour.
+    if stable_uniform(seed, "anon", key) < params.anonymous_router_prob:
+        policy.decrements_ttl = False
+        policy.sends_ttl_exceeded = False
+    elif stable_uniform(seed, "noexc", key) < params.no_ttl_exceeded_prob:
+        policy.sends_ttl_exceeded = False
+
+    # Slow-path policing (core and border gear only).
+    if role in ("core", "border") and (
+        stable_uniform(seed, "limit?", key) < params.rate_limit_prob
+    ):
+        choice = stable_u64(seed, "limit-pps", key) % len(
+            params.rate_limit_choices
+        )
+        policy.rate_limit_pps = params.rate_limit_choices[choice]
+    return policy

@@ -1,0 +1,55 @@
+"""Token-bucket rate limiting for slow-path options processing.
+
+IP options force a packet off the forwarding ASIC onto the router's
+route processor, and vendor hardening guides recommend policing that
+path — Cisco's CoPP best practices suggest limiting options packets to
+around ten per second [4]. A classic token bucket reproduces both the
+steady-state limit and the burst tolerance those policers have.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float, start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must allow at least one packet: {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = float(start)
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+
+    def allow(self, now: float) -> bool:
+        """Consume one token at time ``now`` if available."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def peek(self, now: float) -> float:
+        """Tokens that would be available at ``now`` (no consumption)."""
+        if now <= self._last:
+            return self._tokens
+        return min(self.burst, self._tokens + (now - self._last) * self.rate)
+
+    def reset(self, now: float = 0.0) -> None:
+        """Refill completely, e.g. between independent probing runs."""
+        self._tokens = self.burst
+        self._last = float(now)
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate}, burst={self.burst})"

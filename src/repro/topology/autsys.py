@@ -1,0 +1,231 @@
+"""Autonomous systems and their business relationships.
+
+The AS graph follows the standard Gao–Rexford model: edges are either
+customer→provider or peer↔peer, and routing policy (``repro.topology.
+routing``) only uses valley-free paths. The graph also carries the
+per-AS attributes the paper's measurements depend on: CAIDA-style type
+labels (Table 1's columns), options-filtering policy (why RR probes go
+unanswered), and stamping policy (§3.5's never/sometimes/always split).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "ASType",
+    "Tier",
+    "RelKind",
+    "AutonomousSystem",
+    "ASGraph",
+]
+
+
+class ASType(enum.Enum):
+    """CAIDA-style AS classification, mirroring Table 1's columns."""
+
+    TRANSIT_ACCESS = "transit/access"
+    ENTERPRISE = "enterprise"
+    CONTENT = "content"
+    UNKNOWN = "unknown"
+
+
+class Tier(enum.IntEnum):
+    """Position in the transit hierarchy (1 = clique at the top)."""
+
+    TIER1 = 1
+    TIER2 = 2
+    EDGE = 3
+
+
+class RelKind(enum.Enum):
+    """Business relationship of an edge, seen from the first AS."""
+
+    CUSTOMER = "customer"  # the neighbour is our customer
+    PROVIDER = "provider"  # the neighbour is our provider
+    PEER = "peer"
+
+
+@dataclass
+class AutonomousSystem:
+    """One AS: number, classification, and measurement-relevant policy.
+
+    Policy attributes (all set by the generator):
+
+    * ``filters_options`` — drops any packet carrying IP options that it
+      originates, receives, or transits. The 2005 study found 91% of
+      options drops happen at the source or destination AS [8], so the
+      generator assigns this mostly to edge ASes.
+    * ``stamp_fraction`` — fraction of this AS's routers that record
+      their address in RR packets they forward; 1.0 everywhere except
+      the few "never stamp"/"sometimes stamp" ASes §3.5 looks for.
+    * ``hosts_ixp`` / ``colo`` — whether the AS is present at a colo /
+      IXP facility; M-Lab-style vantage points live in such ASes.
+    """
+
+    asn: int
+    as_type: ASType
+    tier: Tier
+    filters_options: bool = False
+    stamp_fraction: float = 1.0
+    colo: bool = False
+    internal_hop_bias: int = 0  # extra intra-AS router hops (universities)
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if not 0.0 <= self.stamp_fraction <= 1.0:
+            raise ValueError(
+                f"stamp_fraction must be in [0, 1], got {self.stamp_fraction}"
+            )
+
+    @property
+    def never_stamps(self) -> bool:
+        return self.stamp_fraction == 0.0
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+
+class ASGraph:
+    """The AS-level topology: nodes plus typed relationship edges."""
+
+    def __init__(self) -> None:
+        self._systems: Dict[int, AutonomousSystem] = {}
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_as(self, autsys: AutonomousSystem) -> None:
+        if autsys.asn in self._systems:
+            raise ValueError(f"duplicate ASN {autsys.asn}")
+        self._systems[autsys.asn] = autsys
+        self._providers[autsys.asn] = set()
+        self._customers[autsys.asn] = set()
+        self._peers[autsys.asn] = set()
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Record that ``customer`` buys transit from ``provider``."""
+        self._require(customer)
+        self._require(provider)
+        if customer == provider:
+            raise ValueError("an AS cannot be its own provider")
+        if provider in self._peers[customer]:
+            raise ValueError(
+                f"AS{customer} and AS{provider} already peer"
+            )
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_peering(self, left: int, right: int) -> None:
+        """Record a settlement-free peering between ``left`` and ``right``."""
+        self._require(left)
+        self._require(right)
+        if left == right:
+            raise ValueError("an AS cannot peer with itself")
+        if right in self._providers[left] or right in self._customers[left]:
+            raise ValueError(
+                f"AS{left} and AS{right} already have a transit relationship"
+            )
+        self._peers[left].add(right)
+        self._peers[right].add(left)
+
+    def _require(self, asn: int) -> None:
+        if asn not in self._systems:
+            raise KeyError(f"unknown ASN {asn}")
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._systems
+
+    def __len__(self) -> int:
+        return len(self._systems)
+
+    def __getitem__(self, asn: int) -> AutonomousSystem:
+        return self._systems[asn]
+
+    def systems(self) -> Iterator[AutonomousSystem]:
+        return iter(self._systems.values())
+
+    def asns(self) -> List[int]:
+        return sorted(self._systems)
+
+    def providers_of(self, asn: int) -> FrozenSet[int]:
+        return frozenset(self._providers[asn])
+
+    def customers_of(self, asn: int) -> FrozenSet[int]:
+        return frozenset(self._customers[asn])
+
+    def peers_of(self, asn: int) -> FrozenSet[int]:
+        return frozenset(self._peers[asn])
+
+    def neighbors_of(self, asn: int) -> FrozenSet[int]:
+        return frozenset(
+            self._providers[asn] | self._customers[asn] | self._peers[asn]
+        )
+
+    def relationship(self, left: int, right: int) -> Optional[RelKind]:
+        """The relationship of ``right`` as seen from ``left``, if any."""
+        if right in self._customers[left]:
+            return RelKind.CUSTOMER
+        if right in self._providers[left]:
+            return RelKind.PROVIDER
+        if right in self._peers[left]:
+            return RelKind.PEER
+        return None
+
+    def edges(self) -> Iterator[Tuple[int, int, RelKind]]:
+        """Iterate unique edges as ``(a, b, relationship-of-b-seen-from-a)``.
+
+        Transit edges are reported once, customer side first; peering
+        edges once with ``a < b``.
+        """
+        for provider in sorted(self._customers):
+            for customer in sorted(self._customers[provider]):
+                yield customer, provider, RelKind.PROVIDER
+        for left in sorted(self._peers):
+            for right in sorted(self._peers[left]):
+                if left < right:
+                    yield left, right, RelKind.PEER
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbors_of(asn))
+
+    def stub_asns(self) -> List[int]:
+        """ASes with no customers (the Internet's edge)."""
+        return [asn for asn in self.asns() if not self._customers[asn]]
+
+    def by_type(self, as_type: ASType) -> List[int]:
+        return [
+            autsys.asn
+            for autsys in self._systems.values()
+            if autsys.as_type is as_type
+        ]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        for asn in self._systems:
+            for provider in self._providers[asn]:
+                if asn not in self._customers[provider]:
+                    raise ValueError(
+                        f"asymmetric transit edge AS{asn}->AS{provider}"
+                    )
+            for peer in self._peers[asn]:
+                if asn not in self._peers[peer]:
+                    raise ValueError(
+                        f"asymmetric peering AS{asn}<->AS{peer}"
+                    )
+            overlap = (
+                self._providers[asn] & self._customers[asn]
+                | self._providers[asn] & self._peers[asn]
+                | self._customers[asn] & self._peers[asn]
+            )
+            if overlap:
+                raise ValueError(
+                    f"AS{asn} has conflicting relationships with {overlap}"
+                )

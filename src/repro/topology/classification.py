@@ -1,0 +1,91 @@
+"""CAIDA-style AS classification dataset.
+
+Table 1 breaks every result down by AS type using "The CAIDA AS
+Classification Dataset" [23]. The real dataset is derived from business
+records and machine learning over BGP features; here the generator
+already knows each AS's ground-truth type, and this module presents that
+knowledge the way the paper consumed it — as a standalone dataset object
+that can also be serialised to/from CAIDA's ``as2type``-like text format
+(``asn|source|type``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.topology.autsys import ASGraph, ASType
+
+__all__ = ["ASClassification", "TYPE_LABELS"]
+
+#: CAIDA's as2type labels for each of our types.
+TYPE_LABELS: Mapping[ASType, str] = {
+    ASType.TRANSIT_ACCESS: "Transit/Access",
+    ASType.ENTERPRISE: "Enterprise",
+    ASType.CONTENT: "Content",
+    ASType.UNKNOWN: "Unknown",
+}
+
+_LABEL_TO_TYPE: Dict[str, ASType] = {
+    label.lower(): as_type for as_type, label in TYPE_LABELS.items()
+}
+
+
+class ASClassification:
+    """Immutable ASN → type mapping with CAIDA-format round-tripping."""
+
+    def __init__(self, mapping: Mapping[int, ASType]) -> None:
+        self._mapping: Dict[int, ASType] = dict(mapping)
+
+    @classmethod
+    def from_graph(cls, graph: ASGraph) -> "ASClassification":
+        """Extract the ground-truth classification from a topology."""
+        return cls({a.asn: a.as_type for a in graph.systems()})
+
+    def type_of(self, asn: int) -> ASType:
+        """The type of ``asn``; unlisted ASes are Unknown, as in CAIDA."""
+        return self._mapping.get(asn, ASType.UNKNOWN)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, asn: object) -> bool:
+        return asn in self._mapping
+
+    def items(self) -> Iterator[Tuple[int, ASType]]:
+        return iter(sorted(self._mapping.items()))
+
+    def asns_of_type(self, as_type: ASType) -> Iterator[int]:
+        for asn, found in sorted(self._mapping.items()):
+            if found is as_type:
+                yield asn
+
+    def counts(self) -> Dict[ASType, int]:
+        counts = {as_type: 0 for as_type in ASType}
+        for as_type in self._mapping.values():
+            counts[as_type] += 1
+        return counts
+
+    # -- as2type-style serialisation ----------------------------------------
+
+    def to_lines(self, source: str = "repro_synth") -> Iterator[str]:
+        """Render ``asn|source|type`` lines like CAIDA's as2type files."""
+        for asn, as_type in sorted(self._mapping.items()):
+            yield f"{asn}|{source}|{TYPE_LABELS[as_type]}"
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "ASClassification":
+        """Parse ``asn|source|type`` lines; '#' comments are skipped."""
+        mapping: Dict[int, ASType] = {}
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("|")
+            if len(fields) != 3:
+                raise ValueError(f"malformed as2type line: {raw!r}")
+            asn_text, _source, label = fields
+            as_type = _LABEL_TO_TYPE.get(label.strip().lower())
+            if as_type is None:
+                raise ValueError(f"unknown AS type label: {label!r}")
+            mapping[int(asn_text)] = as_type
+        return cls(mapping)

@@ -1,0 +1,371 @@
+"""Seeded Internet topology generator.
+
+Produces the AS-level graph the whole study runs against. Shape knobs
+mirror the forces the paper says changed between 2011 and 2016:
+
+* a tiered transit hierarchy (a tier-1 clique, regional tier-2 transit,
+  and an edge of access/enterprise/content/unknown stubs);
+* a ``flattening`` knob in [0, 1] scaling all peering density — tier-2
+  to tier-2 peering, content-to-access peering, and IXP meshes — which
+  is exactly the "flattening Internet" trend §2 and §3.4 discuss;
+* colocation-facility membership (where M-Lab-style vantage points
+  live) and university stubs (where PlanetLab-style ones live, with
+  extra campus hops);
+* designated cloud ASes with very rich peering, modelling the GCE /
+  EC2 / Softlayer comparison of §3.6;
+* options-filtering policy concentrated at edge ASes — the 2005
+  finding that 91% of options drops happen in the source or
+  destination AS [8] — plus rare in-core filters;
+* per-AS RR stamping fractions: almost every AS stamps always, a few
+  stamp sometimes, and a couple never (§3.5's audit target).
+
+All randomness is keyed by ``(seed, entity)`` via :mod:`repro.rng`, so
+identical parameters always regenerate an identical Internet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.topology.autsys import ASGraph, ASType, AutonomousSystem, Tier
+from repro.rng import stable_rng, stable_uniform
+
+__all__ = ["TopologyParams", "GeneratedTopology", "generate_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyParams:
+    """All the knobs; defaults describe the 2016-era study Internet."""
+
+    seed: int = 2016
+    num_tier1: int = 8
+    num_tier2: int = 60
+    #: Regional (tier-3) transit ASes between tier-2 and the edge —
+    #: the extra hierarchy layer of the pre-flattening Internet. The
+    #: 2016 default is zero; the 2011 era preset enables it.
+    num_tier3: int = 0
+    #: Probability an edge AS buys transit from a tier-3 regional
+    #: instead of directly from a tier-2 (when tier-3s exist).
+    edge_via_tier3_prob: float = 0.75
+    num_edge: int = 1100
+    num_clouds: int = 3
+
+    #: Edge-AS type mix, matching Table 1's AS-count shares.
+    edge_type_weights: Tuple[Tuple[ASType, float], ...] = (
+        (ASType.ENTERPRISE, 0.48),
+        (ASType.TRANSIT_ACCESS, 0.37),
+        (ASType.CONTENT, 0.043),
+        (ASType.UNKNOWN, 0.107),
+    )
+
+    #: Master peering-density knob (≈0.15 in 2011, ≈0.65 in 2016).
+    flattening: float = 0.65
+    tier2_peer_prob: float = 0.30
+    #: Colocated tier-2s share facilities and peer much more densely —
+    #: the overlap that makes the paper's VP sites largely redundant.
+    colo_mesh_prob: float = 0.85
+    content_peer_mean: float = 3.0
+    #: Universities peer with a few transit networks via gigapops.
+    university_peer_mean: float = 6.0
+    ixp_count: int = 10
+    ixp_mean_members: int = 22
+    ixp_peer_prob: float = 0.5
+
+    #: Cloud peering probabilities, per cloud rank (rank 0 = richest,
+    #: the GCE-like network), scaled by ``flattening``. Clouds peer
+    #: heavily with transit and eyeball (access) networks and more
+    #: selectively with other edges — the §3.6 "flattening" effect.
+    cloud_tier2_peer: Tuple[float, ...] = (0.95, 0.8, 0.65)
+    cloud_access_peer: Tuple[float, ...] = (0.9, 0.55, 0.4)
+    cloud_other_peer: Tuple[float, ...] = (0.35, 0.18, 0.12)
+
+    colo_fraction_tier2: float = 0.55
+    university_fraction_access: float = 0.30
+    #: Extra router tiers inside campus networks (2 in the 2011 era,
+    #: when campuses were deeper and CDNs had not pulled content in).
+    university_bias: int = 1
+    multihome_prob: float = 0.35
+
+    #: Probability an AS of each type filters all options packets.
+    filter_prob: Tuple[Tuple[ASType, float], ...] = (
+        (ASType.TRANSIT_ACCESS, 0.09),
+        (ASType.ENTERPRISE, 0.22),
+        (ASType.CONTENT, 0.09),
+        (ASType.UNKNOWN, 0.15),
+    )
+    filter_core_prob: float = 0.01
+
+    never_stamp_count: int = 2
+    sometimes_stamp_fraction: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.num_tier1 < 2:
+            raise ValueError("need at least two tier-1 ASes")
+        if not 0.0 <= self.flattening <= 1.0:
+            raise ValueError("flattening must be in [0, 1]")
+        if self.num_clouds > len(self.cloud_tier2_peer):
+            raise ValueError("missing cloud peering parameters")
+
+    def filter_prob_of(self, as_type: ASType) -> float:
+        for found, prob in self.filter_prob:
+            if found is as_type:
+                return prob
+        return 0.0
+
+
+@dataclass
+class GeneratedTopology:
+    """The generator's output: the graph plus role metadata."""
+
+    graph: ASGraph
+    params: TopologyParams
+    tier1: List[int] = field(default_factory=list)
+    tier2: List[int] = field(default_factory=list)
+    tier3: List[int] = field(default_factory=list)
+    edges: List[int] = field(default_factory=list)
+    clouds: List[int] = field(default_factory=list)
+    colo_asns: List[int] = field(default_factory=list)
+    university_asns: List[int] = field(default_factory=list)
+    ixps: List[List[int]] = field(default_factory=list)
+
+    @property
+    def seed(self) -> int:
+        return self.params.seed
+
+
+def _pick_type(params: TopologyParams, asn: int) -> ASType:
+    draw = stable_uniform(params.seed, "edge-type", asn)
+    accumulated = 0.0
+    total = sum(weight for _t, weight in params.edge_type_weights)
+    for as_type, weight in params.edge_type_weights:
+        accumulated += weight / total
+        if draw < accumulated:
+            return as_type
+    return params.edge_type_weights[-1][0]
+
+
+def generate_topology(params: TopologyParams) -> GeneratedTopology:
+    """Build the whole AS-level Internet described by ``params``."""
+    graph = ASGraph()
+    out = GeneratedTopology(graph=graph, params=params)
+    seed = params.seed
+
+    next_asn = 1
+    for _ in range(params.num_tier1):
+        graph.add_as(
+            AutonomousSystem(
+                next_asn, ASType.TRANSIT_ACCESS, Tier.TIER1, colo=True
+            )
+        )
+        out.tier1.append(next_asn)
+        next_asn += 1
+    for _ in range(params.num_tier2):
+        colo = (
+            stable_uniform(seed, "colo", next_asn)
+            < params.colo_fraction_tier2
+        )
+        graph.add_as(
+            AutonomousSystem(
+                next_asn, ASType.TRANSIT_ACCESS, Tier.TIER2, colo=colo
+            )
+        )
+        out.tier2.append(next_asn)
+        if colo:
+            out.colo_asns.append(next_asn)
+        next_asn += 1
+    for _ in range(params.num_tier3):
+        graph.add_as(
+            AutonomousSystem(next_asn, ASType.TRANSIT_ACCESS, Tier.EDGE)
+        )
+        out.tier3.append(next_asn)
+        next_asn += 1
+    for rank in range(params.num_clouds):
+        graph.add_as(
+            AutonomousSystem(next_asn, ASType.CONTENT, Tier.EDGE, colo=True)
+        )
+        out.clouds.append(next_asn)
+        next_asn += 1
+    for _ in range(params.num_edge):
+        as_type = _pick_type(params, next_asn)
+        university = (
+            as_type is ASType.TRANSIT_ACCESS
+            and stable_uniform(seed, "university", next_asn)
+            < params.university_fraction_access
+        )
+        # Campus networks put extra router tiers in front of hosts.
+        bias = params.university_bias if university else 0
+        graph.add_as(
+            AutonomousSystem(
+                next_asn, as_type, Tier.EDGE, internal_hop_bias=bias
+            )
+        )
+        out.edges.append(next_asn)
+        if university:
+            out.university_asns.append(next_asn)
+        next_asn += 1
+
+    _wire_transit(graph, out, params)
+    _wire_peering(graph, out, params)
+    _assign_policies(graph, out, params)
+    graph.validate()
+    return out
+
+
+def _wire_transit(
+    graph: ASGraph, out: GeneratedTopology, params: TopologyParams
+) -> None:
+    """Customer→provider edges: the hierarchy's backbone."""
+    seed = params.seed
+    # Tier-1 clique.
+    for index, left in enumerate(out.tier1):
+        for right in out.tier1[index + 1 :]:
+            graph.add_peering(left, right)
+    # Tier-2: one or two tier-1 providers each.
+    for asn in out.tier2:
+        rng = stable_rng(seed, "t2-providers", asn)
+        count = 1 + (rng.random() < 0.5)
+        for provider in rng.sample(out.tier1, count):
+            graph.add_customer_provider(asn, provider)
+    # Clouds: two tier-1 providers each (transit of last resort).
+    for asn in out.clouds:
+        rng = stable_rng(seed, "cloud-providers", asn)
+        for provider in rng.sample(out.tier1, 2):
+            graph.add_customer_provider(asn, provider)
+    # Tier-3 regionals (2011 era): one or two tier-2 providers each.
+    for asn in out.tier3:
+        rng = stable_rng(seed, "t3-providers", asn)
+        count = 1 + (rng.random() < 0.5)
+        for provider in rng.sample(out.tier2, min(count, len(out.tier2))):
+            graph.add_customer_provider(asn, provider)
+    # Edges: one or two providers — tier-3 regionals when that layer
+    # exists, else tier-2 directly; rare direct tier-1 uplinks.
+    for asn in out.edges:
+        rng = stable_rng(seed, "edge-providers", asn)
+        count = 1 + (rng.random() < params.multihome_prob)
+        if rng.random() < 0.05:
+            pool = out.tier1
+        elif out.tier3 and rng.random() < params.edge_via_tier3_prob:
+            pool = out.tier3
+        else:
+            pool = out.tier2
+        for provider in rng.sample(pool, min(count, len(pool))):
+            graph.add_customer_provider(asn, provider)
+
+
+def _maybe_peer(graph: ASGraph, left: int, right: int) -> bool:
+    """Add a peering edge unless one (or a transit edge) already exists."""
+    if left == right or graph.relationship(left, right) is not None:
+        return False
+    graph.add_peering(left, right)
+    return True
+
+
+def _wire_peering(
+    graph: ASGraph, out: GeneratedTopology, params: TopologyParams
+) -> None:
+    """Settlement-free edges: where the flattening knob acts."""
+    seed = params.seed
+    flat = params.flattening
+    # Tier-2 mesh: dense among colo members, sparser elsewhere.
+    colo = set(out.colo_asns)
+    for index, left in enumerate(out.tier2):
+        for right in out.tier2[index + 1 :]:
+            prob = (
+                params.colo_mesh_prob
+                if left in colo and right in colo
+                else params.tier2_peer_prob
+            )
+            if stable_uniform(seed, "t2-peer", left, right) < prob * flat:
+                _maybe_peer(graph, left, right)
+    # University gigapop peering with (preferentially colo) tier-2s.
+    for asn in out.university_asns:
+        rng = stable_rng(seed, "uni-peers", asn)
+        count = round(rng.random() * 2 * params.university_peer_mean * flat)
+        pool = out.colo_asns or out.tier2
+        for peer in rng.sample(pool, min(count, len(pool))):
+            _maybe_peer(graph, asn, peer)
+    # Clouds peer very broadly (the §3.6 effect).
+    access_edges = [
+        asn
+        for asn in out.edges
+        if graph[asn].as_type is ASType.TRANSIT_ACCESS
+    ]
+    # Cloud probabilities are taken as-is (not scaled by the global
+    # flattening knob): era presets set them explicitly, and by 2016
+    # the hyperscalers peered with nearly every eyeball network.
+    for rank, cloud in enumerate(out.clouds):
+        t2_prob = params.cloud_tier2_peer[rank]
+        access_prob = params.cloud_access_peer[rank]
+        other_prob = params.cloud_other_peer[rank]
+        for asn in out.tier2:
+            if stable_uniform(seed, "cloud-t2", cloud, asn) < t2_prob:
+                _maybe_peer(graph, cloud, asn)
+        for asn in out.edges:
+            prob = (
+                access_prob
+                if graph[asn].as_type is ASType.TRANSIT_ACCESS
+                else other_prob
+            )
+            if stable_uniform(seed, "cloud-edge", cloud, asn) < prob:
+                _maybe_peer(graph, cloud, asn)
+    # Ordinary content networks pick up a few peers.
+    for asn in out.edges:
+        if graph[asn].as_type is not ASType.CONTENT:
+            continue
+        rng = stable_rng(seed, "content-peers", asn)
+        count = round(rng.random() * 2 * params.content_peer_mean * flat)
+        for peer in rng.sample(out.tier2, min(count, len(out.tier2))):
+            _maybe_peer(graph, asn, peer)
+    # IXPs: facility membership plus a partial mesh among members.
+    candidates = out.tier2 + out.clouds + access_edges
+    for ixp_index in range(params.ixp_count):
+        rng = stable_rng(seed, "ixp", ixp_index)
+        size = max(3, round(rng.gauss(params.ixp_mean_members, 5)))
+        members = rng.sample(candidates, min(size, len(candidates)))
+        out.ixps.append(sorted(members))
+        for index, left in enumerate(members):
+            for right in members[index + 1 :]:
+                if rng.random() < params.ixp_peer_prob * flat:
+                    _maybe_peer(graph, left, right)
+
+
+def _assign_policies(
+    graph: ASGraph, out: GeneratedTopology, params: TopologyParams
+) -> None:
+    """Options filtering and RR stamping policy, per AS."""
+    seed = params.seed
+    for autsys in graph.systems():
+        if autsys.tier is Tier.TIER2 or autsys.asn in out.tier3:
+            prob = params.filter_core_prob
+        elif autsys.tier is Tier.EDGE and autsys.asn not in out.clouds:
+            prob = params.filter_prob_of(autsys.as_type)
+        else:
+            prob = 0.0  # tier-1 and clouds never filter in our model
+        autsys.filters_options = (
+            stable_uniform(seed, "filters", autsys.asn) < prob
+        )
+
+    # §3.5: a couple of ASes never stamp; a small set sometimes stamp.
+    # Only transit (tier-2/3) networks qualify: a stub's stamping
+    # policy is unobservable to the traceroute-vs-RR audit since
+    # nothing transits it.
+    stampable = [
+        asn
+        for asn in out.tier2 + out.tier3
+        if not graph[asn].filters_options
+    ]
+    rng = stable_rng(seed, "stamping")
+    never = rng.sample(
+        stampable, min(params.never_stamp_count, len(stampable))
+    )
+    remaining = [asn for asn in stampable if asn not in never]
+    sometimes_count = round(len(stampable) * params.sometimes_stamp_fraction)
+    sometimes = rng.sample(remaining, min(sometimes_count, len(remaining)))
+    for asn in never:
+        graph[asn].stamp_fraction = 0.0
+    for asn in sometimes:
+        # Low enough that an entire traversal (2-4 routers) sometimes
+        # goes unstamped — the §3.5 "usually seen in both, but not
+        # always" signature.
+        graph[asn].stamp_fraction = 0.15 + 0.55 * rng.random()

@@ -1,0 +1,119 @@
+"""Destination hitlist — one representative address per advertised prefix.
+
+The paper's destination set "included 1 IP address in each advertised
+BGP prefix ... For each prefix, the set includes the address that was
+most responsive to previous ping probes [7]" (the ISI hitlist). Our
+equivalent samples one host address per advertised /24, stably seeded,
+skipping the low reserved addresses the way a hitlist would skip
+network/broadcast addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.net.addr import Prefix, addr_to_int, int_to_addr, parse_prefix
+from repro.topology.prefixes import PrefixTable
+from repro.rng import stable_randint
+
+__all__ = ["Destination", "Hitlist", "build_hitlist"]
+
+#: Host part range representative addresses are drawn from. .1 is left
+#: for gateways and the high end for infrastructure (the per-prefix
+#: access router lives at .254).
+_HOST_LOW = 2
+_HOST_HIGH = 200
+
+
+@dataclass(frozen=True)
+class Destination:
+    """One probed destination: an address inside an advertised prefix."""
+
+    addr: int
+    prefix: Prefix
+    asn: int
+
+
+class Hitlist:
+    """The probe target list: destinations indexed by address and prefix."""
+
+    def __init__(self, destinations: List[Destination]) -> None:
+        self._destinations = sorted(destinations, key=lambda d: d.addr)
+        self._by_addr: Dict[int, Destination] = {}
+        self._by_prefix: Dict[Prefix, Destination] = {}
+        for dest in self._destinations:
+            if dest.addr in self._by_addr:
+                raise ValueError(f"duplicate hitlist address {dest.addr}")
+            if dest.prefix in self._by_prefix:
+                raise ValueError(f"duplicate hitlist prefix {dest.prefix}")
+            if dest.addr not in dest.prefix:
+                raise ValueError(
+                    f"hitlist address outside its prefix: {dest}"
+                )
+            self._by_addr[dest.addr] = dest
+            self._by_prefix[dest.prefix] = dest
+
+    def __len__(self) -> int:
+        return len(self._destinations)
+
+    def __iter__(self) -> Iterator[Destination]:
+        return iter(self._destinations)
+
+    def addresses(self) -> List[int]:
+        return [dest.addr for dest in self._destinations]
+
+    def by_addr(self, addr: int) -> Optional[Destination]:
+        return self._by_addr.get(addr)
+
+    def by_prefix(self, prefix: Prefix) -> Optional[Destination]:
+        return self._by_prefix.get(prefix)
+
+    def in_asn(self, asn: int) -> List[Destination]:
+        return [dest for dest in self._destinations if dest.asn == asn]
+
+    def asns(self) -> List[int]:
+        return sorted({dest.asn for dest in self._destinations})
+
+    # -- hitlist-file serialisation (ISI-style ``addr|prefix|asn``) -------
+
+    def to_lines(self) -> Iterator[str]:
+        for dest in self._destinations:
+            yield f"{int_to_addr(dest.addr)}|{dest.prefix}|{dest.asn}"
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "Hitlist":
+        destinations = []
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("|")
+            if len(fields) != 3:
+                raise ValueError(f"malformed hitlist line: {raw!r}")
+            addr_text, prefix_text, asn_text = fields
+            destinations.append(
+                Destination(
+                    addr=addr_to_int(addr_text),
+                    prefix=parse_prefix(prefix_text),
+                    asn=int(asn_text),
+                )
+            )
+        return cls(destinations)
+
+
+def build_hitlist(table: PrefixTable, seed: int) -> Hitlist:
+    """Choose one stable representative address per advertised prefix."""
+    destinations = []
+    for entry in table:
+        offset = stable_randint(
+            _HOST_LOW, _HOST_HIGH, seed, "hitlist", entry.prefix.base
+        )
+        destinations.append(
+            Destination(
+                addr=entry.prefix.base + offset,
+                prefix=entry.prefix,
+                asn=entry.origin_asn,
+            )
+        )
+    return Hitlist(destinations)

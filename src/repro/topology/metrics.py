@@ -1,0 +1,132 @@
+"""Topology metrics: sanity-check the generated Internet's shape.
+
+The study's conclusions are statements about Internet *structure*
+(flattening, colo density, hierarchy depth), so a released generator
+needs a way to show what it built. These metrics are what DESIGN.md's
+calibration targets are checked against, and what
+``examples``/tests use to demonstrate that an era knob actually
+changed the structure it claims to change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.topology.autsys import ASType, RelKind, Tier
+from repro.topology.generator import GeneratedTopology
+from repro.topology.routing import RoutingSystem
+
+__all__ = ["TopologyMetrics", "compute_metrics", "path_length_histogram"]
+
+
+@dataclass
+class TopologyMetrics:
+    """Aggregate structural facts about one generated Internet."""
+
+    as_count: int = 0
+    transit_edge_count: int = 0
+    peering_edge_count: int = 0
+    type_counts: Dict[ASType, int] = field(default_factory=dict)
+    tier_counts: Dict[Tier, int] = field(default_factory=dict)
+    stub_fraction: float = 0.0
+    multihomed_fraction: float = 0.0
+    filtering_fraction: float = 0.0
+    mean_degree: float = 0.0
+    max_degree: int = 0
+    colo_count: int = 0
+    university_count: int = 0
+
+    @property
+    def peering_ratio(self) -> float:
+        """Peering edges per transit edge — the flattening signature."""
+        if self.transit_edge_count == 0:
+            return 0.0
+        return self.peering_edge_count / self.transit_edge_count
+
+    def render(self) -> str:
+        types = ", ".join(
+            f"{as_type.value}={count}"
+            for as_type, count in sorted(
+                self.type_counts.items(), key=lambda kv: kv[0].value
+            )
+        )
+        return (
+            f"{self.as_count} ASes ({types}); "
+            f"{self.transit_edge_count} transit + "
+            f"{self.peering_edge_count} peering edges "
+            f"(peering ratio {self.peering_ratio:.2f}); "
+            f"{self.stub_fraction:.0%} stubs, "
+            f"{self.multihomed_fraction:.0%} multihomed, "
+            f"{self.filtering_fraction:.0%} filter options; "
+            f"mean degree {self.mean_degree:.1f} (max {self.max_degree}); "
+            f"{self.colo_count} colo ASes, "
+            f"{self.university_count} universities"
+        )
+
+
+def compute_metrics(topo: GeneratedTopology) -> TopologyMetrics:
+    """All structural metrics of a generated topology."""
+    graph = topo.graph
+    metrics = TopologyMetrics(as_count=len(graph))
+    for _left, _right, kind in graph.edges():
+        if kind is RelKind.PEER:
+            metrics.peering_edge_count += 1
+        else:
+            metrics.transit_edge_count += 1
+
+    degrees = []
+    stubs = multihomed = filtering = 0
+    for autsys in graph.systems():
+        metrics.type_counts[autsys.as_type] = (
+            metrics.type_counts.get(autsys.as_type, 0) + 1
+        )
+        metrics.tier_counts[autsys.tier] = (
+            metrics.tier_counts.get(autsys.tier, 0) + 1
+        )
+        degree = graph.degree(autsys.asn)
+        degrees.append(degree)
+        if not graph.customers_of(autsys.asn):
+            stubs += 1
+        if len(graph.providers_of(autsys.asn)) >= 2:
+            multihomed += 1
+        if autsys.filters_options:
+            filtering += 1
+    metrics.stub_fraction = stubs / len(graph)
+    metrics.multihomed_fraction = multihomed / len(graph)
+    metrics.filtering_fraction = filtering / len(graph)
+    metrics.mean_degree = sum(degrees) / len(degrees)
+    metrics.max_degree = max(degrees)
+    metrics.colo_count = len(topo.colo_asns)
+    metrics.university_count = len(topo.university_asns)
+    return metrics
+
+
+def path_length_histogram(
+    routing: RoutingSystem,
+    sources: Sequence[int],
+    dests: Sequence[int],
+    max_length: Optional[int] = None,
+) -> Dict[Optional[int], int]:
+    """AS-path-length histogram over a (sources x dests) sample.
+
+    The ``None`` bucket counts unreachable pairs. ``max_length`` folds
+    longer paths into their own bucket value (the histogram's last
+    key) when given.
+    """
+    histogram: Dict[Optional[int], int] = {}
+    for dest in dests:
+        tree = routing.routing_tree(dest)
+        for src in sources:
+            if src == dest:
+                continue
+            info = tree.get(src)
+            length: Optional[int] = None if info is None else info.length
+            if (
+                length is not None
+                and max_length is not None
+                and length > max_length
+            ):
+                length = max_length
+            histogram[length] = histogram.get(length, 0) + 1
+    return histogram

@@ -1,0 +1,153 @@
+"""BGP prefix table — the synthetic stand-in for a RouteViews RIB.
+
+The paper probed "1 IP address in each advertised BGP prefix collected
+by RouteViews on September 24, 2016". Our equivalent: every AS owns a
+/16 address block (``ASN << 16``), advertises some number of /24
+prefixes out of the bottom of that block (how many depends on its type
+— transit and content networks advertise far more address space than
+enterprises, matching Table 1's IP-vs-AS ratios), and reserves the top
+/24 of its block for router infrastructure addresses.
+
+The table also round-trips a RouteViews-style ``prefix|asn`` text format
+so examples can show a familiar artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.net.addr import Prefix, parse_prefix
+from repro.topology.autsys import ASGraph, ASType
+from repro.rng import stable_randint
+
+__all__ = [
+    "AdvertisedPrefix",
+    "PrefixTable",
+    "as_block",
+    "infra_prefix",
+    "build_prefix_table",
+    "PREFIXES_PER_AS",
+]
+
+#: Inclusive (low, high) range of advertised /24 counts per AS type, at
+#: scale 1.0. Tuned so the IP-count shares by type track Table 1
+#: (transit/access ≈ 76% of probed addresses, content ≈ 9%, ...).
+PREFIXES_PER_AS: Dict[ASType, Tuple[int, int]] = {
+    ASType.TRANSIT_ACCESS: (8, 30),
+    ASType.ENTERPRISE: (1, 4),
+    ASType.CONTENT: (8, 30),
+    ASType.UNKNOWN: (1, 6),
+}
+
+#: /24 index inside the AS block reserved for router infrastructure.
+_INFRA_INDEX = 255
+
+#: Maximum advertised /24s per AS — leaves the infrastructure /24 and
+#: headroom below it untouched.
+_MAX_ADVERTISED = 200
+
+
+def as_block(asn: int) -> Prefix:
+    """The /16 address block owned by ``asn``."""
+    if not 1 <= asn <= 0xFFFF:
+        raise ValueError(f"ASN outside the allocatable range: {asn}")
+    return Prefix(asn << 16, 16)
+
+
+def infra_prefix(asn: int) -> Prefix:
+    """The /24 an AS uses for router interface addresses."""
+    return Prefix((asn << 16) | (_INFRA_INDEX << 8), 24)
+
+
+@dataclass(frozen=True)
+class AdvertisedPrefix:
+    """One advertised prefix: the RIB row the hitlist samples from."""
+
+    prefix: Prefix
+    origin_asn: int
+
+    def __str__(self) -> str:
+        return f"{self.prefix}|{self.origin_asn}"
+
+
+class PrefixTable:
+    """The advertised-prefix table (a flattened RIB)."""
+
+    def __init__(self, entries: Iterable[AdvertisedPrefix]) -> None:
+        self._entries: List[AdvertisedPrefix] = sorted(
+            entries, key=lambda e: (e.prefix.base, e.prefix.length)
+        )
+        self._by_asn: Dict[int, List[AdvertisedPrefix]] = {}
+        seen = set()
+        for entry in self._entries:
+            if entry.prefix in seen:
+                raise ValueError(f"duplicate advertised prefix {entry.prefix}")
+            seen.add(entry.prefix)
+            self._by_asn.setdefault(entry.origin_asn, []).append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AdvertisedPrefix]:
+        return iter(self._entries)
+
+    def prefixes_of(self, asn: int) -> List[AdvertisedPrefix]:
+        return list(self._by_asn.get(asn, []))
+
+    def origin_asns(self) -> List[int]:
+        return sorted(self._by_asn)
+
+    def origin_of(self, prefix: Prefix) -> Optional[int]:
+        for entry in self._by_asn.get(prefix.base >> 16, []):
+            if entry.prefix == prefix:
+                return entry.origin_asn
+        return None
+
+    # -- RouteViews-style serialisation -------------------------------------
+
+    def to_lines(self) -> Iterator[str]:
+        for entry in self._entries:
+            yield str(entry)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "PrefixTable":
+        entries = []
+        for raw in lines:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            prefix_text, _sep, asn_text = line.partition("|")
+            if not asn_text:
+                raise ValueError(f"malformed prefix line: {raw!r}")
+            entries.append(
+                AdvertisedPrefix(parse_prefix(prefix_text), int(asn_text))
+            )
+        return cls(entries)
+
+
+def build_prefix_table(
+    graph: ASGraph, seed: int, prefix_scale: float = 1.0
+) -> PrefixTable:
+    """Advertise /24s for every AS in ``graph``.
+
+    ``prefix_scale`` shrinks or grows per-AS counts so small test
+    scenarios do not drown in destinations; every AS always advertises
+    at least one prefix (an AS with no address space would never appear
+    in the study at all).
+    """
+    if prefix_scale <= 0:
+        raise ValueError(f"prefix_scale must be positive: {prefix_scale}")
+    entries = []
+    for asn in graph.asns():
+        low, high = PREFIXES_PER_AS[graph[asn].as_type]
+        drawn = stable_randint(low, high, seed, "prefix-count", asn)
+        count = max(1, min(_MAX_ADVERTISED, round(drawn * prefix_scale)))
+        block = as_block(asn)
+        for index in range(count):
+            entries.append(
+                AdvertisedPrefix(
+                    Prefix(block.base + (index << 8), 24), asn
+                )
+            )
+    return PrefixTable(entries)

@@ -1,0 +1,305 @@
+"""Router-level topology: the fabric of routers inside and between ASes.
+
+The AS graph says *which networks* a packet crosses; this module says
+*which routers* — and therefore how many RR slots and TTL hops a path
+consumes, which is the quantity the whole paper turns on.
+
+Construction is eager and deterministic: iterating ASes and neighbours
+in sorted order, every AS gets
+
+* one **border router** per AS-level adjacency, with an external
+  interface (facing the neighbour), an internal interface, and a
+  loopback — all addressed out of the AS's infrastructure block;
+* a pool of **core routers** (pool size grows with the AS's tier) that
+  interior path segments are threaded through;
+* optionally, per advertised prefix, a lazily-created **access router**
+  at ``<prefix>.254`` representing the last aggregation hop in front of
+  the destination.
+
+Routers expose *different* interface addresses to RR and to traceroute —
+RR records the outgoing interface (RFC 791) while TTL-exceeded errors
+come from the interface the packet arrived on — which is precisely the
+aliasing the paper's MIDAR step has to untangle (§3.3).
+
+Path expansion (:meth:`RouterFabric.expand`) turns an AS-level path into
+a directed hop list; behavioural policy (does this hop stamp? filter?
+rate-limit?) is layered on by ``repro.sim``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.net.addr import Prefix
+from repro.topology.autsys import ASGraph, Tier
+from repro.rng import stable_u64, stable_uniform
+
+__all__ = ["RouterNode", "Hop", "RouterFabric", "ACCESS_ROUTER_HOST"]
+
+#: Host byte of every per-prefix access router.
+ACCESS_ROUTER_HOST = 254
+
+#: Fraction of advertised prefixes fronted by an access router.
+_ACCESS_ROUTER_PROB = 0.5
+
+#: Core-router pool size by tier.
+_POOL_SIZE = {Tier.TIER1: 6, Tier.TIER2: 4, Tier.EDGE: 2}
+
+#: Infrastructure addresses: the top /20 of the AS /16 (indices 240-255),
+#: 4096 addresses — enough for the highest-degree transit ASes.
+_INFRA_REGION_INDEX = 240
+_INFRA_REGION_SIZE = 16 << 8
+
+
+@dataclass
+class RouterNode:
+    """One router: a stable key, its AS, and its named interfaces."""
+
+    key: Tuple
+    asn: int
+    ifaces: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def addrs(self) -> List[int]:
+        return sorted(self.ifaces.values())
+
+    def iface(self, role: str) -> int:
+        return self.ifaces[role]
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RouterNode) and self.key == other.key
+
+    def __repr__(self) -> str:
+        return f"RouterNode({self.key!r}, AS{self.asn})"
+
+
+class Hop(NamedTuple):
+    """One directed traversal of a router.
+
+    ``stamp_addr`` is what the router writes into a Record Route slot
+    (its outgoing interface); ``icmp_addr`` is the source of any ICMP
+    error it generates (the interface the packet arrived on).
+    """
+
+    router: RouterNode
+    stamp_addr: int
+    icmp_addr: int
+
+
+class RouterFabric:
+    """Builds and indexes every router implied by an AS graph."""
+
+    def __init__(self, graph: ASGraph, seed: int) -> None:
+        self._graph = graph
+        self._seed = seed
+        self._borders: Dict[Tuple[int, int], RouterNode] = {}
+        self._pools: Dict[int, List[RouterNode]] = {}
+        self._access: Dict[Prefix, Optional[RouterNode]] = {}
+        self._by_addr: Dict[int, RouterNode] = {}
+        self._next_infra: Dict[int, int] = {}
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _build(self) -> None:
+        for asn in self._graph.asns():
+            # Infrastructure region: /24 indices 240-255 of the AS block;
+            # .0 of the region is left unused so no interface is a
+            # network-looking address.
+            self._next_infra[asn] = ((asn << 16) | (_INFRA_REGION_INDEX << 8)) + 1
+            pool_size = _POOL_SIZE[self._graph[asn].tier]
+            pool = []
+            for index in range(pool_size):
+                router = RouterNode(key=(asn, "core", index), asn=asn)
+                for role in ("a", "b", "lo"):
+                    self._add_iface(router, role)
+                pool.append(router)
+            self._pools[asn] = pool
+            for neighbor in sorted(self._graph.neighbors_of(asn)):
+                router = RouterNode(key=(asn, "border", neighbor), asn=asn)
+                for role in ("ext", "int", "lo"):
+                    self._add_iface(router, role)
+                self._borders[(asn, neighbor)] = router
+
+    def _add_iface(self, router: RouterNode, role: str) -> None:
+        asn = router.asn
+        addr = self._next_infra[asn]
+        region_base = (asn << 16) | (_INFRA_REGION_INDEX << 8)
+        if addr >= region_base + _INFRA_REGION_SIZE:
+            raise RuntimeError(
+                f"AS{asn} exhausted its infrastructure address region"
+            )
+        self._next_infra[asn] = addr + 1
+        router.ifaces[role] = addr
+        self._by_addr[addr] = router
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    def border(self, asn: int, neighbor: int) -> RouterNode:
+        return self._borders[(asn, neighbor)]
+
+    def core_pool(self, asn: int) -> List[RouterNode]:
+        return self._pools[asn]
+
+    def access_router(self, prefix: Prefix, asn: int) -> Optional[RouterNode]:
+        """The access router fronting ``prefix``, or None if it has none.
+
+        Created lazily; its single interface lives at ``<prefix>.254``,
+        inside the advertised prefix itself (as real last-hop
+        aggregation routers' customer-facing interfaces do).
+        """
+        if prefix in self._access:
+            return self._access[prefix]
+        router: Optional[RouterNode] = None
+        if stable_uniform(self._seed, "access?", prefix.base) < _ACCESS_ROUTER_PROB:
+            router = RouterNode(key=(asn, "access", prefix.base), asn=asn)
+            addr = prefix.base + ACCESS_ROUTER_HOST
+            router.ifaces["cust"] = addr
+            self._by_addr[addr] = router
+        self._access[prefix] = router
+        return router
+
+    def router_of_addr(self, addr: int) -> Optional[RouterNode]:
+        """Ground-truth owner of an interface address (alias oracle)."""
+        return self._by_addr.get(addr)
+
+    def routers(self) -> Iterator[RouterNode]:
+        yield from self._pools_flat()
+        for key in sorted(self._borders):
+            yield self._borders[key]
+        for prefix in sorted(self._access, key=lambda p: p.base):
+            router = self._access[prefix]
+            if router is not None:
+                yield router
+
+    def _pools_flat(self) -> Iterator[RouterNode]:
+        for asn in sorted(self._pools):
+            yield from self._pools[asn]
+
+    def __len__(self) -> int:
+        return (
+            sum(len(pool) for pool in self._pools.values())
+            + len(self._borders)
+            + sum(1 for router in self._access.values() if router is not None)
+        )
+
+    # -- path expansion ----------------------------------------------------
+
+    def _interior_count(self, asn: int, prev: int, nxt: int) -> int:
+        """Cores traversed inside ``asn`` between neighbours prev/nxt."""
+        autsys = self._graph[asn]
+        tier = autsys.tier
+        if tier is Tier.TIER1:
+            count = 2 + stable_u64(self._seed, "interior", asn, prev, nxt) % 2
+        elif tier is Tier.TIER2:
+            count = 1 + stable_u64(self._seed, "interior", asn, prev, nxt) % 3
+        else:
+            count = stable_u64(self._seed, "interior", asn, prev, nxt) % 3
+        return count + autsys.internal_hop_bias
+
+    def _interior_chain(
+        self, asn: int, prev: object, nxt: object, count: int
+    ) -> List[RouterNode]:
+        if count <= 0:
+            return []
+        pool = self._pools[asn]
+        start = stable_u64(self._seed, "chain", asn, prev, nxt) % len(pool)
+        return [pool[(start + i) % len(pool)] for i in range(count)]
+
+    @staticmethod
+    def _core_hop(router: RouterNode) -> Hop:
+        return Hop(router, router.iface("b"), router.iface("a"))
+
+    def expand_trunk(self, as_path: Sequence[int]) -> List[Hop]:
+        """The AS-level part of a router path (no per-prefix hops).
+
+        Covers the source AS's gateway core router(s), its egress
+        border, every intermediate AS (ingress border, interior chain,
+        egress border), and the destination AS's ingress border. For a
+        single-AS path only the gateway cores appear. Depends only on
+        the AS path, so callers can cache trunks by (src, dst) AS pair.
+        """
+        if not as_path:
+            raise ValueError("empty AS path")
+        hops: List[Hop] = []
+        src_asn = as_path[0]
+        dst_asn = as_path[-1]
+
+        gw_count = 1 + self._graph[src_asn].internal_hop_bias
+        gw_next = as_path[1] if len(as_path) > 1 else "local"
+        for router in self._interior_chain(src_asn, "gw", gw_next, gw_count):
+            hops.append(self._core_hop(router))
+        if len(as_path) == 1:
+            return hops
+        egress = self.border(src_asn, as_path[1])
+        hops.append(Hop(egress, egress.iface("ext"), egress.iface("int")))
+
+        for position in range(1, len(as_path) - 1):
+            asn = as_path[position]
+            prev_asn = as_path[position - 1]
+            next_asn = as_path[position + 1]
+            ingress = self.border(asn, prev_asn)
+            hops.append(Hop(ingress, ingress.iface("int"), ingress.iface("ext")))
+            count = self._interior_count(asn, prev_asn, next_asn)
+            for router in self._interior_chain(asn, prev_asn, next_asn, count):
+                hops.append(self._core_hop(router))
+            egress = self.border(asn, next_asn)
+            hops.append(Hop(egress, egress.iface("ext"), egress.iface("int")))
+
+        ingress = self.border(dst_asn, as_path[-2])
+        hops.append(Hop(ingress, ingress.iface("int"), ingress.iface("ext")))
+        return hops
+
+    def tail_hops(
+        self, dst_asn: int, dst_prefix: Prefix, with_access: bool = True
+    ) -> List[Hop]:
+        """The per-prefix last-mile hops inside the destination AS.
+
+        A short interior tail (length keyed by the prefix, so different
+        prefixes of one AS sit at slightly different depths) followed by
+        the prefix's access router when it has one. Ordered toward the
+        destination host; depends only on the prefix, so callers can
+        cache tails per prefix.
+        """
+        tail = (
+            stable_u64(self._seed, "dst-tail", dst_asn, dst_prefix.base) % 4
+            + self._graph[dst_asn].internal_hop_bias
+        )
+        hops = [
+            self._core_hop(router)
+            for router in self._interior_chain(
+                dst_asn, "tail", dst_prefix.base, tail
+            )
+        ]
+        if with_access:
+            access = self.access_router(dst_prefix, dst_asn)
+            if access is not None:
+                addr = access.iface("cust")
+                hops.append(Hop(access, addr, addr))
+        return hops
+
+    def expand(
+        self,
+        as_path: Sequence[int],
+        dst_prefix: Optional[Prefix] = None,
+        with_access: bool = True,
+    ) -> List[Hop]:
+        """Expand an AS path into the full directed router-hop list.
+
+        The list covers everything between (and excluding) the source
+        host and the destination host. ``dst_prefix`` selects the
+        destination-side tail and access router; the destination host
+        itself is not a hop (hosts are modelled by ``repro.sim.host``).
+        """
+        hops = self.expand_trunk(as_path)
+        if dst_prefix is not None:
+            hops += self.tail_hops(as_path[-1], dst_prefix, with_access)
+        return hops

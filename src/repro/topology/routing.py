@@ -1,0 +1,191 @@
+"""Valley-free (Gao–Rexford) interdomain route computation.
+
+BGP routes are modelled with the standard policy abstraction:
+
+* an AS prefers routes learned from customers over routes learned from
+  peers over routes learned from providers (money flows downhill);
+* it breaks ties by shortest AS path, then lowest next-hop ASN (a
+  deterministic stand-in for BGP's arbitrary final tie-breakers);
+* it exports customer routes to everyone, but peer/provider routes only
+  to customers — which is exactly what makes every usable path
+  *valley-free*: zero or more customer→provider hops, at most one peer
+  hop, then zero or more provider→customer hops.
+
+Routes to a destination AS are computed for every source at once with
+the classic three-phase sweep (customer BFS up, one peer step sideways,
+provider Dijkstra down), and the resulting routing tree is cached, so
+asking for many sources' paths to the same destination is cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.topology.autsys import ASGraph
+
+__all__ = ["RouteKind", "RouteInfo", "RoutingSystem"]
+
+# Route preference, higher is better (Gao–Rexford).
+KIND_CUSTOMER = 3
+KIND_PEER = 2
+KIND_PROVIDER = 1
+
+
+class RouteKind:
+    """Symbolic names for route-learning relationships."""
+
+    CUSTOMER = KIND_CUSTOMER
+    PEER = KIND_PEER
+    PROVIDER = KIND_PROVIDER
+
+
+class RouteInfo(NamedTuple):
+    """One AS's selected route toward a destination."""
+
+    kind: int  # KIND_* preference class
+    length: int  # AS-path length in AS hops (dest itself: 0)
+    next_hop: Optional[int]  # neighbour toward dest; None at dest
+
+
+class RoutingSystem:
+    """Computes and caches valley-free routing trees over an ASGraph."""
+
+    def __init__(self, graph: ASGraph, cache_size: int = 4096) -> None:
+        self._graph = graph
+        self._cache_size = cache_size
+        self._trees: Dict[int, Dict[int, RouteInfo]] = {}
+        self._tree_order: deque = deque()
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    # -- routing trees -----------------------------------------------------
+
+    def routing_tree(self, dest: int) -> Dict[int, RouteInfo]:
+        """Every AS's selected route toward ``dest`` (absent = no route)."""
+        cached = self._trees.get(dest)
+        if cached is not None:
+            return cached
+        tree = self._compute_tree(dest)
+        self._trees[dest] = tree
+        self._tree_order.append(dest)
+        if len(self._tree_order) > self._cache_size:
+            evicted = self._tree_order.popleft()
+            self._trees.pop(evicted, None)
+        return tree
+
+    def _compute_tree(self, dest: int) -> Dict[int, RouteInfo]:
+        graph = self._graph
+        if dest not in graph:
+            raise KeyError(f"unknown destination ASN {dest}")
+        routes: Dict[int, RouteInfo] = {
+            dest: RouteInfo(KIND_CUSTOMER, 0, None)
+        }
+
+        # Phase 1 — customer routes: the destination's reachability climbs
+        # provider links, so every AS on an all-uphill path learns a
+        # customer route. Level-synchronous BFS keeps lengths minimal and
+        # lets ties resolve to the lowest next-hop ASN.
+        frontier = [dest]
+        length = 0
+        while frontier:
+            length += 1
+            candidates: Dict[int, int] = {}
+            for asn in frontier:
+                for provider in graph.providers_of(asn):
+                    if provider in routes:
+                        continue
+                    best = candidates.get(provider)
+                    if best is None or asn < best:
+                        candidates[provider] = asn
+            for provider, via in candidates.items():
+                routes[provider] = RouteInfo(KIND_CUSTOMER, length, via)
+            frontier = sorted(candidates)
+
+        # Phase 2 — peer routes: one sideways hop from any AS holding a
+        # customer route (or the destination itself). Customer routes
+        # always win, so only routeless ASes adopt.
+        peer_routes: Dict[int, RouteInfo] = {}
+        for asn, info in routes.items():
+            for peer in graph.peers_of(asn):
+                if peer in routes:
+                    continue
+                candidate = RouteInfo(KIND_PEER, info.length + 1, asn)
+                best = peer_routes.get(peer)
+                if best is None or (candidate.length, candidate.next_hop) < (
+                    best.length,
+                    best.next_hop,
+                ):
+                    peer_routes[peer] = candidate
+        routes.update(peer_routes)
+
+        # Phase 3 — provider routes: every routed AS exports its selected
+        # route to customers, recursively. Seed lengths differ, so this
+        # is a unit-weight Dijkstra down customer links.
+        heap: List[tuple] = [
+            (info.length, asn) for asn, info in routes.items()
+        ]
+        heapq.heapify(heap)
+        settled: Dict[int, int] = {}
+        while heap:
+            length, asn = heapq.heappop(heap)
+            if settled.get(asn, 1 << 30) <= length:
+                continue
+            settled[asn] = length
+            for customer in sorted(graph.customers_of(asn)):
+                if customer in routes and routes[customer].kind > KIND_PROVIDER:
+                    continue
+                candidate = RouteInfo(KIND_PROVIDER, length + 1, asn)
+                best = routes.get(customer)
+                if best is None or (candidate.length, candidate.next_hop) < (
+                    best.length,
+                    best.next_hop,
+                ):
+                    routes[customer] = candidate
+                    heapq.heappush(heap, (candidate.length, customer))
+        return routes
+
+    # -- paths ---------------------------------------------------------
+
+    def as_path(self, src: int, dest: int) -> Optional[List[int]]:
+        """The AS-level path from ``src`` to ``dest``, or None.
+
+        The returned list starts with ``src`` and ends with ``dest``;
+        a path from an AS to itself is ``[src]``.
+        """
+        if src == dest:
+            return [src]
+        tree = self.routing_tree(dest)
+        info = tree.get(src)
+        if info is None:
+            return None
+        path = [src]
+        current = src
+        while current != dest:
+            next_hop = tree[current].next_hop
+            if next_hop is None:  # pragma: no cover - defensive
+                return None
+            path.append(next_hop)
+            current = next_hop
+            if len(path) > len(self._graph) + 1:  # pragma: no cover
+                raise RuntimeError("routing loop detected")
+        return path
+
+    def reachable_from(self, src: int, dest: int) -> bool:
+        if src == dest:
+            return True
+        return src in self.routing_tree(dest)
+
+    def path_length(self, src: int, dest: int) -> Optional[int]:
+        """AS-hop count from ``src`` to ``dest`` (0 when equal)."""
+        if src == dest:
+            return 0
+        info = self.routing_tree(dest).get(src)
+        return None if info is None else info.length
+
+    def clear_cache(self) -> None:
+        self._trees.clear()
+        self._tree_order.clear()

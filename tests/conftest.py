@@ -1,0 +1,29 @@
+"""Shared fixtures.
+
+Scenario construction and (especially) full surveys dominate test
+runtime, so they are session-scoped: every test module reads the same
+tiny simulated Internet and the same completed measurement campaign.
+Tests never mutate these fixtures' topology; probing through them is
+fine (the dataplane is effectively stateless outside rate limiters,
+which relevant tests reset).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import StudyData, run_full_study
+from repro.scenarios.internet import Scenario
+from repro.scenarios.presets import tiny
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario() -> Scenario:
+    """The tiny preset Internet (seed 2016)."""
+    return tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_study(tiny_scenario: Scenario) -> StudyData:
+    """The full §3.1 campaign (ping + RR surveys) on the tiny preset."""
+    return run_full_study(tiny_scenario)

@@ -1,0 +1,68 @@
+"""Tests for repro.core.adaptive_rate (§4.1's recommendation)."""
+
+import pytest
+
+from repro.core.adaptive_rate import calibrate_rates
+
+
+@pytest.fixture(scope="module")
+def plan(tiny_scenario, tiny_study):
+    return calibrate_rates(
+        tiny_scenario, tiny_study.rr_survey, sample_size=40
+    )
+
+
+class TestCalibration:
+    def test_every_vp_calibrated_or_skipped(self, plan, tiny_study):
+        total = len(plan.calibrations) + len(plan.skipped_vps)
+        assert total == len(tiny_study.rr_survey.vps)
+
+    def test_filtered_vps_skipped(self, plan, tiny_study):
+        filtered = {
+            vp.name
+            for vp in tiny_study.rr_survey.vps
+            if vp.local_filtered
+        }
+        assert filtered <= set(plan.skipped_vps)
+
+    def test_chosen_rate_from_ladder(self, plan):
+        for calibration in plan.calibrations:
+            assert calibration.chosen_pps in plan.ladder
+
+    def test_chosen_rate_meets_tolerance(self, plan):
+        for calibration in plan.calibrations:
+            baseline = calibration.response_rate(min(plan.ladder))
+            chosen = calibration.response_rate(calibration.chosen_pps)
+            assert chosen >= baseline * (1.0 - plan.tolerance) - 1e-9
+
+    def test_unlimited_vps_run_at_top_rate(self, plan):
+        # At least one VP should have no binding limiter and therefore
+        # keep the fastest rung.
+        top = max(plan.ladder)
+        assert any(
+            calibration.chosen_pps == top
+            for calibration in plan.calibrations
+        )
+
+    def test_some_vp_backs_off(self, plan):
+        # The scenario seeds source-proximate policers; somebody must
+        # detect theirs and back off.
+        assert plan.limited_vps
+
+    def test_limited_flag_consistent(self, plan):
+        top = max(plan.ladder)
+        for calibration in plan.calibrations:
+            assert calibration.limited == (calibration.chosen_pps < top)
+
+    def test_speedup_favours_adaptive_plan(self, plan):
+        assert plan.speedup_vs_fixed(min(plan.ladder)) > 1.0
+
+    def test_render(self, plan):
+        text = plan.render()
+        assert "ladder" in text and "backed off" in text
+
+    def test_short_ladder_rejected(self, tiny_scenario, tiny_study):
+        with pytest.raises(ValueError):
+            calibrate_rates(
+                tiny_scenario, tiny_study.rr_survey, ladder=(20.0,)
+            )

@@ -1,0 +1,170 @@
+"""Tests for repro.net.addr: address and prefix arithmetic."""
+
+import pytest
+
+from repro.net.addr import (
+    IPv4Address,
+    Prefix,
+    addr_to_int,
+    int_to_addr,
+    parse_prefix,
+    prefix_of,
+    same_slash24,
+)
+
+
+class TestAddrToInt:
+    def test_zero(self):
+        assert addr_to_int("0.0.0.0") == 0
+
+    def test_max(self):
+        assert addr_to_int("255.255.255.255") == (1 << 32) - 1
+
+    def test_known_value(self):
+        assert addr_to_int("10.0.0.1") == 0x0A000001
+
+    def test_octet_order_is_big_endian(self):
+        assert addr_to_int("1.2.3.4") == 0x01020304
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "1.2.3", "1.2.3.4.5", "a.b.c.d", "1..2.3", "1.2.3.4 "],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(ValueError):
+            addr_to_int(text)
+
+    def test_octet_over_255_rejected(self):
+        with pytest.raises(ValueError):
+            addr_to_int("1.2.3.256")
+
+
+class TestIntToAddr:
+    def test_zero(self):
+        assert int_to_addr(0) == "0.0.0.0"
+
+    def test_roundtrip(self):
+        for text in ("192.0.2.1", "8.8.8.8", "172.16.254.3"):
+            assert int_to_addr(addr_to_int(text)) == text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_addr(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_addr(1 << 32)
+
+
+class TestPrefixOf:
+    def test_slash24(self):
+        assert prefix_of(addr_to_int("192.0.2.77"), 24) == addr_to_int(
+            "192.0.2.0"
+        )
+
+    def test_slash0_is_zero(self):
+        assert prefix_of(0xFFFFFFFF, 0) == 0
+
+    def test_slash32_identity(self):
+        assert prefix_of(12345, 32) == 12345
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_of(0, 33)
+
+
+class TestSameSlash24:
+    def test_same(self):
+        assert same_slash24(addr_to_int("10.1.2.3"), addr_to_int("10.1.2.254"))
+
+    def test_different(self):
+        assert not same_slash24(
+            addr_to_int("10.1.2.3"), addr_to_int("10.1.3.3")
+        )
+
+
+class TestIPv4Address:
+    def test_parse_and_str(self):
+        addr = IPv4Address.parse("198.51.100.7")
+        assert str(addr) == "198.51.100.7"
+        assert int(addr) == addr_to_int("198.51.100.7")
+
+    def test_ordering_is_numeric(self):
+        assert IPv4Address.parse("2.0.0.0") < IPv4Address.parse("10.0.0.0")
+
+    def test_bytes_roundtrip(self):
+        addr = IPv4Address.parse("203.0.113.9")
+        assert IPv4Address.from_bytes(addr.to_bytes()) == addr
+
+    def test_from_bytes_wrong_length(self):
+        with pytest.raises(ValueError):
+            IPv4Address.from_bytes(b"\x01\x02\x03")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+
+    def test_hashable(self):
+        assert len({IPv4Address(1), IPv4Address(1), IPv4Address(2)}) == 2
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        assert str(parse_prefix("192.0.2.0/24")) == "192.0.2.0/24"
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prefix("192.0.2.1/24")
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prefix("192.0.2.0")
+
+    def test_containing_normalises(self):
+        prefix = Prefix.containing(addr_to_int("192.0.2.99"), 24)
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_contains_addr(self):
+        prefix = parse_prefix("10.0.0.0/8")
+        assert addr_to_int("10.255.0.1") in prefix
+        assert addr_to_int("11.0.0.0") not in prefix
+
+    def test_contains_ipv4address_object(self):
+        prefix = parse_prefix("10.0.0.0/8")
+        assert IPv4Address.parse("10.1.2.3") in prefix
+
+    def test_num_addresses(self):
+        assert parse_prefix("192.0.2.0/24").num_addresses == 256
+        assert parse_prefix("0.0.0.0/0").num_addresses == 1 << 32
+
+    def test_last_address(self):
+        prefix = parse_prefix("192.0.2.0/24")
+        assert int_to_addr(prefix.last) == "192.0.2.255"
+
+    def test_contains_prefix_nested(self):
+        outer = parse_prefix("10.0.0.0/8")
+        inner = parse_prefix("10.20.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+
+    def test_contains_prefix_self(self):
+        prefix = parse_prefix("10.0.0.0/8")
+        assert prefix.contains_prefix(prefix)
+
+    def test_subnets(self):
+        subs = list(parse_prefix("192.0.2.0/24").subnets(26))
+        assert len(subs) == 4
+        assert str(subs[1]) == "192.0.2.64/26"
+
+    def test_subnets_to_larger_rejected(self):
+        with pytest.raises(ValueError):
+            list(parse_prefix("192.0.2.0/24").subnets(23))
+
+    def test_addresses_iterates_all(self):
+        prefix = parse_prefix("192.0.2.0/30")
+        assert list(prefix.addresses()) == [
+            prefix.base + offset for offset in range(4)
+        ]
+
+    def test_ordering(self):
+        assert parse_prefix("10.0.0.0/8") < parse_prefix("10.0.0.0/16")

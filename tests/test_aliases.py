@@ -1,0 +1,143 @@
+"""Tests for repro.analysis.aliases: MIDAR-style alias resolution."""
+
+import pytest
+
+from repro.analysis.aliases import (
+    AliasResolver,
+    IpIdSample,
+    UnionFind,
+    estimate_velocity,
+    merged_monotonic,
+    shared_counter,
+    unwrap_series,
+)
+
+
+def series(addr, start, velocity, times):
+    return [
+        IpIdSample(time=t, ipid=(start + int(velocity * t)) & 0xFFFF,
+                   addr=addr)
+        for t in times
+    ]
+
+
+class TestUnwrap:
+    def test_monotone_input_unchanged(self):
+        samples = series(1, 100, 50, [0, 1, 2, 3])
+        unwrapped = unwrap_series(samples)
+        assert unwrapped == sorted(unwrapped)
+        assert unwrapped[0] == 100
+
+    def test_wrap_detected(self):
+        samples = series(1, 65500, 100, [0, 1, 2])
+        unwrapped = unwrap_series(samples)
+        assert unwrapped == sorted(unwrapped)
+        assert unwrapped[-1] > 65535
+
+
+class TestVelocity:
+    def test_estimates_linear_counter(self):
+        samples = series(1, 5, 200, [0, 0.5, 1.0, 2.0])
+        assert estimate_velocity(samples) == pytest.approx(200, rel=0.05)
+
+    def test_needs_two_samples(self):
+        assert estimate_velocity(series(1, 5, 10, [1.0])) is None
+
+    def test_zero_span_is_none(self):
+        assert estimate_velocity(series(1, 5, 10, [1.0, 1.0])) is None
+
+
+class TestSharedCounter:
+    def interleaved(self, start_a, start_b, velocity_a, velocity_b):
+        times_a = [0.0, 0.2, 0.4, 0.6, 0.8]
+        times_b = [0.1, 0.3, 0.5, 0.7, 0.9]
+        return (
+            series(1, start_a, velocity_a, times_a),
+            series(2, start_b, velocity_b, times_b),
+        )
+
+    def test_same_counter_accepted(self):
+        a, b = self.interleaved(1000, 1000, 300, 300)
+        assert shared_counter(a, b)
+
+    def test_different_offsets_rejected(self):
+        a, b = self.interleaved(1000, 40000, 300, 300)
+        assert not shared_counter(a, b)
+
+    def test_different_velocities_rejected(self):
+        a, b = self.interleaved(1000, 1000, 100, 2000)
+        assert not shared_counter(a, b)
+
+    def test_too_few_samples_rejected(self):
+        a = series(1, 0, 100, [0.0, 0.5])
+        b = series(2, 0, 100, [0.25, 0.75])
+        assert not shared_counter(a, b)
+
+    def test_shared_counter_survives_wrap(self):
+        a = series(1, 65300, 400, [0.0, 0.3, 0.6, 0.9, 1.2])
+        b = series(2, 65300, 400, [0.15, 0.45, 0.75, 1.05])
+        assert shared_counter(a, b)
+
+    def test_merged_monotonic_rejects_backwards_jump(self):
+        a = series(1, 1000, 100, [0.0, 0.4, 0.8])
+        b = [IpIdSample(time=0.2, ipid=900, addr=2),
+             IpIdSample(time=0.6, ipid=950, addr=2)]
+        assert not merged_monotonic(a, b, max_velocity=150)
+
+
+class TestUnionFind:
+    def test_groups_only_multi(self):
+        union = UnionFind()
+        union.union(1, 2)
+        union.find(9)  # singleton: should not appear in groups
+        groups = union.groups()
+        assert groups == [{1, 2}]
+
+    def test_transitive(self):
+        union = UnionFind()
+        union.union(1, 2)
+        union.union(2, 3)
+        assert union.find(1) == union.find(3)
+        assert union.groups() == [{1, 2, 3}]
+
+    def test_disjoint_sets_stay_apart(self):
+        union = UnionFind()
+        union.union(1, 2)
+        union.union(5, 6)
+        assert union.find(1) != union.find(5)
+        assert sorted(map(sorted, union.groups())) == [[1, 2], [5, 6]]
+
+
+class TestAliasResolverEndToEnd:
+    def test_router_interfaces_clustered(self, tiny_scenario):
+        network = tiny_scenario.network
+        vp = tiny_scenario.working_vps[0]
+        router = next(
+            router
+            for router in tiny_scenario.fabric.routers()
+            if network.policy_of(router).ping_responsive
+            and len(router.addrs) >= 2
+        )
+        resolver = AliasResolver(tiny_scenario.prober, vp, rounds=5)
+        groups = resolver.resolve_groups([router.addrs])
+        assert any(set(router.addrs) <= group for group in groups)
+
+    def test_distinct_routers_not_merged(self, tiny_scenario):
+        network = tiny_scenario.network
+        vp = tiny_scenario.working_vps[0]
+        routers = [
+            router
+            for router in tiny_scenario.fabric.routers()
+            if network.policy_of(router).ping_responsive
+        ][:6]
+        resolver = AliasResolver(tiny_scenario.prober, vp, rounds=5)
+        mixed = [router.addrs[0] for router in routers]
+        groups = resolver.resolve_groups([mixed])
+        # One interface per distinct device: nothing should merge.
+        assert groups == []
+
+    def test_minimum_rounds_enforced(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            AliasResolver(
+                tiny_scenario.prober, tiny_scenario.working_vps[0], rounds=2
+            )

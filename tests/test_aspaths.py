@@ -1,0 +1,84 @@
+"""Tests for repro.analysis.aspaths: the stamping audit machinery."""
+
+import pytest
+
+from repro.analysis.aspaths import StampAudit, StampTally, as_set_of_path
+from repro.analysis.ip2as import Ip2As, PrefixTrie
+from repro.topology.prefixes import as_block
+
+
+@pytest.fixture()
+def mapping():
+    trie = PrefixTrie()
+    for asn in (1, 2, 3, 4):
+        trie.insert(as_block(asn), asn)
+    return Ip2As(trie)
+
+
+def addr(asn, host=1):
+    return (asn << 16) | host
+
+
+class TestAsSetOfPath:
+    def test_collects_unique_asns(self, mapping):
+        path = [addr(1), addr(2, 5), None, addr(2, 9), addr(3)]
+        assert as_set_of_path(mapping, path) == {1, 2, 3}
+
+    def test_unmappable_skipped(self, mapping):
+        assert as_set_of_path(mapping, [addr(1), (99 << 16)]) == {1}
+
+
+class TestStampTally:
+    def test_verdicts(self):
+        assert StampTally(10, 10).verdict == "always"
+        assert StampTally(10, 3).verdict == "sometimes"
+        assert StampTally(10, 0).verdict == "never"
+
+    def test_miss_rate(self):
+        assert StampTally(10, 7).miss_rate == pytest.approx(0.3)
+        assert StampTally(0, 0).miss_rate == 0.0
+
+
+class TestStampAudit:
+    def test_always_and_never(self, mapping):
+        audit = StampAudit(mapping)
+        for _ in range(3):
+            audit.add_pair(
+                traceroute_path=[addr(1), addr(2), addr(3)],
+                rr_hops=[addr(1), addr(3)],  # AS2 never stamps
+            )
+        verdicts = audit.verdict_counts()
+        assert verdicts == {"always": 2, "sometimes": 0, "never": 1}
+        assert audit.asns_with_verdict("never") == [2]
+
+    def test_sometimes(self, mapping):
+        audit = StampAudit(mapping)
+        audit.add_pair([addr(1), addr(2)], [addr(1), addr(2)])
+        audit.add_pair([addr(1), addr(2)], [addr(1)])
+        tally = audit.tallies()[2]
+        assert tally.verdict == "sometimes"
+        assert tally.miss_rate == pytest.approx(0.5)
+
+    def test_exclusions_removed_from_both_sides(self, mapping):
+        audit = StampAudit(mapping)
+        audit.add_pair(
+            [addr(1), addr(2), addr(3)],
+            [addr(2)],
+            exclude_asns={1, 3},
+        )
+        assert set(audit.tallies()) == {2}
+
+    def test_min_observations_filters(self, mapping):
+        audit = StampAudit(mapping, min_observations=2)
+        audit.add_pair([addr(1)], [addr(1)])
+        assert audit.tallies() == {}
+        audit.add_pair([addr(1)], [addr(1)])
+        assert set(audit.tallies()) == {1}
+        assert audit.audited_as_count == 1
+
+    def test_rr_only_asns_not_audited(self, mapping):
+        # An AS seen only in RR (e.g. via a reverse-path stamp) has no
+        # traceroute appearances to be judged against.
+        audit = StampAudit(mapping)
+        audit.add_pair([addr(1)], [addr(1), addr(4)])
+        assert 4 not in audit.tallies()

@@ -1,0 +1,105 @@
+"""Tests for repro.core.atlas: the Atlas-style platform what-if."""
+
+import pytest
+
+from repro.core.atlas import (
+    AtlasClient,
+    AtlasPolicyError,
+    place_atlas_probes,
+    run_atlas_study,
+)
+from repro.probing.vantage import Platform
+
+
+class TestAtlasClient:
+    def test_options_probes_refused(self, tiny_scenario):
+        client = AtlasClient(tiny_scenario.prober)
+        probe = place_atlas_probes(tiny_scenario, 1)[0]
+        with pytest.raises(AtlasPolicyError):
+            client.ping_rr(probe, 1)
+        with pytest.raises(AtlasPolicyError):
+            client.ping_rr_udp(probe, 1)
+        with pytest.raises(AtlasPolicyError):
+            client.ping_ts(probe, 1)
+
+    def test_pings_cost_credits(self, tiny_scenario):
+        client = AtlasClient(tiny_scenario.prober, credit_budget=3)
+        probe = place_atlas_probes(tiny_scenario, 1)[0]
+        dest = list(tiny_scenario.hitlist)[0]
+        client.ping(probe, dest.addr)
+        assert client.credits_spent == 1
+        assert client.credits_remaining == 2
+
+    def test_budget_enforced(self, tiny_scenario):
+        client = AtlasClient(tiny_scenario.prober, credit_budget=1)
+        probe = place_atlas_probes(tiny_scenario, 1)[0]
+        dest = list(tiny_scenario.hitlist)[0]
+        client.ping(probe, dest.addr)
+        with pytest.raises(AtlasPolicyError):
+            client.ping(probe, dest.addr)
+
+    def test_traceroute_costs_more(self, tiny_scenario):
+        client = AtlasClient(tiny_scenario.prober, credit_budget=100)
+        probe = place_atlas_probes(tiny_scenario, 1)[0]
+        dest = list(tiny_scenario.hitlist)[0]
+        client.traceroute(probe, dest.addr)
+        assert client.credits_spent == AtlasClient.TRACEROUTE_COST
+
+    def test_invalid_budget_rejected(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            AtlasClient(tiny_scenario.prober, credit_budget=0)
+
+
+class TestPlacement:
+    def test_probes_spread_across_edges(self, tiny_scenario):
+        probes = place_atlas_probes(tiny_scenario, 30)
+        assert len(probes) == 30
+        asns = {probe.asn for probe in probes}
+        assert len(asns) >= 20
+        assert asns <= set(tiny_scenario.topo.edges)
+
+    def test_platform_tag(self, tiny_scenario):
+        probes = place_atlas_probes(tiny_scenario, 5)
+        assert all(p.platform is Platform.ATLAS for p in probes)
+
+    def test_some_probes_disconnected(self, tiny_scenario):
+        probes = place_atlas_probes(tiny_scenario, 60)
+        down = [probe for probe in probes if probe.local_filtered]
+        assert 0 < len(down) < len(probes)
+
+    def test_deterministic(self, tiny_scenario):
+        a = place_atlas_probes(tiny_scenario, 10)
+        b = place_atlas_probes(tiny_scenario, 10)
+        assert a == b
+
+
+class TestAtlasStudy:
+    def test_study_accounting(self, tiny_scenario, tiny_study):
+        study = run_atlas_study(
+            tiny_scenario,
+            tiny_study.rr_survey,
+            probe_count=20,
+            hunt_sample=8,
+        )
+        survey = tiny_study.rr_survey
+        assert study.baseline_reachable == len(
+            survey.reachable_indices()
+        )
+        assert study.rr_responsive == len(
+            survey.rr_responsive_indices()
+        )
+        assert 0 <= study.atlas_only_reachable <= (
+            study.rr_responsive - study.baseline_reachable
+        )
+        assert study.hunt_credits == study.hunt_probes  # pings cost 1
+        assert study.hunt_probes > 0
+
+    def test_render(self, tiny_scenario, tiny_study):
+        study = run_atlas_study(
+            tiny_scenario,
+            tiny_study.rr_survey,
+            probe_count=10,
+            hunt_sample=5,
+        )
+        text = study.render()
+        assert "credits" in text and "options probes are refused" in text

@@ -1,0 +1,127 @@
+"""Tests for repro.topology.autsys: the AS graph and relationships."""
+
+import pytest
+
+from repro.topology.autsys import (
+    ASGraph,
+    ASType,
+    AutonomousSystem,
+    RelKind,
+    Tier,
+)
+
+
+def make_graph(count=4):
+    graph = ASGraph()
+    for asn in range(1, count + 1):
+        graph.add_as(
+            AutonomousSystem(asn, ASType.TRANSIT_ACCESS, Tier.TIER2)
+        )
+    return graph
+
+
+class TestAutonomousSystem:
+    def test_positive_asn_required(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, ASType.CONTENT, Tier.EDGE)
+
+    def test_stamp_fraction_validated(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(
+                1, ASType.CONTENT, Tier.EDGE, stamp_fraction=1.5
+            )
+
+    def test_never_stamps(self):
+        autsys = AutonomousSystem(
+            1, ASType.CONTENT, Tier.EDGE, stamp_fraction=0.0
+        )
+        assert autsys.never_stamps
+
+
+class TestGraphConstruction:
+    def test_duplicate_asn_rejected(self):
+        graph = make_graph(1)
+        with pytest.raises(ValueError):
+            graph.add_as(AutonomousSystem(1, ASType.CONTENT, Tier.EDGE))
+
+    def test_transit_edge_recorded_both_sides(self):
+        graph = make_graph()
+        graph.add_customer_provider(1, 2)
+        assert 2 in graph.providers_of(1)
+        assert 1 in graph.customers_of(2)
+
+    def test_peering_recorded_both_sides(self):
+        graph = make_graph()
+        graph.add_peering(1, 2)
+        assert 2 in graph.peers_of(1) and 1 in graph.peers_of(2)
+
+    def test_self_provider_rejected(self):
+        with pytest.raises(ValueError):
+            make_graph().add_customer_provider(1, 1)
+
+    def test_self_peering_rejected(self):
+        with pytest.raises(ValueError):
+            make_graph().add_peering(1, 1)
+
+    def test_unknown_asn_rejected(self):
+        with pytest.raises(KeyError):
+            make_graph().add_peering(1, 99)
+
+    def test_conflicting_relationship_rejected(self):
+        graph = make_graph()
+        graph.add_peering(1, 2)
+        with pytest.raises(ValueError):
+            graph.add_customer_provider(1, 2)
+        graph.add_customer_provider(3, 4)
+        with pytest.raises(ValueError):
+            graph.add_peering(3, 4)
+
+
+class TestGraphQueries:
+    def make_wired(self):
+        graph = make_graph(5)
+        graph.add_customer_provider(2, 1)
+        graph.add_customer_provider(3, 1)
+        graph.add_peering(2, 3)
+        graph.add_customer_provider(4, 2)
+        return graph
+
+    def test_relationship_kinds(self):
+        graph = self.make_wired()
+        assert graph.relationship(1, 2) is RelKind.CUSTOMER
+        assert graph.relationship(2, 1) is RelKind.PROVIDER
+        assert graph.relationship(2, 3) is RelKind.PEER
+        assert graph.relationship(1, 5) is None
+
+    def test_neighbors_union(self):
+        graph = self.make_wired()
+        assert graph.neighbors_of(2) == frozenset({1, 3, 4})
+
+    def test_edges_enumerated_once(self):
+        graph = self.make_wired()
+        edges = list(graph.edges())
+        assert (2, 1, RelKind.PROVIDER) in edges
+        assert (2, 3, RelKind.PEER) in edges
+        assert len(edges) == 4
+
+    def test_stub_asns(self):
+        graph = self.make_wired()
+        assert graph.stub_asns() == [3, 4, 5]
+
+    def test_by_type(self):
+        graph = make_graph(2)
+        graph.add_as(AutonomousSystem(10, ASType.CONTENT, Tier.EDGE))
+        assert graph.by_type(ASType.CONTENT) == [10]
+
+    def test_degree(self):
+        graph = self.make_wired()
+        assert graph.degree(1) == 2
+        assert graph.degree(5) == 0
+
+    def test_len_and_contains(self):
+        graph = make_graph(3)
+        assert len(graph) == 3
+        assert 2 in graph and 9 not in graph
+
+    def test_validate_passes_on_consistent_graph(self):
+        self.make_wired().validate()

@@ -1,0 +1,66 @@
+"""Tests for repro.analysis.cdf."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+
+
+class TestCdf:
+    def test_at_basic(self):
+        cdf = Cdf([1, 2, 2, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(1) == 0.25
+        assert cdf.at(2) == 0.75
+        assert cdf.at(3) == 0.75
+        assert cdf.at(4) == 1.0
+
+    def test_empty(self):
+        cdf = Cdf([])
+        assert len(cdf) == 0
+        assert cdf.at(10) == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_at_is_right_continuous_inclusive(self):
+        cdf = Cdf([5])
+        assert cdf.at(5) == 1.0
+        assert cdf.at(4.999) == 0.0
+
+    def test_median_odd(self):
+        assert Cdf([3, 1, 2]).median == 2
+
+    def test_median_even_lower_of_pair(self):
+        assert Cdf([1, 2, 3, 4]).median == 2
+
+    def test_quantile_extremes(self):
+        cdf = Cdf([10, 20, 30])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(1.0) == 30
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cdf([1]).quantile(1.5)
+
+    def test_quantile_matches_at(self):
+        values = [1, 3, 3, 7, 9, 9, 9, 12]
+        cdf = Cdf(values)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            v = cdf.quantile(q)
+            assert cdf.at(v) >= q
+
+    def test_series(self):
+        cdf = Cdf([1, 2, 3])
+        assert cdf.series([1, 3]) == [(1, pytest.approx(1 / 3)), (3, 1.0)]
+
+    def test_table(self):
+        assert Cdf([1]).table([0, 1]) == {0: 0.0, 1: 1.0}
+
+    def test_samples_copy(self):
+        cdf = Cdf([2, 1])
+        samples = cdf.samples
+        samples.append(99)
+        assert cdf.samples == [1, 2]
+
+    def test_repr(self):
+        assert "n=3" in repr(Cdf([1, 2, 3]))
+        assert "empty" in repr(Cdf([]))

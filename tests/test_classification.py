@@ -1,0 +1,62 @@
+"""Tests for repro.topology.classification (the CAIDA-like dataset)."""
+
+import pytest
+
+from repro.topology.autsys import ASType
+from repro.topology.classification import ASClassification, TYPE_LABELS
+from repro.topology.generator import TopologyParams, generate_topology
+
+
+@pytest.fixture(scope="module")
+def classification():
+    topo = generate_topology(
+        TopologyParams(seed=2, num_tier1=3, num_tier2=6, num_edge=80)
+    )
+    return ASClassification.from_graph(topo.graph)
+
+
+class TestClassification:
+    def test_covers_every_as(self, classification):
+        counts = classification.counts()
+        assert sum(counts.values()) == len(classification)
+
+    def test_unlisted_asn_is_unknown(self, classification):
+        assert classification.type_of(65000) is ASType.UNKNOWN
+
+    def test_asns_of_type_consistent(self, classification):
+        for as_type in ASType:
+            for asn in classification.asns_of_type(as_type):
+                assert classification.type_of(asn) is as_type
+
+    def test_lines_roundtrip(self, classification):
+        again = ASClassification.from_lines(classification.to_lines())
+        assert dict(again.items()) == dict(classification.items())
+
+    def test_line_format(self, classification):
+        line = next(iter(classification.to_lines()))
+        asn, source, label = line.split("|")
+        assert int(asn) > 0
+        assert label in TYPE_LABELS.values()
+
+    def test_from_lines_skips_comments(self):
+        parsed = ASClassification.from_lines(
+            ["# comment", "", "5|x|Content"]
+        )
+        assert parsed.type_of(5) is ASType.CONTENT
+
+    def test_from_lines_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            ASClassification.from_lines(["5|x|Wizard"])
+
+    def test_from_lines_rejects_bad_field_count(self):
+        with pytest.raises(ValueError):
+            ASClassification.from_lines(["5|Content"])
+
+    def test_labels_case_insensitive(self):
+        parsed = ASClassification.from_lines(["7|x|transit/access"])
+        assert parsed.type_of(7) is ASType.TRANSIT_ACCESS
+
+    def test_contains(self, classification):
+        some_asn = next(iter(dict(classification.items())))
+        assert some_asn in classification
+        assert 64000 not in classification

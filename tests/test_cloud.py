@@ -1,0 +1,74 @@
+"""Tests for repro.core.cloud (§3.6 / Figure 3)."""
+
+import pytest
+
+from repro.analysis.ip2as import build_ip2as
+from repro.core.cloud import external_hop_count, run_cloud_study
+from repro.probing.results import TracerouteResult
+
+
+@pytest.fixture(scope="module")
+def study(tiny_scenario, tiny_study):
+    return run_cloud_study(
+        tiny_scenario,
+        tiny_study.rr_survey,
+        sample_per_class=80,
+        mlab_sample=80,
+    )
+
+
+class TestExternalHopCount:
+    def test_none_when_unreached(self, tiny_scenario):
+        mapping = build_ip2as(tiny_scenario.table)
+        trace = TracerouteResult("cloud-gce", 1, hops=[5], reached=False)
+        assert external_hop_count(trace, 99, mapping) is None
+
+    def test_trims_provider_prefix(self, tiny_scenario, tiny_study):
+        mapping = build_ip2as(tiny_scenario.table)
+        vp = tiny_scenario.cloud_vps[0]
+        survey = tiny_study.rr_survey
+        for index in survey.reachable_indices()[:10]:
+            dest = survey.dests[index]
+            trace = tiny_scenario.prober.traceroute(vp, dest.addr)
+            if not trace.reached:
+                continue
+            external = external_hop_count(trace, vp.asn, mapping)
+            assert external is not None
+            assert external <= len(trace.hops)
+            return
+        pytest.skip("no reachable cloud traceroute in sample")
+
+
+class TestCloudStudy:
+    def test_all_series_present(self, study, tiny_scenario):
+        labels = set(study.samples)
+        assert "M-Lab RR-reachable" in labels
+        for vp in tiny_scenario.cloud_vps:
+            assert f"{vp.site} RR-reachable" in labels
+            assert f"{vp.site} RR-responsive" in labels
+
+    def test_series_are_cdfs(self, study):
+        for label in study.samples:
+            ys = [y for _x, y in study.series(label)]
+            assert ys == sorted(ys)
+            assert all(0.0 <= y <= 1.0 for y in ys)
+
+    def test_gce_like_cloud_is_closest(self, study):
+        # The rank-0 cloud peers the most broadly; its within-8 share
+        # must top the other providers'.
+        assert study.within8["gce"] >= study.within8["ec2"] - 0.05
+        assert study.within8["gce"] >= study.within8["softlayer"] - 0.05
+
+    def test_gce_curve_left_of_mlab(self, study):
+        # The §3.6 headline: the GCE-like cloud is closer to even its
+        # RR-responsive (unreachable-from-M-Lab) destinations than
+        # M-Lab is to its reachable ones, at the 8-hop mark.
+        from repro.analysis.cdf import Cdf
+
+        gce = Cdf(study.samples["gce RR-reachable"])
+        mlab = Cdf(study.samples["M-Lab RR-reachable"])
+        assert gce.at(8) >= mlab.at(8) - 0.05
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Figure 3" in text and "within 8 hops" in text

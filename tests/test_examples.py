@@ -1,0 +1,52 @@
+"""Smoke tests: the fast example scripts must run end-to-end.
+
+Each example is executed in-process (fresh ``__main__`` namespace) and
+its stdout checked for the landmark lines a reader relies on. The
+slower studies (full_study, vp_selection) are exercised by the
+benchmark suite instead.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    sys_argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = sys_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "RR distance" in out
+        assert "RFC 791 wire encoding" in out
+
+    def test_ttl_tuning(self, capsys):
+        out = run_example("ttl_tuning.py", capsys)
+        assert "recommendation: initial TTL" in out
+        assert "quoted ICMP headers" in out
+
+    def test_cloud_vantage(self, capsys):
+        out = run_example("cloud_vantage.py", capsys)
+        assert "within 8 hops" in out
+        assert "best RR vantage point" in out
+
+    def test_inspect_topology(self, capsys):
+        out = run_example("inspect_topology.py", capsys)
+        assert "peering ratio" in out
+        assert "era contrast" in out
+
+    def test_reverse_paths(self, capsys):
+        out = run_example("reverse_paths.py", capsys)
+        assert "reverse AS path" in out
+        assert "traceroute alone" in out

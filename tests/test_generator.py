@@ -1,0 +1,168 @@
+"""Tests for repro.topology.generator: topology shapes and policies."""
+
+import pytest
+
+from repro.topology.autsys import ASType, Tier
+from repro.topology.generator import TopologyParams, generate_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(
+        TopologyParams(seed=8, num_tier1=4, num_tier2=12, num_edge=200)
+    )
+
+
+class TestStructure:
+    def test_counts(self, topo):
+        assert len(topo.tier1) == 4
+        assert len(topo.tier2) == 12
+        assert len(topo.edges) == 200
+        assert len(topo.clouds) == 3
+        assert len(topo.graph) == 4 + 12 + 200 + 3
+
+    def test_tier1_full_mesh(self, topo):
+        for left in topo.tier1:
+            for right in topo.tier1:
+                if left != right:
+                    assert right in topo.graph.peers_of(left)
+
+    def test_tier2_has_tier1_provider(self, topo):
+        for asn in topo.tier2:
+            providers = topo.graph.providers_of(asn)
+            assert providers and providers <= set(topo.tier1)
+
+    def test_every_edge_has_a_provider(self, topo):
+        for asn in topo.edges:
+            assert topo.graph.providers_of(asn)
+
+    def test_graph_validates(self, topo):
+        topo.graph.validate()
+
+    def test_clouds_are_content_and_colo(self, topo):
+        for asn in topo.clouds:
+            autsys = topo.graph[asn]
+            assert autsys.as_type is ASType.CONTENT
+            assert autsys.colo
+
+    def test_cloud_rank_zero_peers_most(self, topo):
+        degrees = [len(topo.graph.peers_of(asn)) for asn in topo.clouds]
+        assert degrees[0] >= degrees[1] >= degrees[2]
+        assert degrees[0] > 20
+
+    def test_universities_are_access_edges_with_bias(self, topo):
+        for asn in topo.university_asns:
+            autsys = topo.graph[asn]
+            assert autsys.as_type is ASType.TRANSIT_ACCESS
+            assert autsys.tier is Tier.EDGE
+            assert autsys.internal_hop_bias >= 1
+
+    def test_colo_asns_are_tier_1_or_2_members(self, topo):
+        assert set(topo.colo_asns) <= set(topo.tier2)
+
+
+class TestTier3:
+    def test_absent_by_default(self, topo):
+        assert topo.tier3 == []
+
+    def test_tier3_layer_wired_between_tiers(self):
+        topo = generate_topology(
+            TopologyParams(
+                seed=8, num_tier1=4, num_tier2=12, num_tier3=10, num_edge=150
+            )
+        )
+        assert len(topo.tier3) == 10
+        for asn in topo.tier3:
+            assert topo.graph.providers_of(asn) <= set(topo.tier2)
+        via_tier3 = sum(
+            1
+            for asn in topo.edges
+            if topo.graph.providers_of(asn) & set(topo.tier3)
+        )
+        assert via_tier3 > len(topo.edges) * 0.5
+
+
+class TestPolicies:
+    def test_tier1_never_filters(self, topo):
+        for asn in topo.tier1:
+            assert not topo.graph[asn].filters_options
+
+    def test_some_edges_filter(self, topo):
+        filtering = [
+            asn for asn in topo.edges if topo.graph[asn].filters_options
+        ]
+        assert 0.05 < len(filtering) / len(topo.edges) < 0.35
+
+    def test_enterprises_filter_more_than_transit(self):
+        # Use a bigger draw for statistical stability.
+        topo = generate_topology(
+            TopologyParams(seed=9, num_tier1=4, num_tier2=12, num_edge=900)
+        )
+
+        def rate(as_type):
+            members = [
+                asn
+                for asn in topo.edges
+                if topo.graph[asn].as_type is as_type
+            ]
+            hits = sum(
+                1 for asn in members if topo.graph[asn].filters_options
+            )
+            return hits / len(members)
+
+        assert rate(ASType.ENTERPRISE) > rate(ASType.TRANSIT_ACCESS)
+
+    def test_never_stamp_asns_exist_and_are_transit(self, topo):
+        nevers = [
+            autsys.asn
+            for autsys in topo.graph.systems()
+            if autsys.never_stamps
+        ]
+        assert len(nevers) == 2
+        assert set(nevers) <= set(topo.tier2) | set(topo.tier3)
+
+    def test_sometimes_stamp_fractions_in_range(self, topo):
+        sometimes = [
+            autsys
+            for autsys in topo.graph.systems()
+            if 0.0 < autsys.stamp_fraction < 1.0
+        ]
+        assert sometimes
+        for autsys in sometimes:
+            assert 0.15 <= autsys.stamp_fraction <= 0.70
+
+
+class TestDeterminismAndFlattening:
+    def test_same_params_same_graph(self):
+        params = TopologyParams(seed=4, num_tier1=3, num_tier2=6, num_edge=60)
+        a = generate_topology(params)
+        b = generate_topology(params)
+        assert list(a.graph.edges()) == list(b.graph.edges())
+
+    def test_flattening_increases_peering(self):
+        flat = generate_topology(
+            TopologyParams(
+                seed=4, num_tier1=3, num_tier2=10, num_edge=120, flattening=0.9
+            )
+        )
+        steep = generate_topology(
+            TopologyParams(
+                seed=4, num_tier1=3, num_tier2=10, num_edge=120, flattening=0.1
+            )
+        )
+
+        def peer_edges(topo):
+            return sum(
+                1 for _l, _r, kind in topo.graph.edges()
+                if kind.value == "peer"
+            )
+
+        assert peer_edges(flat) > peer_edges(steep)
+
+    def test_bad_flattening_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(seed=1, flattening=1.5)
+
+    def test_too_few_tier1_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(seed=1, num_tier1=1)

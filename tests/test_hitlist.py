@@ -1,0 +1,84 @@
+"""Tests for repro.topology.hitlist."""
+
+import pytest
+
+from repro.net.addr import parse_prefix
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.hitlist import Destination, Hitlist, build_hitlist
+from repro.topology.prefixes import build_prefix_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    topo = generate_topology(
+        TopologyParams(seed=21, num_tier1=3, num_tier2=6, num_edge=50)
+    )
+    return build_prefix_table(topo.graph, seed=21, prefix_scale=0.3)
+
+
+class TestBuildHitlist:
+    def test_one_destination_per_prefix(self, table):
+        hitlist = build_hitlist(table, seed=21)
+        assert len(hitlist) == len(table)
+
+    def test_destination_inside_its_prefix(self, table):
+        for dest in build_hitlist(table, seed=21):
+            assert dest.addr in dest.prefix
+            assert dest.asn == dest.prefix.base >> 16
+
+    def test_host_part_avoids_reserved_range(self, table):
+        for dest in build_hitlist(table, seed=21):
+            host = dest.addr & 0xFF
+            assert 2 <= host <= 200
+
+    def test_deterministic(self, table):
+        a = build_hitlist(table, seed=21).addresses()
+        b = build_hitlist(table, seed=21).addresses()
+        assert a == b
+
+    def test_seed_changes_selection(self, table):
+        a = build_hitlist(table, seed=21).addresses()
+        b = build_hitlist(table, seed=22).addresses()
+        assert a != b
+
+
+class TestHitlistApi:
+    def make(self):
+        prefix_a = parse_prefix("0.5.0.0/24")
+        prefix_b = parse_prefix("0.5.1.0/24")
+        return Hitlist(
+            [
+                Destination(prefix_a.base + 9, prefix_a, 5),
+                Destination(prefix_b.base + 77, prefix_b, 5),
+            ]
+        )
+
+    def test_by_addr(self):
+        hitlist = self.make()
+        dest = hitlist.by_addr(parse_prefix("0.5.0.0/24").base + 9)
+        assert dest is not None and dest.asn == 5
+        assert hitlist.by_addr(12345) is None
+
+    def test_by_prefix(self):
+        hitlist = self.make()
+        assert hitlist.by_prefix(parse_prefix("0.5.1.0/24")) is not None
+
+    def test_in_asn_and_asns(self):
+        hitlist = self.make()
+        assert len(hitlist.in_asn(5)) == 2
+        assert hitlist.asns() == [5]
+
+    def test_duplicate_addr_rejected(self):
+        prefix = parse_prefix("0.5.0.0/24")
+        dest = Destination(prefix.base + 1 + 1, prefix, 5)
+        with pytest.raises(ValueError):
+            Hitlist([dest, dest])
+
+    def test_addr_outside_prefix_rejected(self):
+        prefix = parse_prefix("0.5.0.0/24")
+        with pytest.raises(ValueError):
+            Hitlist([Destination(parse_prefix("0.6.0.0/24").base, prefix, 5)])
+
+    def test_iteration_sorted_by_addr(self):
+        addrs = [dest.addr for dest in self.make()]
+        assert addrs == sorted(addrs)

@@ -1,0 +1,141 @@
+"""Tests for repro.net.icmp: echo, errors, and quoting semantics."""
+
+import pytest
+
+from repro.net.addr import addr_to_int
+from repro.net.icmp import (
+    CODE_PORT_UNREACH,
+    CODE_TTL_EXCEEDED,
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    IcmpDecodeError,
+    IcmpEcho,
+    IcmpError,
+    build_quote,
+    parse_icmp,
+)
+from repro.net.options import RecordRouteOption
+from repro.net.packet import IPv4Packet
+
+
+def rr_probe(recorded=(1, 2, 3)):
+    return IPv4Packet(
+        src=addr_to_int("192.0.2.1"),
+        dst=addr_to_int("203.0.113.5"),
+        ttl=3,
+        options=[RecordRouteOption(slots=9, recorded=list(recorded))],
+        payload=IcmpEcho(ICMP_ECHO_REQUEST, 7, 1, b"x" * 16).to_bytes(),
+    )
+
+
+class TestEcho:
+    def test_reply_copies_ident_seq_data(self):
+        request = IcmpEcho(ICMP_ECHO_REQUEST, 77, 12, b"payload")
+        reply = request.reply()
+        assert reply.kind == ICMP_ECHO_REPLY
+        assert (reply.ident, reply.seq, reply.data) == (77, 12, b"payload")
+
+    def test_reply_of_reply_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpEcho(ICMP_ECHO_REPLY, 1, 1).reply()
+
+    def test_wire_roundtrip(self):
+        echo = IcmpEcho(ICMP_ECHO_REQUEST, 1000, 2000, b"abc")
+        assert IcmpEcho.from_bytes(echo.to_bytes()) == echo
+
+    def test_checksum_enforced(self):
+        wire = bytearray(IcmpEcho(ICMP_ECHO_REQUEST, 1, 1).to_bytes())
+        wire[4] ^= 0xFF
+        with pytest.raises(IcmpDecodeError):
+            IcmpEcho.from_bytes(bytes(wire))
+
+    def test_non_echo_type_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpEcho(ICMP_TIME_EXCEEDED, 1, 1)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(IcmpDecodeError):
+            IcmpEcho.from_bytes(b"\x08\x00")
+
+
+class TestQuoting:
+    def test_quote_contains_header_and_options(self):
+        probe = rr_probe()
+        quote = build_quote(probe, 8)
+        assert len(quote) == probe.header_length + 8
+        quoted = IPv4Packet.from_bytes(
+            quote + b"\x00" * 64, verify=False
+        )
+        assert quoted.record_route.recorded == [1, 2, 3]
+
+    def test_quote_minimum_payload_enforced(self):
+        with pytest.raises(ValueError):
+            build_quote(rr_probe(), 4)
+
+    def test_full_quote_includes_whole_payload(self):
+        probe = rr_probe()
+        quote = build_quote(probe, 1 << 16)
+        assert len(quote) == probe.total_length
+
+
+class TestErrors:
+    def test_time_exceeded_roundtrip(self):
+        error = IcmpError.time_exceeded(rr_probe())
+        again = IcmpError.from_bytes(error.to_bytes())
+        assert again.kind == ICMP_TIME_EXCEEDED
+        assert again.code == CODE_TTL_EXCEEDED
+        assert again.quote == error.quote
+
+    def test_port_unreachable_code(self):
+        error = IcmpError.port_unreachable(rr_probe())
+        assert error.kind == ICMP_DEST_UNREACH
+        assert error.code == CODE_PORT_UNREACH
+
+    def test_quoted_packet_recovers_rr(self):
+        error = IcmpError.time_exceeded(rr_probe(recorded=(9, 8)))
+        quoted = error.quoted_packet()
+        assert quoted is not None
+        assert quoted.record_route.recorded == [9, 8]
+
+    def test_quoted_packet_tolerates_truncation(self):
+        # RFC 792 quotes only 8 payload bytes; total length says more.
+        error = IcmpError.time_exceeded(rr_probe(), payload_bytes=8)
+        assert error.quoted_packet() is not None
+
+    def test_quoted_packet_none_for_garbage(self):
+        error = IcmpError(ICMP_TIME_EXCEEDED, 0, b"\x00" * 24)
+        assert error.quoted_packet() is None
+
+    def test_checksum_enforced(self):
+        wire = bytearray(IcmpError.time_exceeded(rr_probe()).to_bytes())
+        wire[10] ^= 0x01
+        with pytest.raises(IcmpDecodeError):
+            IcmpError.from_bytes(bytes(wire))
+
+    def test_non_error_type_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpError(ICMP_ECHO_REQUEST, 0, b"")
+
+
+class TestParseIcmp:
+    def test_dispatch_echo(self):
+        kind, message = parse_icmp(
+            IcmpEcho(ICMP_ECHO_REPLY, 5, 6).to_bytes()
+        )
+        assert kind == ICMP_ECHO_REPLY and isinstance(message, IcmpEcho)
+
+    def test_dispatch_error(self):
+        kind, message = parse_icmp(
+            IcmpError.port_unreachable(rr_probe()).to_bytes()
+        )
+        assert kind == ICMP_DEST_UNREACH and isinstance(message, IcmpError)
+
+    def test_empty_rejected(self):
+        with pytest.raises(IcmpDecodeError):
+            parse_icmp(b"")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(IcmpDecodeError):
+            parse_icmp(bytes([13, 0, 0, 0]))

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: cross-module invariants on a full
+measurement campaign over the tiny simulated Internet.
+
+These tie measurement-side observations back to simulator ground
+truth: anything the prober reports must be explainable by the world
+that generated it.
+"""
+
+from repro.analysis.ip2as import build_ip2as
+from repro.core.reachability import fraction_reachable
+from repro.core.study import clear_study_cache, get_study
+from repro.core.survey import run_rr_survey
+from repro.core.table1 import build_table1
+from repro.sim.policies import HostRRMode
+
+
+class TestMeasurementVsGroundTruth:
+    def test_rr_responsive_implies_host_cooperates(
+        self, tiny_scenario, tiny_study
+    ):
+        network = tiny_scenario.network
+        survey = tiny_study.rr_survey
+        for index in survey.rr_responsive_indices():
+            host = network.host_for(survey.dests[index])
+            assert host.ping_responsive
+            assert not host.drops_options
+            assert host.rr_mode is not HostRRMode.STRIP
+            assert not tiny_scenario.graph[host.asn].filters_options
+
+    def test_reachable_implies_stamping_mode(
+        self, tiny_scenario, tiny_study
+    ):
+        network = tiny_scenario.network
+        survey = tiny_study.rr_survey
+        for index in survey.reachable_indices():
+            host = network.host_for(survey.dests[index])
+            assert host.rr_mode is HostRRMode.STAMP
+
+    def test_observed_slot_consistent_with_fresh_probe(
+        self, tiny_scenario, tiny_study
+    ):
+        survey = tiny_study.rr_survey
+        vp_index = survey.vp_indices(include_filtered=False)[0]
+        vp = survey.vps[vp_index]
+        hits = 0
+        for dest_index in survey.reachable_from_vp(vp_index)[:20]:
+            dest = survey.dests[dest_index]
+            fresh = tiny_scenario.prober.ping_rr(vp, dest.addr)
+            if not fresh.rr_responsive:
+                continue  # transient loss is allowed
+            assert fresh.dest_slot() == survey.slot_from_vp(
+                dest_index, vp_index
+            )
+            hits += 1
+        assert hits >= 10
+
+    def test_forward_stamps_belong_to_forward_as_path(
+        self, tiny_scenario, tiny_study
+    ):
+        mapping = build_ip2as(tiny_scenario.table)
+        survey = tiny_study.rr_survey
+        vp_index = survey.vp_indices(include_filtered=False)[0]
+        vp = survey.vps[vp_index]
+        checked = 0
+        for dest_index in survey.reachable_from_vp(vp_index)[:10]:
+            dest = survey.dests[dest_index]
+            result = tiny_scenario.prober.ping_rr(vp, dest.addr)
+            if not result.reachable:
+                continue
+            as_path = tiny_scenario.routing.as_path(vp.asn, dest.asn)
+            for addr in result.forward_hops():
+                assert mapping.asn_of(addr) in as_path
+            checked += 1
+        assert checked
+
+
+class TestPaperShapeOnTiny:
+    def test_most_pingable_hosts_answer_rr(self, tiny_scenario,
+                                           tiny_study):
+        table = build_table1(
+            tiny_scenario.classification,
+            tiny_study.ping_survey,
+            tiny_study.rr_survey,
+        )
+        assert table.ip_rr_over_ping > 0.6
+
+    def test_majority_of_responsive_within_nine_hops(self, tiny_study):
+        reach = fraction_reachable(tiny_study.rr_survey)
+        assert 0.4 < reach < 0.95
+
+    def test_eight_hop_fraction_close_behind(self, tiny_study):
+        survey = tiny_study.rr_survey
+        nine = fraction_reachable(survey, hop_limit=9)
+        eight = fraction_reachable(survey, hop_limit=8)
+        assert eight > nine * 0.6
+
+
+class TestDeterminism:
+    def test_rr_survey_reproducible(self, tiny_scenario, tiny_study):
+        # Loss uses an order-sensitive stream, so compare the loss-free
+        # core: which (vp, dest) pairs saw the destination's stamp.
+        survey_a = tiny_study.rr_survey
+        survey_b = run_rr_survey(tiny_scenario)
+        slots_a = [
+            {vp: slot for vp, slot in obs.items() if slot is not None}
+            for obs in survey_a.responses
+        ]
+        slots_b = [
+            {vp: slot for vp, slot in obs.items() if slot is not None}
+            for obs in survey_b.responses
+        ]
+        same = sum(1 for a, b in zip(slots_a, slots_b) if a == b)
+        assert same / len(slots_a) > 0.97
+
+    def test_study_cache_returns_same_object(self):
+        clear_study_cache()
+        a = get_study("tiny", seed=2016)
+        b = get_study("tiny", seed=2016)
+        assert a is b
+        clear_study_cache()
+
+
+class TestStatsSanity:
+    def test_network_counted_every_probe(self, tiny_scenario):
+        stats = tiny_scenario.network.stats
+        assert stats.sent > 0
+        accounted = (
+            stats.dropped_no_route
+            + stats.dropped_filtered
+            + stats.dropped_rate_limited
+            + stats.dropped_ttl
+            + stats.dropped_host
+            + stats.dropped_loss
+        )
+        assert accounted <= stats.sent

@@ -1,0 +1,115 @@
+"""Tests for repro.analysis.ip2as: the LPM trie."""
+
+import pytest
+
+from repro.analysis.ip2as import Ip2As, PrefixTrie, build_ip2as
+from repro.net.addr import addr_to_int, parse_prefix
+from repro.topology.prefixes import as_block
+
+
+class TestPrefixTrie:
+    def test_exact_match(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("10.0.0.0/8"), 100)
+        assert trie.lookup(addr_to_int("10.1.2.3")) == 100
+        assert trie.lookup(addr_to_int("11.0.0.0")) is None
+
+    def test_longest_prefix_wins(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("10.0.0.0/8"), 100)
+        trie.insert(parse_prefix("10.20.0.0/16"), 200)
+        trie.insert(parse_prefix("10.20.30.0/24"), 300)
+        assert trie.lookup(addr_to_int("10.20.30.40")) == 300
+        assert trie.lookup(addr_to_int("10.20.99.1")) == 200
+        assert trie.lookup(addr_to_int("10.99.0.1")) == 100
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("0.0.0.0/0"), 1)
+        assert trie.lookup(addr_to_int("203.0.113.7")) == 1
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("192.0.2.1/32"), 7)
+        assert trie.lookup(addr_to_int("192.0.2.1")) == 7
+        assert trie.lookup(addr_to_int("192.0.2.2")) is None
+
+    def test_overwrite_same_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("10.0.0.0/8"), 1)
+        trie.insert(parse_prefix("10.0.0.0/8"), 2)
+        assert trie.lookup(addr_to_int("10.0.0.1")) == 2
+        assert len(trie) == 1
+
+    def test_size_counts_distinct_prefixes(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("10.0.0.0/8"), 1)
+        trie.insert(parse_prefix("10.0.0.0/16"), 1)
+        assert len(trie) == 2
+
+    def test_lookup_with_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(parse_prefix("10.0.0.0/8"), 100)
+        trie.insert(parse_prefix("10.20.0.0/16"), 200)
+        prefix, value = trie.lookup_with_prefix(addr_to_int("10.20.1.1"))
+        assert str(prefix) == "10.20.0.0/16" and value == 200
+
+    def test_lookup_with_prefix_miss(self):
+        assert PrefixTrie().lookup_with_prefix(5) == (None, None)
+
+    def test_trie_agrees_with_linear_scan(self, tiny_scenario):
+        # Cross-validate the trie against brute-force LPM on real data.
+        table = tiny_scenario.table
+        entries = list(table)
+        mapping = build_ip2as(table)
+
+        def linear(addr):
+            best_len, best = -1, None
+            for entry in entries:
+                if addr in entry.prefix and entry.prefix.length > best_len:
+                    best_len, best = entry.prefix.length, entry.origin_asn
+            if best is None:
+                block_asn = addr >> 16
+                if block_asn in {e.origin_asn for e in entries}:
+                    return block_asn
+            return best
+
+        import random
+
+        rng = random.Random(5)
+        for entry in rng.sample(entries, 40):
+            addr = entry.prefix.base + rng.randrange(256)
+            assert mapping.asn_of(addr) == linear(addr)
+
+
+class TestIp2As:
+    def test_infra_addresses_resolve_via_block(self, tiny_scenario):
+        mapping = build_ip2as(tiny_scenario.table)
+        router = next(iter(tiny_scenario.fabric.routers()))
+        for addr in router.addrs:
+            assert mapping.asn_of(addr) == router.asn
+
+    def test_advertised_wins_over_block(self, tiny_scenario):
+        mapping = build_ip2as(tiny_scenario.table)
+        dest = list(tiny_scenario.hitlist)[0]
+        assert mapping.asn_of(dest.addr) == dest.asn
+
+    def test_as_path_collapses_consecutive(self):
+        trie = PrefixTrie()
+        trie.insert(as_block(5), 5)
+        trie.insert(as_block(9), 9)
+        mapping = Ip2As(trie)
+        path = [5 << 16 | 1, 5 << 16 | 2, None, 9 << 16 | 1]
+        assert mapping.as_path_of(path) == [5, 9]
+
+    def test_as_path_keeps_reappearance(self):
+        trie = PrefixTrie()
+        trie.insert(as_block(5), 5)
+        trie.insert(as_block(9), 9)
+        mapping = Ip2As(trie)
+        path = [5 << 16 | 1, 9 << 16 | 1, 5 << 16 | 3]
+        assert mapping.as_path_of(path) == [5, 9, 5]
+
+    def test_as_path_skips_unmappable(self):
+        mapping = Ip2As(PrefixTrie())
+        assert mapping.as_path_of([1, 2, 3]) == []

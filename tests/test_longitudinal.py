@@ -1,0 +1,102 @@
+"""Tests for repro.core.longitudinal: the prudence dynamics."""
+
+import pytest
+
+from repro.core.longitudinal import run_longitudinal_study
+from repro.scenarios.presets import tiny
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_longitudinal_study(
+        lambda: tiny(seed=42),
+        epochs=3,
+        annoyance_threshold=1500,
+        reaction_prob=0.6,
+    )
+
+
+class TestDynamics:
+    def test_both_strategies_tracked(self, study):
+        assert set(study.trajectories) == {"exhaustive", "prudent"}
+        for series in study.trajectories.values():
+            assert len(series) == study.epochs
+
+    def test_exhaustive_probing_triggers_filters(self, study):
+        assert study.total_new_filters("exhaustive") > 0
+
+    def test_prudent_probing_triggers_fewer(self, study):
+        assert study.total_new_filters("prudent") < study.total_new_filters(
+            "exhaustive"
+        )
+
+    def test_prudent_responsiveness_stable(self, study):
+        assert study.responsiveness_decline("prudent") < 0.1
+
+    def test_exhaustive_loses_responsiveness(self, study):
+        assert study.responsiveness_decline(
+            "exhaustive"
+        ) > study.responsiveness_decline("prudent")
+
+    def test_prudent_slow_path_load_lower(self, study):
+        exhaustive_first = study.trajectories["exhaustive"][0]
+        prudent_first = study.trajectories["prudent"][0]
+        assert prudent_first.slow_path_load < exhaustive_first.slow_path_load
+
+    def test_filters_are_sticky(self, study):
+        # Once responsiveness drops it never recovers (filters stay).
+        series = study.trajectories["exhaustive"]
+        responsive = [stats.rr_responsive for stats in series]
+        floor = min(responsive)
+        assert responsive[-1] <= responsive[0]
+        assert responsive[-1] <= floor * 1.05
+
+    def test_render(self, study):
+        text = study.render()
+        assert "prudence" in text and "exhaustive" in text
+
+
+class TestNetworkSupport:
+    def test_options_load_counted_per_as(self, tiny_scenario):
+        network = tiny_scenario.network
+        network.reset_options_load()
+        vp = tiny_scenario.working_vps[0]
+        dest = list(tiny_scenario.hitlist)[0]
+        tiny_scenario.prober.ping_rr(vp, dest.addr)
+        assert sum(network.options_load.values()) > 0
+        for asn in network.options_load:
+            assert asn in tiny_scenario.graph
+
+    def test_plain_pings_add_no_load(self, tiny_scenario):
+        network = tiny_scenario.network
+        network.reset_options_load()
+        vp = tiny_scenario.working_vps[0]
+        dest = list(tiny_scenario.hitlist)[1]
+        tiny_scenario.prober.ping(vp, dest.addr)
+        assert sum(network.options_load.values()) == 0
+
+    def test_runtime_filter_flip_takes_effect(self):
+        scenario = tiny(seed=808)
+        network = scenario.network
+        vp = scenario.working_vps[0]
+        target = None
+        for dest in scenario.hitlist:
+            result = scenario.prober.ping_rr(vp, dest.addr)
+            if result.rr_responsive:
+                target = dest
+                break
+        assert target is not None
+        network.set_as_options_filter(target.asn, True)
+        after = scenario.prober.ping_rr(vp, target.addr)
+        assert not after.rr_responsive
+        # Plain pings are unaffected by the options filter.
+        assert scenario.prober.ping(vp, target.addr).responded
+
+    def test_filter_flip_reversible(self):
+        scenario = tiny(seed=809)
+        network = scenario.network
+        asn = scenario.topo.edges[0]
+        network.set_as_options_filter(asn, True)
+        assert scenario.graph[asn].filters_options
+        network.set_as_options_filter(asn, False)
+        assert not scenario.graph[asn].filters_options

@@ -1,0 +1,115 @@
+"""Tests for repro.topology.metrics."""
+
+import pytest
+
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.metrics import compute_metrics, path_length_histogram
+from repro.topology.routing import RoutingSystem
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(
+        TopologyParams(seed=77, num_tier1=4, num_tier2=12, num_edge=150)
+    )
+
+
+@pytest.fixture(scope="module")
+def metrics(topo):
+    return compute_metrics(topo)
+
+
+class TestMetrics:
+    def test_counts_match_graph(self, topo, metrics):
+        assert metrics.as_count == len(topo.graph)
+        assert sum(metrics.type_counts.values()) == metrics.as_count
+        assert sum(metrics.tier_counts.values()) == metrics.as_count
+
+    def test_edge_counts_match_graph(self, topo, metrics):
+        total_edges = sum(1 for _ in topo.graph.edges())
+        assert (
+            metrics.transit_edge_count + metrics.peering_edge_count
+            == total_edges
+        )
+
+    def test_fractions_bounded(self, metrics):
+        for value in (
+            metrics.stub_fraction,
+            metrics.multihomed_fraction,
+            metrics.filtering_fraction,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_tier1_clique_dominates_max_degree(self, topo, metrics):
+        assert metrics.max_degree >= len(topo.tier1) - 1
+
+    def test_colo_and_university_counts(self, topo, metrics):
+        assert metrics.colo_count == len(topo.colo_asns)
+        assert metrics.university_count == len(topo.university_asns)
+
+    def test_flattening_raises_peering_ratio(self):
+        steep = compute_metrics(
+            generate_topology(
+                TopologyParams(
+                    seed=78, num_tier1=4, num_tier2=12, num_edge=150,
+                    flattening=0.1,
+                )
+            )
+        )
+        flat = compute_metrics(
+            generate_topology(
+                TopologyParams(
+                    seed=78, num_tier1=4, num_tier2=12, num_edge=150,
+                    flattening=0.9,
+                )
+            )
+        )
+        assert flat.peering_ratio > steep.peering_ratio
+
+    def test_render(self, metrics):
+        text = metrics.render()
+        assert "peering ratio" in text
+        assert "colo" in text
+
+
+class TestPathLengthHistogram:
+    def test_histogram_covers_sample(self, topo):
+        routing = RoutingSystem(topo.graph)
+        sources = topo.tier2[:4]
+        dests = topo.edges[:25]
+        histogram = path_length_histogram(routing, sources, dests)
+        total = sum(histogram.values())
+        expected = sum(
+            1 for d in dests for s in sources if s != d
+        )
+        assert total == expected
+
+    def test_max_length_folds_tail(self, topo):
+        routing = RoutingSystem(topo.graph)
+        histogram = path_length_histogram(
+            routing, topo.edges[:10], topo.edges[10:30], max_length=2
+        )
+        lengths = [key for key in histogram if key is not None]
+        assert max(lengths) <= 2
+
+    def test_tier3_layer_lengthens_paths(self):
+        def mean_length(num_tier3):
+            topo = generate_topology(
+                TopologyParams(
+                    seed=79, num_tier1=4, num_tier2=12,
+                    num_tier3=num_tier3, num_edge=120,
+                )
+            )
+            routing = RoutingSystem(topo.graph)
+            histogram = path_length_histogram(
+                routing, topo.tier2[:4], topo.edges[:40]
+            )
+            pairs = [
+                (length, count)
+                for length, count in histogram.items()
+                if length is not None
+            ]
+            total = sum(count for _l, count in pairs)
+            return sum(length * count for length, count in pairs) / total
+
+        assert mean_length(40) > mean_length(0)

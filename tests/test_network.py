@@ -1,0 +1,298 @@
+"""Tests for repro.sim.network: the packet-walking dataplane."""
+
+import pytest
+
+from repro.net.icmp import (
+    ICMP_DEST_UNREACH,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+    IcmpEcho,
+    parse_icmp,
+)
+from repro.net.options import RecordRouteOption
+from repro.net.packet import IPv4Packet, PROTO_ICMP, PROTO_UDP
+from repro.net.udp import UdpDatagram
+from repro.sim.network import Network
+from repro.sim.policies import HostRRMode, SimParams
+from repro.scenarios.presets import tiny
+
+
+@pytest.fixture(scope="module")
+def quiet_scenario():
+    """A tiny scenario with loss disabled, for exact assertions."""
+    scenario = tiny(seed=907)
+    quiet = SimParams(seed=907, loss_prob=0.0)
+    scenario.network = Network(
+        scenario.topo,
+        scenario.routing,
+        scenario.fabric,
+        scenario.hitlist,
+        quiet,
+    )
+    scenario.prober.network = scenario.network
+    return scenario
+
+
+def echo_request(src, dst, ttl=64, rr=True, ident=1):
+    options = [RecordRouteOption(slots=9)] if rr else []
+    return IPv4Packet(
+        src=src,
+        dst=dst,
+        proto=PROTO_ICMP,
+        ttl=ttl,
+        ident=ident,
+        options=options,
+        payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, 1).to_bytes(),
+    )
+
+
+def hosts_by_mode(scenario, mode, responsive=True, accepts_options=True):
+    picked = []
+    for dest in scenario.hitlist:
+        host = scenario.network.host_for(dest)
+        if host.rr_mode is not mode:
+            continue
+        if responsive and not host.ping_responsive:
+            continue
+        if accepts_options and host.drops_options:
+            continue
+        picked.append(host)
+    return picked
+
+
+def first_reachable_reply(scenario, vp, mode=HostRRMode.STAMP):
+    for host in hosts_by_mode(scenario, mode):
+        reply = scenario.network.send_packet(
+            echo_request(vp.addr, host.addr)
+        )
+        if reply is None or reply.record_route is None:
+            continue
+        if host.addr in reply.record_route.recorded:
+            return host, reply
+    pytest.skip("no RR-reachable stamping host from this VP")
+
+
+class TestEchoWalk:
+    def test_echo_reply_comes_from_destination(self, quiet_scenario):
+        vp = quiet_scenario.working_vps[0]
+        host, reply = first_reachable_reply(quiet_scenario, vp)
+        assert reply.src == host.addr and reply.dst == vp.addr
+        kind, _message = parse_icmp(reply.payload)
+        assert kind == ICMP_ECHO_REPLY
+
+    def test_rr_contains_forward_then_dest_then_reverse(
+        self, quiet_scenario
+    ):
+        vp = quiet_scenario.working_vps[0]
+        host, reply = first_reachable_reply(quiet_scenario, vp)
+        recorded = reply.record_route.recorded
+        slot = recorded.index(host.addr)
+        assert slot >= 1, "at least one forward router stamped first"
+        fabric = quiet_scenario.fabric
+        for addr in recorded[:slot]:
+            owner = fabric.router_of_addr(addr)
+            assert owner is not None, "forward stamps are router ifaces"
+        # Any stamps after the destination's belong to reverse routers.
+        for addr in recorded[slot + 1 :]:
+            assert fabric.router_of_addr(addr) is not None
+
+    def test_unresponsive_host_says_nothing(self, quiet_scenario):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        dead = next(
+            host
+            for dest in quiet_scenario.hitlist
+            if not (host := network.host_for(dest)).ping_responsive
+        )
+        assert network.send_packet(echo_request(vp.addr, dead.addr)) is None
+
+    def test_options_dropping_host_ignores_rr_but_answers_plain(
+        self, quiet_scenario
+    ):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        dropper = next(
+            host
+            for dest in quiet_scenario.hitlist
+            if (host := network.host_for(dest)).ping_responsive
+            and host.drops_options
+        )
+        assert (
+            network.send_packet(echo_request(vp.addr, dropper.addr)) is None
+        )
+        plain = network.send_packet(
+            echo_request(vp.addr, dropper.addr, rr=False)
+        )
+        assert plain is not None
+
+    def test_strip_host_replies_without_option(self, quiet_scenario):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        strippers = hosts_by_mode(quiet_scenario, HostRRMode.STRIP)
+        if not strippers:
+            pytest.skip("no STRIP host in this draw")
+        reply = network.send_packet(
+            echo_request(vp.addr, strippers[0].addr)
+        )
+        if reply is None:
+            pytest.skip("path filtered for this pair")
+        assert reply.record_route is None
+
+    def test_unroutable_destination_unanswered(self, quiet_scenario):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        before = network.stats.dropped_no_route
+        assert network.send_packet(echo_request(vp.addr, 1)) is None
+        assert network.stats.dropped_no_route == before + 1
+
+
+class TestTtl:
+    def test_low_ttl_triggers_time_exceeded_with_quote(
+        self, quiet_scenario
+    ):
+        vp = quiet_scenario.working_vps[0]
+        host, _reply = first_reachable_reply(quiet_scenario, vp)
+        reply = quiet_scenario.network.send_packet(
+            echo_request(vp.addr, host.addr, ttl=1)
+        )
+        if reply is None:
+            pytest.skip("first hop does not send TTL exceeded")
+        kind, message = parse_icmp(reply.payload)
+        assert kind == ICMP_TIME_EXCEEDED
+        quoted = message.quoted_packet()
+        assert quoted is not None
+        assert quoted.dst == host.addr
+        assert quoted.record_route is not None
+
+    def test_generous_ttl_reaches(self, quiet_scenario):
+        vp = quiet_scenario.working_vps[0]
+        host, _reply = first_reachable_reply(quiet_scenario, vp)
+        reply = quiet_scenario.network.send_packet(
+            echo_request(vp.addr, host.addr, ttl=64)
+        )
+        kind, _message = parse_icmp(reply.payload)
+        assert kind == ICMP_ECHO_REPLY
+
+    def test_ttl_monotone_response_boundary(self, quiet_scenario):
+        # Sweeping TTL upward: errors/drops first, then echo replies,
+        # and once replies start they continue (no flapping back).
+        vp = quiet_scenario.working_vps[0]
+        host, _reply = first_reachable_reply(quiet_scenario, vp)
+        got_reply = []
+        for ttl in range(1, 30):
+            reply = quiet_scenario.network.send_packet(
+                echo_request(vp.addr, host.addr, ttl=ttl)
+            )
+            is_echo = False
+            if reply is not None:
+                kind, _message = parse_icmp(reply.payload)
+                is_echo = kind == ICMP_ECHO_REPLY
+            got_reply.append(is_echo)
+        first_true = got_reply.index(True)
+        assert all(got_reply[first_true:])
+
+
+class TestUdp:
+    def test_high_port_yields_quoted_unreachable(self, quiet_scenario):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        target = next(
+            host
+            for dest in quiet_scenario.hitlist
+            if (host := network.host_for(dest)).udp_unreachable
+            and not host.drops_options
+        )
+        pkt = IPv4Packet(
+            src=vp.addr,
+            dst=target.addr,
+            proto=PROTO_UDP,
+            options=[RecordRouteOption(slots=9)],
+            payload=UdpDatagram(40000, 33500).to_bytes(),
+        )
+        reply = network.send_packet(pkt)
+        if reply is None:
+            pytest.skip("path filtered for this pair")
+        kind, message = parse_icmp(reply.payload)
+        assert kind == ICMP_DEST_UNREACH
+        quoted = message.quoted_packet()
+        # The quote shows the RR as it arrived: no stamp from the host.
+        assert target.addr not in quoted.record_route.recorded
+
+    def test_low_port_unanswered(self, quiet_scenario):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        target = next(
+            host
+            for dest in quiet_scenario.hitlist
+            if (host := network.host_for(dest)).udp_unreachable
+        )
+        pkt = IPv4Packet(
+            src=vp.addr,
+            dst=target.addr,
+            proto=PROTO_UDP,
+            payload=UdpDatagram(40000, 80).to_bytes(),
+        )
+        assert network.send_packet(pkt) is None
+
+
+class TestRouterControlPlane:
+    def test_router_iface_answers_ping_with_shared_ipid(
+        self, quiet_scenario
+    ):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        router = next(
+            router
+            for router in quiet_scenario.fabric.routers()
+            if network.policy_of(router).ping_responsive
+        )
+        addr_a, addr_b = router.addrs[0], router.addrs[1]
+        reply_a = network.send_packet(
+            echo_request(vp.addr, addr_a, rr=False)
+        )
+        reply_b = network.send_packet(
+            echo_request(vp.addr, addr_b, rr=False)
+        )
+        assert reply_a is not None and reply_b is not None
+        # Same device, same moment, same counter value.
+        assert reply_a.ident == reply_b.ident
+
+    def test_alias_interface_of_host_answers(self, quiet_scenario):
+        network = quiet_scenario.network
+        vp = quiet_scenario.working_vps[0]
+        alias_hosts = hosts_by_mode(quiet_scenario, HostRRMode.ALIAS)
+        if not alias_hosts:
+            pytest.skip("no ALIAS host in this draw")
+        host = alias_hosts[0]
+        reply = network.send_packet(
+            echo_request(vp.addr, host.alias_addr, rr=False)
+        )
+        if reply is None:
+            pytest.skip("alias host not ping-responsive")
+        assert reply.src == host.alias_addr
+
+
+class TestWireInterface:
+    def test_send_wire_roundtrip(self, quiet_scenario):
+        vp = quiet_scenario.working_vps[0]
+        host, _reply = first_reachable_reply(quiet_scenario, vp)
+        wire = echo_request(vp.addr, host.addr).to_bytes()
+        reply_bytes = quiet_scenario.network.send_wire(wire)
+        assert reply_bytes is not None
+        reply = IPv4Packet.from_bytes(reply_bytes)
+        assert reply.src == host.addr
+
+    def test_stats_accumulate(self, quiet_scenario):
+        network = quiet_scenario.network
+        before = network.stats.sent
+        vp = quiet_scenario.working_vps[0]
+        network.send_packet(
+            echo_request(vp.addr, list(quiet_scenario.hitlist)[0].addr)
+        )
+        assert network.stats.sent == before + 1
+
+    def test_stats_reset(self, quiet_scenario):
+        network = quiet_scenario.network
+        network.stats.reset()
+        assert network.stats.sent == 0

@@ -1,0 +1,174 @@
+"""Dataplane edge cases beyond the main network tests.
+
+These pin behaviours the studies rely on implicitly: replies dying to
+reverse-path filters, probe-order invariance of the survey's
+classification, ident propagation, and reverse-path asymmetry.
+"""
+
+import pytest
+
+from repro.core.survey import run_rr_survey
+from repro.net.icmp import ICMP_ECHO_REQUEST, IcmpEcho
+from repro.net.options import RecordRouteOption
+from repro.net.packet import IPv4Packet, PROTO_ICMP
+from repro.probing.scheduler import ProbeOrder
+from repro.sim.network import Network
+from repro.sim.policies import SimParams
+from repro.scenarios.presets import tiny
+
+
+@pytest.fixture(scope="module")
+def quiet():
+    # Loss and policing disabled: these tests isolate routing/stamping
+    # semantics, and rate limiters are legitimately order-sensitive
+    # (that sensitivity is §4.1's subject and is tested elsewhere).
+    scenario = tiny(seed=611)
+    params = SimParams(seed=611, loss_prob=0.0, rate_limit_prob=0.0)
+    scenario.network = Network(
+        scenario.topo,
+        scenario.routing,
+        scenario.fabric,
+        scenario.hitlist,
+        params,
+    )
+    scenario.prober.network = scenario.network
+    return scenario
+
+
+def echo(src, dst, ttl=64, rr=True):
+    options = [RecordRouteOption(slots=9)] if rr else []
+    return IPv4Packet(
+        src=src,
+        dst=dst,
+        proto=PROTO_ICMP,
+        ttl=ttl,
+        ident=1,
+        options=options,
+        payload=IcmpEcho(ICMP_ECHO_REQUEST, 1, 1).to_bytes(),
+    )
+
+
+class TestReverseFiltering:
+    def test_reply_dies_when_source_as_starts_filtering(self, quiet):
+        """An RR reply also carries options, so a filter *anywhere* on
+        the return path — here, the probing host's own AS — kills it,
+        while plain pings keep working."""
+        vp = quiet.working_vps[0]
+        target = None
+        for dest in quiet.hitlist:
+            if quiet.prober.ping_rr(vp, dest.addr).rr_responsive:
+                target = dest
+                break
+        assert target is not None
+        quiet.network.set_as_options_filter(vp.asn, True)
+        try:
+            after = quiet.prober.ping_rr(vp, target.addr)
+            assert not after.rr_responsive
+            assert quiet.prober.ping(vp, target.addr).responded
+        finally:
+            quiet.network.set_as_options_filter(vp.asn, False)
+
+
+class TestIdentPropagation:
+    def test_echo_reply_carries_host_ipid(self, quiet):
+        network = quiet.network
+        vp = quiet.working_vps[0]
+        host = None
+        for dest in quiet.hitlist:
+            candidate = network.host_for(dest)
+            if candidate.ping_responsive:
+                host = candidate
+                break
+        reply = network.send_packet(echo(vp.addr, host.addr, rr=False))
+        assert reply is not None
+        expected = host.ipid(network.clock.now)
+        assert reply.ident == expected
+
+    def test_echo_payload_round_trips_ident_seq(self, quiet):
+        vp = quiet.working_vps[0]
+        network = quiet.network
+        host = next(
+            h
+            for dest in quiet.hitlist
+            if (h := network.host_for(dest)).ping_responsive
+        )
+        pkt = IPv4Packet(
+            src=vp.addr,
+            dst=host.addr,
+            proto=PROTO_ICMP,
+            ident=777,
+            payload=IcmpEcho(ICMP_ECHO_REQUEST, 777, 42, b"tag").to_bytes(),
+        )
+        reply = network.send_packet(pkt)
+        assert reply is not None
+        replied = IcmpEcho.from_bytes(reply.payload)
+        assert (replied.ident, replied.seq, replied.data) == (777, 42, b"tag")
+
+
+class TestReversePathProperties:
+    def test_reverse_stamps_use_reverse_routing_tree(self, quiet):
+        """Reverse RR stamps must belong to ASes on the dest->VP path
+        (which may differ from the forward one)."""
+        vp = quiet.working_vps[0]
+        network = quiet.network
+        checked = 0
+        for dest in list(quiet.hitlist):
+            result = quiet.prober.ping_rr(vp, dest.addr)
+            slot = result.dest_slot()
+            if slot is None or not result.reverse_hops():
+                continue
+            reverse_as_path = quiet.routing.as_path(dest.asn, vp.asn)
+            assert reverse_as_path is not None
+            for addr in result.reverse_hops():
+                owner = quiet.fabric.router_of_addr(addr)
+                assert owner is not None
+                assert owner.asn in reverse_as_path
+            checked += 1
+            if checked >= 10:
+                break
+        assert checked
+
+
+class TestSurveyOrderInvariance:
+    def test_classification_independent_of_probe_order(self, quiet):
+        """With loss and policing disabled, the survey's outcome is
+        identical whether a VP probes randomly or sorted by prefix —
+        order sensitivity comes only from rate limiters (§4.1)."""
+        dests = list(quiet.hitlist)[:120]
+        vps = quiet.working_vps[:3]
+        quiet.network.reset_limiters()
+        random_survey = run_rr_survey(
+            quiet, dests=dests, vps=vps, order=ProbeOrder.RANDOM
+        )
+        quiet.network.reset_limiters()
+        sorted_survey = run_rr_survey(
+            quiet, dests=dests, vps=vps, order=ProbeOrder.BY_PREFIX
+        )
+        for index in range(len(dests)):
+            assert random_survey.responses[index].keys() == (
+                sorted_survey.responses[index].keys()
+            )
+            assert random_survey.responses[index] == (
+                sorted_survey.responses[index]
+            )
+
+
+class TestSlotBudget:
+    def test_smaller_option_fills_earlier(self, quiet):
+        """A 4-slot RR fills before a 9-slot one on the same path; the
+        destination can only appear when the bigger budget is used."""
+        vp = quiet.working_vps[0]
+        target = None
+        for dest in quiet.hitlist:
+            result = quiet.prober.ping_rr(vp, dest.addr, slots=9)
+            slot = result.dest_slot()
+            if slot is not None and slot > 4:
+                target = dest
+                break
+        if target is None:
+            pytest.skip("no destination between 5 and 9 hops")
+        small = quiet.prober.ping_rr(vp, target.addr, slots=4)
+        if not small.rr_responsive:
+            pytest.skip("pair filtered")
+        assert small.dest_slot() is None
+        assert len(small.rr_hops) == 4

@@ -1,0 +1,115 @@
+"""Tests for ping-TS probing and the prespecified on-path test."""
+
+import pytest
+
+from repro.core.onpath import confirm_on_path, on_path_sweep
+from repro.net.timestamp import TsFlag
+from repro.sim.policies import HostRRMode
+
+
+def stamping_pair(scenario):
+    """A (vp, host, rr_result) triple with a reachable stamping host."""
+    vp = scenario.working_vps[0]
+    network = scenario.network
+    for dest in scenario.hitlist:
+        host = network.host_for(dest)
+        if host.rr_mode is not HostRRMode.STAMP:
+            continue
+        result = scenario.prober.ping_rr(vp, dest.addr)
+        if result.reachable and len(result.forward_hops()) >= 2:
+            return vp, host, result
+    pytest.skip("no reachable stamping host")
+
+
+class TestPingTs:
+    def test_ts_only_collects_timestamps(self, tiny_scenario):
+        vp, host, _rr = stamping_pair(tiny_scenario)
+        result = tiny_scenario.prober.ping_ts(vp, host.addr)
+        assert result.responded and result.reply_has_ts
+        stamps = result.timestamps()
+        assert stamps, "routers along the path should have stamped"
+        assert stamps == sorted(stamps)  # time moves forward
+
+    def test_ts_addr_records_interfaces(self, tiny_scenario):
+        vp, host, rr = stamping_pair(tiny_scenario)
+        result = tiny_scenario.prober.ping_ts(
+            vp, host.addr, flag=TsFlag.TS_ADDR
+        )
+        assert result.responded
+        addrs = [addr for addr, ts in result.entries if ts is not None]
+        assert addrs
+        for addr in addrs:
+            owner = tiny_scenario.fabric.router_of_addr(addr)
+            is_host_iface = addr in host.addrs
+            assert owner is not None or is_host_iface
+
+    def test_prespec_requires_addresses(self, tiny_scenario):
+        vp = tiny_scenario.working_vps[0]
+        with pytest.raises(ValueError):
+            tiny_scenario.prober.ping_ts(
+                vp, 1, flag=TsFlag.TS_PRESPEC
+            )
+
+    def test_filtered_vp_gets_nothing(self, tiny_scenario):
+        filtered = [vp for vp in tiny_scenario.vps if vp.local_filtered]
+        if not filtered:
+            pytest.skip("no filtered VP in this draw")
+        result = tiny_scenario.prober.ping_ts(filtered[0], 1)
+        assert not result.responded
+
+
+class TestOnPath:
+    def test_forward_stamp_addr_confirmed(self, tiny_scenario):
+        # An address RR recorded on the forward path must confirm.
+        vp, host, rr = stamping_pair(tiny_scenario)
+        candidate = rr.forward_hops()[0]
+        result = confirm_on_path(
+            tiny_scenario.prober, vp, host.addr, candidate
+        )
+        assert result.testable
+        assert result.confirmed
+        assert result.verdict == "on-path"
+
+    def test_unrelated_address_unconfirmed(self, tiny_scenario):
+        vp, host, _rr = stamping_pair(tiny_scenario)
+        # An interface of a router in a far-away AS with no relation
+        # to this path.
+        far_asn = tiny_scenario.topo.edges[-1]
+        if far_asn == host.asn:
+            far_asn = tiny_scenario.topo.edges[-2]
+        far_router = tiny_scenario.fabric.core_pool(far_asn)[0]
+        candidate = far_router.addrs[0]
+        result = confirm_on_path(
+            tiny_scenario.prober, vp, host.addr, candidate
+        )
+        if not result.testable:
+            pytest.skip("destination stopped answering TS")
+        assert not result.confirmed
+        assert result.verdict == "unconfirmed"
+
+    def test_unresponsive_destination_untestable(self, tiny_scenario):
+        network = tiny_scenario.network
+        vp = tiny_scenario.working_vps[0]
+        dead = next(
+            host
+            for dest in tiny_scenario.hitlist
+            if not (host := network.host_for(dest)).ping_responsive
+        )
+        result = confirm_on_path(
+            tiny_scenario.prober, vp, dead.addr, vp.addr
+        )
+        assert result.verdict == "untestable"
+
+    def test_sweep_one_result_per_candidate(self, tiny_scenario):
+        vp, host, rr = stamping_pair(tiny_scenario)
+        candidates = rr.forward_hops()[:3]
+        results = on_path_sweep(
+            tiny_scenario.prober, vp, host.addr, candidates
+        )
+        assert [r.candidate for r in results] == candidates
+        assert all(r.confirmed for r in results if r.testable)
+
+    def test_sweep_rejects_duplicates(self, tiny_scenario):
+        vp = tiny_scenario.working_vps[0]
+        with pytest.raises(ValueError):
+            on_path_sweep(tiny_scenario.prober, vp, 1, [5, 5])

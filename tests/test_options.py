@@ -1,0 +1,164 @@
+"""Tests for repro.net.options: the RFC 791 Record Route wire format."""
+
+import pytest
+
+from repro.net.addr import addr_to_int
+from repro.net.options import (
+    IPOPT_EOL,
+    IPOPT_NOP,
+    IPOPT_RR,
+    RR_MAX_SLOTS,
+    OptionDecodeError,
+    RecordRouteOption,
+    decode_options,
+    encode_options,
+)
+
+
+class TestRecordRouteSemantics:
+    def test_nine_slots_by_default(self):
+        assert RecordRouteOption().slots == RR_MAX_SLOTS == 9
+
+    def test_stamp_fills_in_order(self):
+        rr = RecordRouteOption(slots=3)
+        assert rr.stamp(1) and rr.stamp(2) and rr.stamp(3)
+        assert rr.recorded == [1, 2, 3]
+
+    def test_stamp_when_full_is_refused(self):
+        rr = RecordRouteOption(slots=1)
+        assert rr.stamp(1)
+        assert not rr.stamp(2)
+        assert rr.recorded == [1]
+
+    def test_remaining_counts_down(self):
+        rr = RecordRouteOption(slots=2)
+        assert rr.remaining == 2
+        rr.stamp(9)
+        assert rr.remaining == 1
+        assert not rr.full
+        rr.stamp(9)
+        assert rr.full
+
+    def test_copy_is_independent(self):
+        rr = RecordRouteOption(slots=4, recorded=[1, 2])
+        clone = rr.copy()
+        clone.stamp(3)
+        assert rr.recorded == [1, 2]
+        assert clone.recorded == [1, 2, 3]
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            RecordRouteOption(slots=0)
+
+    def test_too_many_slots_rejected(self):
+        with pytest.raises(ValueError):
+            RecordRouteOption(slots=10)
+
+    def test_overfull_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RecordRouteOption(slots=1, recorded=[1, 2])
+
+
+class TestRecordRouteWire:
+    def test_wire_layout_empty(self):
+        rr = RecordRouteOption(slots=9)
+        wire = rr.to_bytes()
+        assert wire[0] == IPOPT_RR
+        assert wire[1] == 39  # 3 + 4*9
+        assert wire[2] == 4  # pointer at first slot
+        assert len(wire) == 39
+
+    def test_pointer_advances_with_stamps(self):
+        rr = RecordRouteOption(slots=9)
+        rr.stamp(addr_to_int("10.0.0.1"))
+        rr.stamp(addr_to_int("10.0.0.2"))
+        assert rr.to_bytes()[2] == 12  # 4 + 2*4
+
+    def test_addresses_serialised_big_endian(self):
+        rr = RecordRouteOption(slots=2, recorded=[addr_to_int("1.2.3.4")])
+        assert rr.to_bytes()[3:7] == bytes([1, 2, 3, 4])
+
+    def test_roundtrip_partial(self):
+        rr = RecordRouteOption(slots=9, recorded=[10, 20, 30])
+        again = RecordRouteOption.from_bytes(rr.to_bytes())
+        assert again == rr
+
+    def test_roundtrip_full(self):
+        rr = RecordRouteOption(slots=4, recorded=[1, 2, 3, 4])
+        again = RecordRouteOption.from_bytes(rr.to_bytes())
+        assert again.full and again.recorded == [1, 2, 3, 4]
+
+    def test_decode_rejects_wrong_type(self):
+        with pytest.raises(OptionDecodeError):
+            RecordRouteOption.from_bytes(bytes([IPOPT_NOP, 7, 4, 0, 0, 0, 0]))
+
+    def test_decode_rejects_length_mismatch(self):
+        wire = bytearray(RecordRouteOption(slots=2).to_bytes())
+        wire[1] = 99
+        with pytest.raises(OptionDecodeError):
+            RecordRouteOption.from_bytes(bytes(wire))
+
+    def test_decode_rejects_misaligned_pointer(self):
+        wire = bytearray(RecordRouteOption(slots=2).to_bytes())
+        wire[2] = 5
+        with pytest.raises(OptionDecodeError):
+            RecordRouteOption.from_bytes(bytes(wire))
+
+    def test_decode_rejects_pointer_past_slots(self):
+        wire = bytearray(RecordRouteOption(slots=1).to_bytes())
+        wire[2] = 4 + 8  # claims two recorded in a one-slot option
+        with pytest.raises(OptionDecodeError):
+            RecordRouteOption.from_bytes(bytes(wire))
+
+    def test_str_mentions_fill_state(self):
+        rr = RecordRouteOption(slots=9, recorded=[addr_to_int("10.0.0.1")])
+        assert "1/9" in str(rr)
+        assert "10.0.0.1" in str(rr)
+
+
+class TestOptionsArea:
+    def test_encode_pads_to_word_boundary(self):
+        area = encode_options([RecordRouteOption(slots=9)])
+        assert len(area) % 4 == 0
+        assert len(area) == 40  # 39 + 1 EOL pad
+
+    def test_encode_empty(self):
+        assert encode_options([]) == b""
+
+    def test_decode_skips_nop_padding(self):
+        rr = RecordRouteOption(slots=2, recorded=[5])
+        area = bytes([IPOPT_NOP]) + rr.to_bytes()
+        found = decode_options(area + bytes(3))
+        assert len(found) == 1 and found[0].recorded == [5]
+
+    def test_decode_stops_at_eol(self):
+        rr = RecordRouteOption(slots=1)
+        area = bytes([IPOPT_EOL]) + rr.to_bytes()
+        assert decode_options(area) == []
+
+    def test_decode_skips_unknown_option(self):
+        unknown = bytes([0x88, 4, 0, 0])  # stream-id-ish, length 4
+        rr = RecordRouteOption(slots=1, recorded=[7])
+        found = decode_options(unknown + rr.to_bytes() + b"\x00")
+        assert len(found) == 1 and found[0].recorded == [7]
+
+    def test_decode_rejects_truncated_option(self):
+        with pytest.raises(OptionDecodeError):
+            decode_options(bytes([IPOPT_RR]))
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(OptionDecodeError):
+            decode_options(bytes([0x44, 1, 0, 0]))
+
+    def test_decode_rejects_oversized_area(self):
+        with pytest.raises(OptionDecodeError):
+            decode_options(b"\x01" * 41)
+
+    def test_encode_rejects_oversized(self):
+        with pytest.raises(OptionDecodeError):
+            encode_options([RecordRouteOption(slots=9)] * 2)
+
+    def test_roundtrip_through_area(self):
+        rr = RecordRouteOption(slots=9, recorded=[1, 2])
+        found = decode_options(encode_options([rr]))
+        assert found == [rr]

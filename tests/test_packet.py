@@ -1,0 +1,128 @@
+"""Tests for repro.net.packet: IPv4 serialisation and parsing."""
+
+import pytest
+
+from repro.net.addr import addr_to_int
+from repro.net.checksum import verify_checksum
+from repro.net.options import RecordRouteOption
+from repro.net.packet import (
+    DEFAULT_TTL,
+    IPv4Packet,
+    PacketDecodeError,
+    PROTO_ICMP,
+    PROTO_UDP,
+)
+
+SRC = addr_to_int("192.0.2.1")
+DST = addr_to_int("198.51.100.2")
+
+
+def make_packet(**kwargs):
+    defaults = dict(src=SRC, dst=DST, proto=PROTO_ICMP, payload=b"hello")
+    defaults.update(kwargs)
+    return IPv4Packet(**defaults)
+
+
+class TestFieldValidation:
+    def test_default_ttl(self):
+        assert make_packet().ttl == DEFAULT_TTL == 64
+
+    def test_ttl_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_packet(ttl=256)
+
+    def test_ident_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_packet(ident=70000)
+
+
+class TestWireRoundtrip:
+    def test_plain_roundtrip(self):
+        pkt = make_packet(ttl=17, ident=42, tos=8)
+        again = IPv4Packet.from_bytes(pkt.to_bytes())
+        assert again == pkt
+
+    def test_roundtrip_with_rr_option(self):
+        rr = RecordRouteOption(slots=9, recorded=[SRC, DST])
+        pkt = make_packet(options=[rr])
+        again = IPv4Packet.from_bytes(pkt.to_bytes())
+        assert again.record_route == rr
+        assert again.payload == b"hello"
+
+    def test_udp_proto_preserved(self):
+        pkt = make_packet(proto=PROTO_UDP)
+        assert IPv4Packet.from_bytes(pkt.to_bytes()).proto == PROTO_UDP
+
+    def test_flags_and_fragment_offset(self):
+        pkt = make_packet(flags=0b010, frag_offset=1234)
+        again = IPv4Packet.from_bytes(pkt.to_bytes())
+        assert again.flags == 0b010 and again.frag_offset == 1234
+
+    def test_header_checksum_valid_on_wire(self):
+        wire = make_packet(options=[RecordRouteOption()]).to_bytes()
+        header_len = (wire[0] & 0xF) * 4
+        assert verify_checksum(wire[:header_len])
+
+    def test_header_length_includes_padded_options(self):
+        pkt = make_packet(options=[RecordRouteOption(slots=9)])
+        assert pkt.header_length == 20 + 40
+        assert pkt.total_length == 20 + 40 + 5
+
+    def test_ihl_correct_without_options(self):
+        wire = make_packet().to_bytes()
+        assert wire[0] == 0x45
+
+
+class TestDecodeErrors:
+    def test_short_packet(self):
+        with pytest.raises(PacketDecodeError):
+            IPv4Packet.from_bytes(b"\x45\x00")
+
+    def test_wrong_version(self):
+        wire = bytearray(make_packet().to_bytes())
+        wire[0] = 0x65  # version 6
+        with pytest.raises(PacketDecodeError):
+            IPv4Packet.from_bytes(bytes(wire))
+
+    def test_corrupted_checksum_detected(self):
+        wire = bytearray(make_packet().to_bytes())
+        wire[8] ^= 0xFF  # flip TTL without fixing checksum
+        with pytest.raises(PacketDecodeError):
+            IPv4Packet.from_bytes(bytes(wire))
+
+    def test_verify_false_skips_checksum(self):
+        wire = bytearray(make_packet(ttl=9).to_bytes())
+        wire[8] = 5  # new TTL, stale checksum
+        pkt = IPv4Packet.from_bytes(bytes(wire), verify=False)
+        assert pkt.ttl == 5
+
+    def test_bad_total_length(self):
+        wire = bytearray(make_packet().to_bytes())
+        wire[2:4] = (4).to_bytes(2, "big")  # < header length
+        with pytest.raises(PacketDecodeError):
+            IPv4Packet.from_bytes(bytes(wire), verify=False)
+
+    def test_bad_ihl(self):
+        wire = bytearray(make_packet().to_bytes())
+        wire[0] = 0x44  # IHL 16 bytes < 20
+        with pytest.raises(PacketDecodeError):
+            IPv4Packet.from_bytes(bytes(wire), verify=False)
+
+
+class TestConvenience:
+    def test_record_route_none_when_absent(self):
+        assert make_packet().record_route is None
+
+    def test_has_options(self):
+        assert not make_packet().has_options
+        assert make_packet(options=[RecordRouteOption()]).has_options
+
+    def test_copy_deep_copies_options(self):
+        pkt = make_packet(options=[RecordRouteOption(slots=2)])
+        clone = pkt.copy()
+        clone.record_route.stamp(1)
+        assert pkt.record_route.recorded == []
+
+    def test_str_contains_addresses(self):
+        text = str(make_packet())
+        assert "192.0.2.1" in text and "198.51.100.2" in text

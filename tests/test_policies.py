@@ -1,0 +1,121 @@
+"""Tests for repro.sim.policies: behaviour assignment."""
+
+import pytest
+
+from repro.sim.policies import SimParams, build_router_policy
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.routers import RouterFabric
+
+
+@pytest.fixture(scope="module")
+def setup():
+    topo = generate_topology(
+        TopologyParams(seed=31, num_tier1=3, num_tier2=10, num_edge=150)
+    )
+    fabric = RouterFabric(topo.graph, seed=31)
+    params = SimParams(seed=31)
+    return topo, fabric, params
+
+
+class TestRouterPolicy:
+    def test_deterministic(self, setup):
+        topo, fabric, params = setup
+        router = fabric.core_pool(topo.tier2[0])[0]
+        a = build_router_policy(params, topo.graph, router)
+        b = build_router_policy(params, topo.graph, router)
+        assert vars(a) == vars(b)
+
+    def test_filtering_as_drops_options_on_every_router(self, setup):
+        topo, fabric, params = setup
+        filtering = [
+            asn for asn in topo.edges if topo.graph[asn].filters_options
+        ]
+        assert filtering, "expected at least one filtering AS"
+        for asn in filtering[:5]:
+            for router in fabric.core_pool(asn):
+                policy = build_router_policy(params, topo.graph, router)
+                assert policy.drops_options
+
+    def test_never_stamp_as_routers_never_stamp(self, setup):
+        topo, fabric, params = setup
+        nevers = [
+            autsys.asn
+            for autsys in topo.graph.systems()
+            if autsys.never_stamps
+        ]
+        for asn in nevers:
+            for router in fabric.core_pool(asn):
+                policy = build_router_policy(params, topo.graph, router)
+                assert not policy.stamps_rr
+
+    def test_most_routers_stamp(self, setup):
+        topo, fabric, params = setup
+        routers = list(fabric.routers())[:800]
+        stamping = sum(
+            1
+            for router in routers
+            if build_router_policy(params, topo.graph, router).stamps_rr
+        )
+        assert stamping / len(routers) > 0.75
+
+    def test_access_routers_stamp_less(self, setup):
+        topo, fabric, params = setup
+        from repro.net.addr import Prefix
+
+        accesses = []
+        for asn in topo.edges:
+            for index in range(6):
+                router = fabric.access_router(
+                    Prefix((asn << 16) | (index << 8), 24), asn
+                )
+                if router is not None:
+                    accesses.append(router)
+        rate = sum(
+            1
+            for router in accesses
+            if build_router_policy(params, topo.graph, router).stamps_rr
+        ) / len(accesses)
+        assert rate < 0.8
+
+    def test_rate_limits_are_rare_and_from_menu(self, setup):
+        topo, fabric, params = setup
+        routers = list(fabric.routers())
+        limited = [
+            build_router_policy(params, topo.graph, router).rate_limit_pps
+            for router in routers
+        ]
+        present = [pps for pps in limited if pps is not None]
+        assert 0 < len(present) / len(routers) < 0.08
+        assert set(present) <= set(params.rate_limit_choices)
+
+    def test_anonymous_routers_send_nothing(self, setup):
+        topo, fabric, params = setup
+        routers = list(fabric.routers())
+        for router in routers[:1500]:
+            policy = build_router_policy(params, topo.graph, router)
+            if not policy.decrements_ttl:
+                assert not policy.sends_ttl_exceeded
+
+    def test_ipid_velocity_within_bounds(self, setup):
+        topo, fabric, params = setup
+        low, high = params.ipid_velocity_range
+        for router in list(fabric.routers())[:300]:
+            policy = build_router_policy(params, topo.graph, router)
+            assert low <= policy.ipid_velocity <= high
+
+
+class TestSimParams:
+    def test_prob_of_lookup(self):
+        from repro.topology.autsys import ASType
+
+        params = SimParams()
+        assert params.prob_of(params.ping_responsive, ASType.CONTENT) == 0.84
+
+    def test_prob_of_missing_type_is_zero(self):
+        from repro.topology.autsys import ASType
+
+        params = SimParams(ping_responsive=())
+        assert params.prob_of(params.ping_responsive, ASType.CONTENT) == 0.0
+
+    def test_hashable_frozen(self):
+        assert hash(SimParams(seed=1)) != hash(SimParams(seed=2))

@@ -1,0 +1,122 @@
+"""Tests for repro.topology.prefixes: the synthetic RIB."""
+
+import pytest
+
+from repro.net.addr import parse_prefix
+from repro.topology.autsys import ASType
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.prefixes import (
+    AdvertisedPrefix,
+    PrefixTable,
+    as_block,
+    build_prefix_table,
+    infra_prefix,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(
+        TopologyParams(seed=3, num_tier1=3, num_tier2=8, num_edge=80)
+    )
+
+
+class TestBlocks:
+    def test_as_block_is_slash16(self):
+        block = as_block(42)
+        assert block.length == 16
+        assert block.base == 42 << 16
+
+    def test_as_block_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            as_block(0)
+        with pytest.raises(ValueError):
+            as_block(1 << 16)
+
+    def test_infra_prefix_is_top_slash24(self):
+        infra = infra_prefix(7)
+        assert infra.length == 24
+        assert (infra.base >> 8) & 0xFF == 255
+        assert as_block(7).contains_prefix(infra)
+
+
+class TestBuildTable:
+    def test_every_as_advertises_at_least_one(self, topo):
+        table = build_prefix_table(topo.graph, seed=3, prefix_scale=0.05)
+        assert set(table.origin_asns()) == set(topo.graph.asns())
+
+    def test_prefixes_within_owner_block(self, topo):
+        table = build_prefix_table(topo.graph, seed=3, prefix_scale=0.5)
+        for entry in table:
+            assert as_block(entry.origin_asn).contains_prefix(entry.prefix)
+            assert entry.prefix.length == 24
+
+    def test_scale_changes_counts(self, topo):
+        small = build_prefix_table(topo.graph, seed=3, prefix_scale=0.2)
+        large = build_prefix_table(topo.graph, seed=3, prefix_scale=1.0)
+        assert len(large) > len(small)
+
+    def test_transit_advertises_more_than_enterprise(self, topo):
+        table = build_prefix_table(topo.graph, seed=3, prefix_scale=1.0)
+        graph = topo.graph
+
+        def mean_count(as_type):
+            counts = [
+                len(table.prefixes_of(asn))
+                for asn in graph.by_type(as_type)
+            ]
+            return sum(counts) / len(counts)
+
+        assert mean_count(ASType.TRANSIT_ACCESS) > 2 * mean_count(
+            ASType.ENTERPRISE
+        )
+
+    def test_deterministic(self, topo):
+        first = build_prefix_table(topo.graph, seed=3, prefix_scale=0.4)
+        second = build_prefix_table(topo.graph, seed=3, prefix_scale=0.4)
+        assert list(first.to_lines()) == list(second.to_lines())
+
+    def test_bad_scale_rejected(self, topo):
+        with pytest.raises(ValueError):
+            build_prefix_table(topo.graph, seed=3, prefix_scale=0)
+
+
+class TestTableApi:
+    def make_table(self):
+        return PrefixTable(
+            [
+                AdvertisedPrefix(parse_prefix("0.5.0.0/24"), 5),
+                AdvertisedPrefix(parse_prefix("0.5.1.0/24"), 5),
+                AdvertisedPrefix(parse_prefix("0.9.0.0/24"), 9),
+            ]
+        )
+
+    def test_duplicate_prefix_rejected(self):
+        entry = AdvertisedPrefix(parse_prefix("0.5.0.0/24"), 5)
+        with pytest.raises(ValueError):
+            PrefixTable([entry, entry])
+
+    def test_prefixes_of(self):
+        table = self.make_table()
+        assert len(table.prefixes_of(5)) == 2
+        assert table.prefixes_of(999) == []
+
+    def test_origin_of(self):
+        table = self.make_table()
+        assert table.origin_of(parse_prefix("0.9.0.0/24")) == 9
+        assert table.origin_of(parse_prefix("0.9.7.0/24")) is None
+
+    def test_lines_roundtrip(self):
+        table = self.make_table()
+        again = PrefixTable.from_lines(table.to_lines())
+        assert list(again.to_lines()) == list(table.to_lines())
+
+    def test_from_lines_skips_comments_and_blanks(self):
+        table = PrefixTable.from_lines(
+            ["# a comment", "", "0.5.0.0/24|5"]
+        )
+        assert len(table) == 1
+
+    def test_from_lines_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            PrefixTable.from_lines(["0.5.0.0/24"])

@@ -1,0 +1,60 @@
+"""Tests for repro.sim.rate_limiter: the options-slow-path policer."""
+
+import pytest
+
+from repro.sim.rate_limiter import TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_allows_initial_packets(self):
+        bucket = TokenBucket(rate=10, burst=3)
+        assert [bucket.allow(0.0) for _ in range(3)] == [True] * 3
+        assert not bucket.allow(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10, burst=1)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.05)  # only half a token back
+        assert bucket.allow(0.11)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100, burst=2)
+        bucket.allow(0.0)
+        # A long quiet period must not bank more than `burst` tokens.
+        assert bucket.peek(100.0) == pytest.approx(2.0)
+
+    def test_steady_state_rate_enforced(self):
+        bucket = TokenBucket(rate=10, burst=5, start=0.0)
+        allowed = sum(
+            1 for i in range(1000) if bucket.allow(i * 0.01)
+        )  # offered 100 pps for 10 s
+        assert 100 <= allowed <= 110  # ~rate*10 + burst
+
+    def test_under_rate_traffic_never_dropped(self):
+        bucket = TokenBucket(rate=20, burst=5)
+        assert all(bucket.allow(i * 0.1) for i in range(100))  # 10 pps
+
+    def test_peek_does_not_consume(self):
+        bucket = TokenBucket(rate=1, burst=1)
+        assert bucket.peek(0.0) == 1.0
+        assert bucket.peek(0.0) == 1.0
+        assert bucket.allow(0.0)
+
+    def test_reset_refills(self):
+        bucket = TokenBucket(rate=1, burst=2)
+        bucket.allow(0.0)
+        bucket.allow(0.0)
+        bucket.reset(5.0)
+        assert bucket.allow(5.0)
+
+    def test_time_going_backwards_is_tolerated(self):
+        bucket = TokenBucket(rate=10, burst=1)
+        bucket.allow(1.0)
+        # An earlier timestamp neither refills nor crashes.
+        assert not bucket.allow(0.5)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0.5)

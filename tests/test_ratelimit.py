@@ -1,0 +1,48 @@
+"""Tests for repro.core.ratelimit (§4.1 / Figure 4)."""
+
+import pytest
+
+from repro.core.ratelimit import run_rate_limit_study
+
+
+@pytest.fixture(scope="module")
+def study(tiny_scenario, tiny_study):
+    return run_rate_limit_study(
+        tiny_scenario, tiny_study.rr_survey, sample_size=120
+    )
+
+
+class TestRateLimitStudy:
+    def test_rows_cover_non_excluded_vps(self, study, tiny_study):
+        assert len(study.rows) + len(study.excluded) == len(
+            tiny_study.rr_survey.vps
+        )
+
+    def test_excluded_vps_are_the_filtered_ones(self, study, tiny_study):
+        filtered = {
+            vp.name
+            for vp in tiny_study.rr_survey.vps
+            if vp.local_filtered
+        }
+        assert filtered <= set(study.excluded)
+
+    def test_high_rate_never_beats_low_rate_much(self, study):
+        for row in study.rows:
+            assert row.high_responses <= row.low_responses * 1.15 + 3
+
+    def test_some_vps_unaffected(self, study):
+        drops = [row.drop_fraction for row in study.rows]
+        assert min(drops) < 0.1
+
+    def test_severe_droppers_threshold(self, study):
+        severe = study.severe_droppers(threshold=0.25)
+        for row in severe:
+            assert row.drop_fraction > 0.25
+
+    def test_drop_fraction_bounds(self, study):
+        for row in study.rows:
+            assert 0.0 <= row.drop_fraction <= 1.0
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Figure 4" in text and ">25%" in text

@@ -1,0 +1,117 @@
+"""Tests for repro.core.reachability (§3.3 / Figure 1)."""
+
+import pytest
+
+from repro.core.reachability import (
+    REVERSE_PATH_HOP_LIMIT,
+    build_figure1,
+    figure_series,
+    fraction_reachable,
+    greedy_site_selection,
+    reachability_cdf,
+)
+from repro.probing.vantage import Platform
+
+
+@pytest.fixture(scope="module")
+def figure1(tiny_study):
+    return build_figure1(tiny_study.rr_survey)
+
+
+class TestReachabilityCdf:
+    def test_denominator_is_rr_responsive(self, tiny_study):
+        survey = tiny_study.rr_survey
+        _cdf, responsive = reachability_cdf(survey)
+        assert responsive == len(survey.rr_responsive_indices())
+
+    def test_series_monotone_and_bounded(self, tiny_study):
+        series = figure_series(tiny_study.rr_survey)
+        ys = [y for _x, y in series]
+        assert ys == sorted(ys)
+        assert all(0.0 <= y <= 1.0 for y in ys)
+
+    def test_series_final_point_is_reachable_fraction(self, tiny_study):
+        survey = tiny_study.rr_survey
+        series = figure_series(survey, max_hops=9)
+        assert series[-1][1] == pytest.approx(
+            fraction_reachable(survey, hop_limit=9)
+        )
+
+    def test_empty_vp_subset_reaches_nothing(self, tiny_study):
+        assert fraction_reachable(tiny_study.rr_survey, []) == 0.0
+
+    def test_tighter_hop_limit_never_helps(self, tiny_study):
+        survey = tiny_study.rr_survey
+        assert fraction_reachable(
+            survey, hop_limit=REVERSE_PATH_HOP_LIMIT
+        ) <= fraction_reachable(survey, hop_limit=9)
+
+
+class TestPlatformContrast:
+    def test_mlab_beats_planetlab(self, tiny_study):
+        survey = tiny_study.rr_survey
+        mlab = fraction_reachable(
+            survey, survey.vp_indices(platform=Platform.MLAB)
+        )
+        planetlab = fraction_reachable(
+            survey, survey.vp_indices(platform=Platform.PLANETLAB)
+        )
+        assert mlab > planetlab
+
+    def test_union_at_least_each_platform(self, tiny_study):
+        survey = tiny_study.rr_survey
+        union = fraction_reachable(survey)
+        for platform in (Platform.MLAB, Platform.PLANETLAB):
+            assert union >= fraction_reachable(
+                survey, survey.vp_indices(platform=platform)
+            )
+
+
+class TestGreedySelection:
+    def test_coverage_monotone(self, tiny_study):
+        picks = greedy_site_selection(tiny_study.rr_survey)
+        coverages = [coverage for _site, coverage in picks]
+        assert coverages == sorted(coverages)
+        assert all(0.0 < coverage <= 1.0 for coverage in coverages)
+
+    def test_sites_unique(self, tiny_study):
+        picks = greedy_site_selection(tiny_study.rr_survey)
+        sites = [site for site, _coverage in picks]
+        assert len(sites) == len(set(sites))
+
+    def test_max_picks(self, tiny_study):
+        picks = greedy_site_selection(tiny_study.rr_survey, max_picks=2)
+        assert len(picks) <= 2
+
+    def test_first_pick_is_best_single_site(self, tiny_study):
+        survey = tiny_study.rr_survey
+        picks = greedy_site_selection(survey, max_picks=1)
+        if not picks:
+            pytest.skip("no coverage at all")
+        best_site, best_coverage = picks[0]
+        universe = len(survey.reachable_indices())
+        for site in {vp.site for vp in survey.vps
+                     if vp.platform is Platform.MLAB}:
+            indices = survey.vp_indices(
+                platform=Platform.MLAB, sites=[site]
+            )
+            covered = sum(
+                1
+                for index in survey.reachable_indices()
+                if (slot := survey.min_slot(index, indices)) is not None
+                and slot <= 9
+            )
+            assert covered / universe <= best_coverage + 1e-9
+
+
+class TestFigure1:
+    def test_has_all_series(self, figure1):
+        assert "all M-Lab sites" in figure1.series
+        assert "all PlanetLab sites" in figure1.series
+
+    def test_headline_fractions_consistent(self, figure1):
+        assert 0.0 < figure1.reachable_8 <= figure1.reachable_9 <= 1.0
+
+    def test_render(self, figure1):
+        text = figure1.render()
+        assert "Figure 1" in text and "Greedy" in text

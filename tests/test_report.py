@@ -1,0 +1,41 @@
+"""Tests for repro.core.report."""
+
+import pytest
+
+from repro.core.report import banner, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_header_present(self):
+        assert "name" in format_table(["name"], [["x"]])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_points_rendered(self):
+        text = format_series("curve", [(1, 0.5), (2, 1.0)])
+        assert text == "curve: 1:0.500 2:1.000"
+
+    def test_precision(self):
+        assert format_series("c", [(1, 0.123456)], precision=1) == "c: 1:0.1"
+
+
+class TestBanner:
+    def test_title_between_bars(self):
+        lines = banner("Hello").splitlines()
+        assert lines[1] == "Hello"
+        assert set(lines[0]) == {"="}

@@ -1,0 +1,129 @@
+"""Direct tests for the result dataclasses' derived accessors."""
+
+from repro.probing.results import (
+    PingResult,
+    RRPingResult,
+    RRUdpResult,
+    TracerouteResult,
+    TsPingResult,
+)
+
+
+class TestPingResult:
+    def test_responded(self):
+        assert PingResult("v", 1, sent=3, replies=1).responded
+        assert not PingResult("v", 1, sent=3, replies=0).responded
+
+
+class TestRRPingResult:
+    def make(self, rr_hops, dst=100, **kwargs):
+        defaults = dict(
+            vp_name="v", dst=dst, responded=True, rr_hops=rr_hops,
+            reply_has_rr=True,
+        )
+        defaults.update(kwargs)
+        return RRPingResult(**defaults)
+
+    def test_dest_slot_one_based(self):
+        result = self.make([7, 8, 100, 9])
+        assert result.dest_slot() == 3
+
+    def test_dest_slot_absent(self):
+        assert self.make([7, 8, 9]).dest_slot() is None
+
+    def test_dest_slot_custom_addr(self):
+        result = self.make([7, 8, 100, 9])
+        assert result.dest_slot(8) == 2
+
+    def test_forward_and_reverse_split(self):
+        result = self.make([7, 8, 100, 9, 10])
+        assert result.forward_hops() == [7, 8]
+        assert result.reverse_hops() == [9, 10]
+
+    def test_unreachable_splits_empty(self):
+        result = self.make([7, 8])
+        assert result.forward_hops() == []
+        assert result.reverse_hops() == []
+
+    def test_dest_in_first_slot(self):
+        result = self.make([100, 9])
+        assert result.dest_slot() == 1
+        assert result.forward_hops() == []
+        assert result.reverse_hops() == [9]
+
+    def test_rr_responsive_requires_option_copy(self):
+        assert not RRPingResult(
+            vp_name="v", dst=1, responded=True, reply_has_rr=False
+        ).rr_responsive
+        assert not RRPingResult(
+            vp_name="v", dst=1, responded=False, reply_has_rr=True
+        ).rr_responsive
+
+    def test_str(self):
+        assert "0.0.0.100" in str(self.make([100]))
+
+
+class TestRRUdpResult:
+    def test_slots_remaining(self):
+        result = RRUdpResult(
+            "v", 1, got_unreachable=True, quoted_rr_hops=[1, 2],
+            quoted_slots=9, error_source=1,
+        )
+        assert result.slots_remaining == 7
+        assert result.arrived_with_room
+
+    def test_room_requires_error_from_destination(self):
+        result = RRUdpResult(
+            "v", 1, got_unreachable=True, quoted_rr_hops=[1],
+            quoted_slots=9, error_source=99,
+        )
+        assert not result.arrived_with_room
+
+    def test_no_room_when_full(self):
+        result = RRUdpResult(
+            "v", 1, got_unreachable=True,
+            quoted_rr_hops=list(range(9)), quoted_slots=9,
+            error_source=1,
+        )
+        assert result.slots_remaining == 0
+        assert not result.arrived_with_room
+
+    def test_unanswered_has_no_slots(self):
+        assert RRUdpResult("v", 1, got_unreachable=False).slots_remaining \
+            is None
+
+
+class TestTracerouteResult:
+    def test_hop_count_only_when_reached(self):
+        reached = TracerouteResult("v", 9, hops=[1, None, 9], reached=True)
+        assert reached.hop_count == 3
+        assert TracerouteResult("v", 9, hops=[1], reached=False).hop_count \
+            is None
+
+    def test_responsive_hops_filters_stars(self):
+        trace = TracerouteResult("v", 9, hops=[1, None, 9], reached=True)
+        assert trace.responsive_hops() == [1, 9]
+
+    def test_str_renders_stars(self):
+        trace = TracerouteResult("v", 9, hops=[None], reached=False)
+        assert "*" in str(trace)
+
+
+class TestTsPingResult:
+    def make(self):
+        return TsPingResult(
+            vp_name="v", dst=1, responded=True, flag=3,
+            entries=[[10, 500], [20, None]], reply_has_ts=True,
+        )
+
+    def test_stamped_count(self):
+        assert self.make().stamped_count == 1
+
+    def test_stamped_addr(self):
+        result = self.make()
+        assert result.stamped_addr(10)
+        assert not result.stamped_addr(20)  # slot present but unstamped
+        assert not result.stamped_addr(99)
+
+    def test_timestamps(self):
+        assert self.make().timestamps() == [500]

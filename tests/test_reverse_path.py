@@ -1,0 +1,69 @@
+"""Tests for repro.core.reverse_path (the §2 reverse-path primitive)."""
+
+import pytest
+
+from repro.analysis.ip2as import build_ip2as
+from repro.core.reachability import REVERSE_PATH_HOP_LIMIT
+from repro.core.reverse_path import measure_reverse_path, reverse_coverage
+
+
+class TestMeasureReversePath:
+    def find_measurement(self, scenario, study):
+        mapping = build_ip2as(scenario.table)
+        survey = study.rr_survey
+        for vp_index, vp in enumerate(survey.vps):
+            if vp.local_filtered:
+                continue
+            for dest_index in survey.reachable_from_vp(vp_index):
+                slot = survey.slot_from_vp(dest_index, vp_index)
+                if slot is None or slot > REVERSE_PATH_HOP_LIMIT:
+                    continue
+                measurement = measure_reverse_path(
+                    scenario,
+                    vp,
+                    survey.dests[dest_index].addr,
+                    ip2as=mapping,
+                )
+                if measurement is not None:
+                    return measurement
+        pytest.skip("no in-range destination for reverse measurement")
+
+    def test_measurement_structure(self, tiny_scenario, tiny_study):
+        m = self.find_measurement(tiny_scenario, tiny_study)
+        assert 1 <= m.dest_slot <= REVERSE_PATH_HOP_LIMIT
+        assert len(m.forward_hops) == m.dest_slot - 1
+        assert m.spare_slots_used == len(m.reverse_hops)
+        assert m.spare_slots_used <= 9 - m.dest_slot
+
+    def test_reverse_hops_are_real_routers(self, tiny_scenario,
+                                           tiny_study):
+        m = self.find_measurement(tiny_scenario, tiny_study)
+        for addr in m.reverse_hops:
+            assert tiny_scenario.fabric.router_of_addr(addr) is not None
+
+    def test_as_paths_mapped(self, tiny_scenario, tiny_study):
+        m = self.find_measurement(tiny_scenario, tiny_study)
+        mapping = build_ip2as(tiny_scenario.table)
+        assert m.forward_as_path == mapping.as_path_of(m.forward_hops)
+        assert m.reverse_as_path == mapping.as_path_of(m.reverse_hops)
+
+    def test_none_for_unresponsive(self, tiny_scenario):
+        network = tiny_scenario.network
+        vp = tiny_scenario.working_vps[0]
+        dead = next(
+            host
+            for dest in tiny_scenario.hitlist
+            if not (host := network.host_for(dest)).ping_responsive
+        )
+        assert measure_reverse_path(tiny_scenario, vp, dead.addr) is None
+
+
+class TestReverseCoverage:
+    def test_no_more_than_full_reachability(self, tiny_study):
+        survey = tiny_study.rr_survey
+        assert reverse_coverage(survey) <= reverse_coverage(
+            survey, hop_limit=9
+        )
+
+    def test_within_unit_interval(self, tiny_study):
+        assert 0.0 <= reverse_coverage(tiny_study.rr_survey) <= 1.0

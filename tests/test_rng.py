@@ -1,0 +1,79 @@
+"""Tests for repro.rng: structure-keyed deterministic randomness."""
+
+import pytest
+
+from repro.rng import (
+    derive_seed,
+    stable_choice,
+    stable_randint,
+    stable_rng,
+    stable_u64,
+    stable_uniform,
+    weighted_choice,
+)
+
+
+class TestStability:
+    def test_same_key_same_value(self):
+        assert stable_u64(1, "a", 2) == stable_u64(1, "a", 2)
+
+    def test_different_keys_differ(self):
+        assert stable_u64(1, "a") != stable_u64(1, "b")
+
+    def test_no_concatenation_ambiguity(self):
+        # ("ab", "c") must not hash like ("a", "bc").
+        assert stable_u64("ab", "c") != stable_u64("a", "bc")
+
+    def test_uniform_in_unit_interval(self):
+        values = [stable_uniform(7, "x", i) for i in range(500)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.4 < sum(values) / len(values) < 0.6
+
+    def test_randint_bounds_inclusive(self):
+        values = {stable_randint(3, 5, 9, i) for i in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_randint_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            stable_randint(5, 3, "k")
+
+    def test_choice_draws_from_options(self):
+        options = ["a", "b", "c"]
+        picks = {stable_choice(options, i) for i in range(100)}
+        assert picks == set(options)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stable_choice([], 1)
+
+    def test_rng_reproducible_stream(self):
+        a = stable_rng(42, "stream").random()
+        b = stable_rng(42, "stream").random()
+        assert a == b
+
+    def test_derive_seed_independent(self):
+        base = 1234
+        assert derive_seed(base, "x") != derive_seed(base, "y")
+        assert derive_seed(base, "x") != base
+
+
+class TestWeightedChoice:
+    def test_zero_weight_never_chosen(self):
+        rng = stable_rng(1, "w")
+        picks = {
+            weighted_choice(rng, [("a", 0.0), ("b", 1.0)]) for _ in range(50)
+        }
+        assert picks == {"b"}
+
+    def test_rough_proportions(self):
+        rng = stable_rng(2, "w")
+        picks = [
+            weighted_choice(rng, [("a", 3.0), ("b", 1.0)])
+            for _ in range(2000)
+        ]
+        share = picks.count("a") / len(picks)
+        assert 0.68 < share < 0.82
+
+    def test_nonpositive_total_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_choice(stable_rng(3), [("a", 0.0)])

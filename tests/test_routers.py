@@ -1,0 +1,178 @@
+"""Tests for repro.topology.routers: the router-level fabric."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.topology.generator import TopologyParams, generate_topology
+from repro.topology.routers import ACCESS_ROUTER_HOST, RouterFabric
+from repro.topology.routing import RoutingSystem
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(
+        TopologyParams(seed=11, num_tier1=3, num_tier2=8, num_edge=60)
+    )
+
+
+@pytest.fixture(scope="module")
+def fabric(topo):
+    return RouterFabric(topo.graph, seed=11)
+
+
+class TestConstruction:
+    def test_border_router_per_adjacency(self, topo, fabric):
+        graph = topo.graph
+        asn = topo.tier2[0]
+        for neighbor in graph.neighbors_of(asn):
+            router = fabric.border(asn, neighbor)
+            assert router.asn == asn
+            assert set(router.ifaces) == {"ext", "int", "lo"}
+
+    def test_core_pool_sizes_by_tier(self, topo, fabric):
+        assert len(fabric.core_pool(topo.tier1[0])) == 6
+        assert len(fabric.core_pool(topo.tier2[0])) == 4
+        assert len(fabric.core_pool(topo.edges[0])) == 2
+
+    def test_interfaces_unique_across_fabric(self, fabric):
+        seen = set()
+        for router in fabric.routers():
+            for addr in router.addrs:
+                assert addr not in seen
+                seen.add(addr)
+
+    def test_interfaces_live_in_owner_infra_region(self, fabric):
+        for router in fabric.routers():
+            if router.key[1] == "access":
+                continue
+            for addr in router.addrs:
+                assert addr >> 16 == router.asn
+                assert 240 <= (addr >> 8) & 0xFF <= 255
+
+    def test_router_of_addr_oracle(self, topo, fabric):
+        router = fabric.core_pool(topo.tier2[1])[0]
+        for addr in router.addrs:
+            assert fabric.router_of_addr(addr) is router
+
+    def test_deterministic_rebuild(self, topo):
+        again = RouterFabric(topo.graph, seed=11)
+        asn = topo.tier2[0]
+        neighbor = sorted(topo.graph.neighbors_of(asn))[0]
+        original = RouterFabric(topo.graph, seed=11)
+        assert (
+            again.border(asn, neighbor).ifaces
+            == original.border(asn, neighbor).ifaces
+        )
+
+    def test_different_seed_different_addresses(self, topo, fabric):
+        other = RouterFabric(topo.graph, seed=12)
+        # Same structure, but per-path draws (interior counts) differ
+        # somewhere; interface numbering is identical by construction.
+        asn = topo.tier2[0]
+        some_path = [asn, sorted(topo.graph.neighbors_of(asn))[0]]
+        counts_a = [len(fabric.expand_trunk(some_path)) for _ in range(1)]
+        assert counts_a  # structural smoke: expansion works on both
+        assert other.expand_trunk(some_path)
+
+
+class TestAccessRouters:
+    def test_access_router_address_convention(self, topo, fabric):
+        asn = topo.edges[0]
+        found = None
+        for index in range(40):
+            prefix = Prefix((asn << 16) | (index << 8), 24)
+            router = fabric.access_router(prefix, asn)
+            if router is not None:
+                found = (prefix, router)
+                break
+        assert found is not None, "no access router in 40 prefixes"
+        prefix, router = found
+        assert router.iface("cust") == prefix.base + ACCESS_ROUTER_HOST
+
+    def test_access_router_cached_including_absent(self, topo, fabric):
+        asn = topo.edges[1]
+        prefix = Prefix((asn << 16), 24)
+        first = fabric.access_router(prefix, asn)
+        second = fabric.access_router(prefix, asn)
+        assert first is second
+
+
+class TestExpansion:
+    def test_same_as_path_has_gateway_only(self, topo, fabric):
+        asn = topo.edges[0]
+        hops = fabric.expand_trunk([asn])
+        assert hops, "gateway segment must not be empty"
+        assert all(hop.router.asn == asn for hop in hops)
+
+    def test_trunk_starts_in_src_and_ends_at_dst_ingress(
+        self, topo, fabric
+    ):
+        routing = RoutingSystem(topo.graph)
+        src, dst = topo.colo_asns[0], topo.edges[5]
+        path = routing.as_path(src, dst)
+        assert path is not None
+        hops = fabric.expand_trunk(path)
+        assert hops[0].router.asn == src
+        if len(path) > 1:
+            assert hops[-1].router.asn == dst
+            assert hops[-1].router.key[1] == "border"
+
+    def test_trunk_traverses_path_asns_in_order(self, topo, fabric):
+        routing = RoutingSystem(topo.graph)
+        src, dst = topo.colo_asns[0], topo.edges[7]
+        path = routing.as_path(src, dst)
+        hops = fabric.expand_trunk(path)
+        seen = []
+        for hop in hops:
+            if not seen or seen[-1] != hop.router.asn:
+                seen.append(hop.router.asn)
+        assert seen == list(path)
+
+    def test_stamp_and_icmp_addrs_differ_on_borders(self, topo, fabric):
+        # The RR/traceroute aliasing effect: borders expose different
+        # interfaces to the two mechanisms.
+        routing = RoutingSystem(topo.graph)
+        src, dst = topo.colo_asns[0], topo.edges[9]
+        path = routing.as_path(src, dst)
+        borders = [
+            hop
+            for hop in fabric.expand_trunk(path)
+            if hop.router.key[1] == "border"
+        ]
+        assert borders
+        assert all(hop.stamp_addr != hop.icmp_addr for hop in borders)
+
+    def test_tail_keyed_by_prefix(self, topo, fabric):
+        asn = topo.edges[0]
+        lengths = {
+            len(fabric.tail_hops(asn, Prefix((asn << 16) | (i << 8), 24)))
+            for i in range(30)
+        }
+        assert len(lengths) > 1, "tails should vary across prefixes"
+
+    def test_expand_composes_trunk_and_tail(self, topo, fabric):
+        routing = RoutingSystem(topo.graph)
+        src, dst = topo.colo_asns[0], topo.edges[3]
+        prefix = Prefix(dst << 16, 24)
+        path = routing.as_path(src, dst)
+        combined = fabric.expand(path, prefix)
+        assert combined == fabric.expand_trunk(path) + fabric.tail_hops(
+            dst, prefix
+        )
+
+    def test_empty_path_rejected(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.expand_trunk([])
+
+    def test_university_bias_lengthens_gateway(self, topo, fabric):
+        if not topo.university_asns:
+            pytest.skip("no universities in this draw")
+        uni = topo.university_asns[0]
+        plain = [
+            asn
+            for asn in topo.edges
+            if topo.graph[asn].internal_hop_bias == 0
+        ][0]
+        assert len(fabric.expand_trunk([uni])) > len(
+            fabric.expand_trunk([plain])
+        )

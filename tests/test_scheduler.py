@@ -1,0 +1,53 @@
+"""Tests for repro.probing.scheduler: probe ordering."""
+
+import pytest
+
+from repro.probing.scheduler import (
+    ProbeOrder,
+    order_destinations,
+    split_round_robin,
+)
+
+
+class TestOrderDestinations:
+    def test_as_given_preserves_order(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:20]
+        assert order_destinations(dests, ProbeOrder.AS_GIVEN) == dests
+
+    def test_by_prefix_sorts_numerically(self, tiny_scenario):
+        dests = list(reversed(list(tiny_scenario.hitlist)[:20]))
+        ordered = order_destinations(dests, ProbeOrder.BY_PREFIX)
+        bases = [dest.prefix.base for dest in ordered]
+        assert bases == sorted(bases)
+
+    def test_random_is_deterministic_per_salt(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:30]
+        a = order_destinations(dests, ProbeOrder.RANDOM, seed=1, salt="vp1")
+        b = order_destinations(dests, ProbeOrder.RANDOM, seed=1, salt="vp1")
+        assert a == b
+
+    def test_random_differs_across_salts(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:30]
+        a = order_destinations(dests, ProbeOrder.RANDOM, seed=1, salt="vp1")
+        b = order_destinations(dests, ProbeOrder.RANDOM, seed=1, salt="vp2")
+        assert a != b
+        assert sorted(d.addr for d in a) == sorted(d.addr for d in b)
+
+    def test_input_not_mutated(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:10]
+        snapshot = list(dests)
+        order_destinations(dests, ProbeOrder.RANDOM, seed=3)
+        assert dests == snapshot
+
+
+class TestSplitRoundRobin:
+    def test_deals_evenly(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:10]
+        buckets = split_round_robin(dests, 3)
+        assert [len(b) for b in buckets] == [4, 3, 3]
+        assert buckets[0][0] is dests[0]
+        assert buckets[1][0] is dests[1]
+
+    def test_rejects_nonpositive(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            split_round_robin(list(tiny_scenario.hitlist)[:4], 0)

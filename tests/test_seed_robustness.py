@@ -1,0 +1,62 @@
+"""Seed-sweep robustness: the paper's qualitative findings must hold
+across independent scenario draws, not just the default seed.
+
+Runs the full campaign on three extra tiny Internets and checks every
+headline *shape* (not exact numbers) on each.
+"""
+
+import pytest
+
+from repro.core.reachability import fraction_reachable
+from repro.core.study import run_full_study
+from repro.core.table1 import build_table1
+from repro.probing.vantage import Platform
+from repro.scenarios.presets import tiny
+
+SEEDS = [101, 202, 303]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_study(request):
+    return run_full_study(tiny(seed=request.param))
+
+
+class TestHeadlinesAcrossSeeds:
+    def test_most_pingable_hosts_answer_rr(self, seeded_study):
+        scenario = seeded_study.scenario
+        table = build_table1(
+            scenario.classification,
+            seeded_study.ping_survey,
+            seeded_study.rr_survey,
+        )
+        assert 0.55 < table.ip_rr_over_ping < 0.95
+        assert table.as_rr_over_ping >= table.ip_rr_over_ping - 0.15
+
+    def test_majority_within_nine_hops(self, seeded_study):
+        reach = fraction_reachable(seeded_study.rr_survey)
+        assert 0.35 < reach < 0.95
+
+    def test_mlab_beats_planetlab(self, seeded_study):
+        survey = seeded_study.rr_survey
+        mlab = fraction_reachable(
+            survey, survey.vp_indices(platform=Platform.MLAB)
+        )
+        planetlab = fraction_reachable(
+            survey, survey.vp_indices(platform=Platform.PLANETLAB)
+        )
+        assert mlab > planetlab
+
+    def test_eight_hop_close_behind_nine(self, seeded_study):
+        survey = seeded_study.rr_survey
+        nine = fraction_reachable(survey, hop_limit=9)
+        eight = fraction_reachable(survey, hop_limit=8)
+        assert eight > nine * 0.55
+
+    def test_distance_distribution_spans_midrange(self, seeded_study):
+        survey = seeded_study.rr_survey
+        slots = [
+            survey.min_slot(index)
+            for index in survey.reachable_indices()
+        ]
+        assert min(slots) <= 5
+        assert max(slots) >= 7

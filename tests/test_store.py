@@ -1,0 +1,85 @@
+"""Tests for repro.probing.store: the JSONL result store."""
+
+import io
+
+import pytest
+
+from repro.probing.results import (
+    PingResult,
+    RRPingResult,
+    RRUdpResult,
+    TracerouteResult,
+)
+from repro.probing.store import ResultStore, dump_results, load_results
+
+SAMPLES = [
+    PingResult(vp_name="mlab-nyc", dst=123, sent=3, replies=1,
+               reply_ident=17, reply_time=1.5),
+    RRPingResult(vp_name="mlab-nyc", dst=456, responded=True,
+                 rr_hops=[1, 2, 456, 9], reply_has_rr=True),
+    RRUdpResult(vp_name="mlab-lax", dst=789, got_unreachable=True,
+                quoted_rr_hops=[1, 2], quoted_slots=9, error_source=789),
+    TracerouteResult(vp_name="planetlab-den", dst=321,
+                     hops=[5, None, 321], reached=True),
+]
+
+
+class TestCodec:
+    def test_roundtrip_all_types(self):
+        buffer = io.StringIO()
+        assert dump_results(SAMPLES, buffer) == len(SAMPLES)
+        buffer.seek(0)
+        loaded = list(load_results(buffer))
+        assert loaded == SAMPLES
+
+    def test_one_json_object_per_line(self):
+        buffer = io.StringIO()
+        dump_results(SAMPLES, buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == len(SAMPLES)
+        assert all(line.startswith("{") for line in lines)
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        dump_results(SAMPLES[:1], buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(list(load_results(buffer))) == 1
+
+    def test_unknown_type_tag_rejected(self):
+        with pytest.raises(ValueError):
+            list(load_results(io.StringIO('{"type": "martian"}\n')))
+
+    def test_unknown_field_rejected(self):
+        buffer = io.StringIO()
+        dump_results(SAMPLES[:1], buffer)
+        corrupted = buffer.getvalue().replace(
+            '"dst":123', '"dst":123,"bogus":1'
+        )
+        with pytest.raises(ValueError):
+            list(load_results(io.StringIO(corrupted)))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            dump_results([object()], io.StringIO())
+
+
+class TestResultStore:
+    def test_write_read(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.write(SAMPLES)
+        assert store.read() == SAMPLES
+
+    def test_append(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.write(SAMPLES[:2])
+        store.append(SAMPLES[2:])
+        assert store.read() == SAMPLES
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").read() == []
+
+    def test_iter(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.write(SAMPLES)
+        assert list(store) == SAMPLES

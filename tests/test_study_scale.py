@@ -1,0 +1,84 @@
+"""Study-scale shape tests: the paper's headline numbers at the
+benchmark (``small``) scale, where bands can be tighter than on tiny.
+
+This is the same campaign the benchmarks consume (memoised), so the
+suite pays for it once.
+"""
+
+import pytest
+
+from repro.core.reachability import (
+    build_figure1,
+    fraction_reachable,
+)
+from repro.core.study import get_study
+from repro.core.table1 import build_table1
+from repro.probing.vantage import Platform
+from repro.topology.autsys import ASType
+
+
+@pytest.fixture(scope="module")
+def study():
+    return get_study("small", seed=2016)
+
+
+class TestTable1Shape:
+    def test_headline_ratios(self, study):
+        table = build_table1(
+            study.scenario.classification,
+            study.ping_survey,
+            study.rr_survey,
+        )
+        # Paper: 75% by IP, 82% by AS.
+        assert 0.70 <= table.ip_rr_over_ping <= 0.85
+        assert 0.75 <= table.as_rr_over_ping <= 0.92
+        for as_type in ASType:
+            assert table.type_ratio(as_type) > 0.62
+
+    def test_ping_responsive_near_77(self, study):
+        table = build_table1(
+            study.scenario.classification,
+            study.ping_survey,
+            study.rr_survey,
+        )
+        probed = table.by_ip[0].of(None)
+        ping = table.by_ip[1].of(None)
+        assert 0.72 <= ping / probed <= 0.82
+
+
+class TestFigure1Shape:
+    def test_reachability_band(self, study):
+        figure = build_figure1(study.rr_survey)
+        # Paper: 66% within 9 hops, ~60% within 8.
+        assert 0.60 <= figure.reachable_9 <= 0.85
+        assert 0.50 <= figure.reachable_8 <= 0.80
+        assert figure.reachable_8 < figure.reachable_9
+
+    def test_greedy_sequence_matches_paper_shape(self, study):
+        figure = build_figure1(study.rr_survey)
+        coverages = [coverage for _site, coverage in figure.greedy]
+        # Paper: 73% with one site, 95% with ten.
+        assert coverages[0] > 0.5
+        assert coverages[-1] > 0.9
+
+    def test_platform_gap(self, study):
+        survey = study.rr_survey
+        mlab = fraction_reachable(
+            survey, survey.vp_indices(platform=Platform.MLAB)
+        )
+        planetlab = fraction_reachable(
+            survey, survey.vp_indices(platform=Platform.PLANETLAB)
+        )
+        full = fraction_reachable(survey)
+        assert mlab > planetlab
+        # Paper: the full set is within 1% of all-M-Lab.
+        assert full - mlab < 0.06
+
+    def test_distance_distribution_plausible(self, study):
+        survey = study.rr_survey
+        slots = [
+            survey.min_slot(index)
+            for index in survey.reachable_indices()
+        ]
+        median = sorted(slots)[len(slots) // 2]
+        assert 4 <= median <= 8

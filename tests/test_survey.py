@@ -1,0 +1,118 @@
+"""Tests for repro.core.survey: the §3.1 measurement studies."""
+
+from repro.core.survey import run_ping_survey, run_rr_survey
+from repro.net.addr import same_slash24
+from repro.probing.vantage import Platform
+
+
+class TestPingSurvey:
+    def test_covers_whole_hitlist(self, tiny_scenario, tiny_study):
+        survey = tiny_study.ping_survey
+        assert len(survey.responsive) == len(tiny_scenario.hitlist)
+
+    def test_matches_host_ground_truth(self, tiny_scenario, tiny_study):
+        # Plain pings carry no options: responsiveness should track the
+        # host attribute almost exactly (modulo the tiny loss rate).
+        survey = tiny_study.ping_survey
+        network = tiny_scenario.network
+        mismatches = 0
+        for dest in tiny_scenario.hitlist:
+            host = network.host_for(dest)
+            if survey.is_responsive(dest.addr) != host.ping_responsive:
+                mismatches += 1
+        assert mismatches <= len(tiny_scenario.hitlist) * 0.02
+
+    def test_responsive_count(self, tiny_study):
+        survey = tiny_study.ping_survey
+        assert survey.responsive_count == sum(survey.responsive.values())
+
+    def test_subset_run(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:10]
+        survey = run_ping_survey(tiny_scenario, dests=dests)
+        assert len(survey.responsive) == 10
+
+
+class TestRRSurvey:
+    def test_shapes(self, tiny_scenario, tiny_study):
+        survey = tiny_study.rr_survey
+        assert len(survey.responses) == len(survey.dests)
+        assert len(survey.inprefix_addrs) == len(survey.dests)
+        assert len(survey.vps) == len(tiny_scenario.vps)
+
+    def test_filtered_vps_never_respond(self, tiny_study):
+        survey = tiny_study.rr_survey
+        filtered = {
+            index
+            for index, vp in enumerate(survey.vps)
+            if vp.local_filtered
+        }
+        for observed in survey.responses:
+            assert not (set(observed) & filtered)
+
+    def test_slots_in_range(self, tiny_study):
+        survey = tiny_study.rr_survey
+        for observed in survey.responses:
+            for slot in observed.values():
+                if slot is not None:
+                    assert 1 <= slot <= survey.rr_slots
+
+    def test_min_slot_is_minimum(self, tiny_study):
+        survey = tiny_study.rr_survey
+        for index in survey.rr_responsive_indices()[:50]:
+            slots = [
+                slot
+                for slot in survey.responses[index].values()
+                if slot is not None
+            ]
+            if slots:
+                assert survey.min_slot(index) == min(slots)
+            else:
+                assert survey.min_slot(index) is None
+
+    def test_min_slot_respects_vp_subset(self, tiny_study):
+        survey = tiny_study.rr_survey
+        mlab = survey.vp_indices(platform=Platform.MLAB)
+        for index in survey.rr_responsive_indices()[:50]:
+            subset_slot = survey.min_slot(index, mlab)
+            full_slot = survey.min_slot(index)
+            if subset_slot is not None:
+                assert full_slot is not None
+                assert full_slot <= subset_slot
+
+    def test_vp_indices_filters(self, tiny_study):
+        survey = tiny_study.rr_survey
+        mlab = survey.vp_indices(platform=Platform.MLAB)
+        assert all(
+            survey.vps[index].platform is Platform.MLAB for index in mlab
+        )
+        unfiltered = survey.vp_indices(include_filtered=False)
+        assert all(
+            not survey.vps[index].local_filtered for index in unfiltered
+        )
+        by_name = survey.vp_indices(names=[survey.vps[0].name])
+        assert by_name == [0]
+
+    def test_reachable_from_vp_consistent(self, tiny_study):
+        survey = tiny_study.rr_survey
+        vp_index = survey.vp_indices(include_filtered=False)[0]
+        for dest_index in survey.reachable_from_vp(vp_index):
+            assert survey.slot_from_vp(dest_index, vp_index) is not None
+
+    def test_inprefix_addrs_share_slash24(self, tiny_study):
+        survey = tiny_study.rr_survey
+        for index, addrs in enumerate(survey.inprefix_addrs):
+            dest = survey.dests[index]
+            for addr in addrs:
+                assert same_slash24(addr, dest.addr)
+                assert addr != dest.addr
+
+    def test_index_of_addr(self, tiny_study):
+        survey = tiny_study.rr_survey
+        assert survey.index_of_addr(survey.dests[3].addr) == 3
+
+    def test_subset_survey(self, tiny_scenario):
+        dests = list(tiny_scenario.hitlist)[:8]
+        vps = tiny_scenario.working_vps[:2]
+        survey = run_rr_survey(tiny_scenario, dests=dests, vps=vps)
+        assert len(survey.dests) == 8
+        assert len(survey.vps) == 2

@@ -1,0 +1,58 @@
+"""Tests for survey save/load (campaign persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.reachability import build_figure1, fraction_reachable
+from repro.core.survey import load_survey, save_survey
+from repro.core.table1 import vp_response_fractions
+
+
+class TestRoundtrip:
+    def test_identity(self, tiny_study, tmp_path):
+        path = tmp_path / "survey.json"
+        original = tiny_study.rr_survey
+        save_survey(original, path)
+        loaded = load_survey(path)
+
+        assert [vp.name for vp in loaded.vps] == [
+            vp.name for vp in original.vps
+        ]
+        assert loaded.vps == original.vps
+        assert [d.addr for d in loaded.dests] == [
+            d.addr for d in original.dests
+        ]
+        assert loaded.responses == original.responses
+        assert loaded.inprefix_addrs == original.inprefix_addrs
+        assert loaded.rr_slots == original.rr_slots
+
+    def test_analyses_agree_on_loaded_survey(self, tiny_study, tmp_path):
+        path = tmp_path / "survey.json"
+        save_survey(tiny_study.rr_survey, path)
+        loaded = load_survey(path)
+        assert fraction_reachable(loaded) == fraction_reachable(
+            tiny_study.rr_survey
+        )
+        original_fig = build_figure1(tiny_study.rr_survey)
+        loaded_fig = build_figure1(loaded)
+        assert loaded_fig.series == original_fig.series
+        assert vp_response_fractions(loaded).samples == (
+            vp_response_fractions(tiny_study.rr_survey).samples
+        )
+
+    def test_file_is_plain_json(self, tiny_study, tmp_path):
+        path = tmp_path / "survey.json"
+        save_survey(tiny_study.rr_survey, path)
+        record = json.loads(path.read_text("utf-8"))
+        assert record["version"] == 1
+        assert len(record["dests"]) == len(tiny_study.rr_survey.dests)
+
+    def test_unknown_version_rejected(self, tiny_study, tmp_path):
+        path = tmp_path / "survey.json"
+        save_survey(tiny_study.rr_survey, path)
+        record = json.loads(path.read_text("utf-8"))
+        record["version"] = 99
+        path.write_text(json.dumps(record), "utf-8")
+        with pytest.raises(ValueError):
+            load_survey(path)

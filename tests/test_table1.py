@@ -1,0 +1,77 @@
+"""Tests for repro.core.table1 (§3.2)."""
+
+import pytest
+
+from repro.core.table1 import build_table1, vp_response_fractions
+from repro.topology.autsys import ASType
+
+
+@pytest.fixture(scope="module")
+def table1(tiny_scenario, tiny_study):
+    return build_table1(
+        tiny_scenario.classification,
+        tiny_study.ping_survey,
+        tiny_study.rr_survey,
+    )
+
+
+class TestTable1:
+    def test_probed_totals_match_hitlist(self, table1, tiny_scenario):
+        assert table1.by_ip[0].of(None) == len(tiny_scenario.hitlist)
+
+    def test_column_sums_equal_total(self, table1):
+        for row in table1.by_ip + table1.by_as:
+            split = sum(
+                row.of(as_type) for as_type in ASType
+            )
+            assert split == row.of(None)
+
+    def test_monotone_rows(self, table1):
+        # probed >= ping-responsive >= RR-responsive, per column.
+        for rows in (table1.by_ip, table1.by_as):
+            probed, ping, rr = rows
+            for as_type in [None] + list(ASType):
+                assert probed.of(as_type) >= ping.of(as_type) >= rr.of(
+                    as_type
+                )
+
+    def test_headline_ratios_in_paper_band(self, table1):
+        # Paper: 75% by IP, 82% by AS; we accept a generous band on the
+        # tiny scenario.
+        assert 0.6 < table1.ip_rr_over_ping < 0.92
+        assert 0.65 < table1.as_rr_over_ping < 0.95
+
+    def test_as_counts_not_more_than_ip_counts(self, table1):
+        assert table1.by_as[0].of(None) <= table1.by_ip[0].of(None)
+
+    def test_render_contains_sections(self, table1):
+        text = table1.render()
+        assert "RR-Responsive" in text
+        assert "Transit/Access" in text
+        assert "RR/ping by IP" in text
+
+    def test_type_ratio_defined_for_all_types(self, table1):
+        for as_type in ASType:
+            assert 0.0 <= table1.type_ratio(as_type) <= 1.0
+
+
+class TestVpResponseDistribution:
+    def test_fractions_in_unit_interval(self, tiny_study):
+        cdf = vp_response_fractions(tiny_study.rr_survey)
+        assert len(cdf) == len(
+            tiny_study.rr_survey.rr_responsive_indices()
+        )
+        assert all(0.0 < value <= 1.0 for value in cdf.samples)
+
+    def test_most_destinations_heard_by_most_working_vps(
+        self, tiny_study
+    ):
+        # §3.2: ~80% of RR-responsive destinations answered >90 of 141
+        # VPs (~0.64 of the population). Filtering is the main reason a
+        # VP hears nothing, so the mass should sit near the working-VP
+        # fraction.
+        survey = tiny_study.rr_survey
+        working = sum(1 for vp in survey.vps if not vp.local_filtered)
+        ceiling = working / len(survey.vps)
+        cdf = vp_response_fractions(survey)
+        assert 1 - cdf.at(ceiling * 0.7) > 0.5

@@ -1,0 +1,89 @@
+"""Tests for repro.core.temporal (§3.4 / Figure 2)."""
+
+import pytest
+
+from repro.core.survey import run_rr_survey
+from repro.core.temporal import build_figure2, common_sites
+from repro.scenarios.internet import ScenarioParams, build_scenario
+from repro.sim.policies import SimParams
+from repro.topology.generator import TopologyParams
+from repro.rng import derive_seed
+
+
+@pytest.fixture(scope="module")
+def tiny_2011_study():
+    """A tiny 2011-era scenario sharing site names with the tiny 2016."""
+    seed = derive_seed(2016, "era-2011")
+    scenario = build_scenario(
+        ScenarioParams(
+            name="tiny-2011",
+            seed=seed,
+            topology=TopologyParams(
+                seed=seed,
+                num_tier1=4,
+                num_tier2=12,
+                num_tier3=12,
+                num_edge=120,
+                flattening=0.15,
+                tier2_peer_prob=0.18,
+                university_peer_mean=1.0,
+                university_bias=3,
+                ixp_count=3,
+                ixp_mean_members=8,
+                colo_fraction_tier2=0.3,
+            ),
+            sim=SimParams(seed=seed),
+            prefix_scale=0.25,
+            num_mlab=2,
+            num_planetlab=8,
+            mlab_filtered_prob=0.25,
+            planetlab_filtered_prob=0.55,
+            mlab_as_pool=2,
+            planetlab_as_pool=8,
+        )
+    )
+    return run_rr_survey(scenario)
+
+
+class TestCommonSites:
+    def test_common_sites_platform_qualified(self, tiny_study,
+                                             tiny_2011_study):
+        shared = common_sites(tiny_2011_study, tiny_study.rr_survey)
+        sites_2011 = {vp.site for vp in tiny_2011_study.vps}
+        sites_2016 = {vp.site for vp in tiny_study.rr_survey.vps}
+        assert set(shared) <= sites_2011 & sites_2016
+        assert shared
+
+
+class TestFigure2:
+    def test_2016_dominates_2011(self, tiny_study, tiny_2011_study):
+        figure = build_figure2(tiny_2011_study, tiny_study.rr_survey)
+        assert figure.reachable_2016_all > figure.reachable_2011_all
+        assert (
+            figure.reachable_2016_common >= figure.reachable_2011_common
+        )
+
+    def test_series_present_and_bounded(self, tiny_study,
+                                        tiny_2011_study):
+        figure = build_figure2(tiny_2011_study, tiny_study.rr_survey)
+        assert set(figure.series) == {
+            "2016 all VPs",
+            "2016 common VPs",
+            "2011 all VPs",
+            "2011 common VPs",
+        }
+        for series in figure.series.values():
+            ys = [y for _x, y in series]
+            assert ys == sorted(ys)
+            assert all(0.0 <= y <= 1.0 for y in ys)
+
+    def test_common_subset_never_beats_full_set(self, tiny_study,
+                                                tiny_2011_study):
+        figure = build_figure2(tiny_2011_study, tiny_study.rr_survey)
+        assert figure.reachable_2016_common <= figure.reachable_2016_all
+        assert figure.reachable_2011_common <= figure.reachable_2011_all
+
+    def test_render(self, tiny_study, tiny_2011_study):
+        figure = build_figure2(tiny_2011_study, tiny_study.rr_survey)
+        text = figure.render()
+        assert "2011" in text and "2016" in text

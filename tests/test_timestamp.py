@@ -1,0 +1,150 @@
+"""Tests for repro.net.timestamp: the IP Timestamp option (extension)."""
+
+import pytest
+
+from repro.net.options import OptionDecodeError, decode_options, encode_options
+from repro.net.packet import IPv4Packet
+from repro.net.timestamp import (
+    MAX_TS_ADDR_SLOTS,
+    MAX_TS_ONLY_SLOTS,
+    TimestampOption,
+    TsFlag,
+)
+
+
+class TestConstruction:
+    def test_ts_only_nine_slots(self):
+        assert TimestampOption().slots == MAX_TS_ONLY_SLOTS == 9
+
+    def test_ts_addr_four_slots_max(self):
+        option = TimestampOption(flag=TsFlag.TS_ADDR, slots=4)
+        assert option.slots == MAX_TS_ADDR_SLOTS
+        with pytest.raises(ValueError):
+            TimestampOption(flag=TsFlag.TS_ADDR, slots=5)
+
+    def test_prespecified_factory(self):
+        option = TimestampOption.prespecified([10, 20])
+        assert option.flag is TsFlag.TS_PRESPEC
+        assert option.entries == [(10, None), (20, None)]
+
+    def test_prespecified_count_limits(self):
+        with pytest.raises(ValueError):
+            TimestampOption.prespecified([])
+        with pytest.raises(ValueError):
+            TimestampOption.prespecified([1, 2, 3, 4, 5])
+
+    def test_prespec_must_name_all_slots(self):
+        with pytest.raises(ValueError):
+            TimestampOption(flag=TsFlag.TS_PRESPEC, slots=2,
+                            entries=[(1, None)])
+
+    def test_overflow_nibble_validated(self):
+        with pytest.raises(ValueError):
+            TimestampOption(overflow=16)
+
+
+class TestStamping:
+    def test_ts_only_records_time(self):
+        option = TimestampOption(slots=2)
+        assert option.stamp([111], 5000)
+        assert option.entries == [(None, 5000)]
+
+    def test_ts_addr_records_first_address(self):
+        option = TimestampOption(flag=TsFlag.TS_ADDR, slots=2)
+        option.stamp([111, 222], 5000)
+        assert option.entries == [(111, 5000)]
+
+    def test_overflow_counts_when_full(self):
+        option = TimestampOption(slots=1)
+        option.stamp([1], 10)
+        assert not option.stamp([2], 20)
+        assert option.overflow == 1
+        for _ in range(30):
+            option.stamp([2], 20)
+        assert option.overflow == 15  # capped
+
+    def test_prespec_stamps_only_named_device(self):
+        option = TimestampOption.prespecified([111, 222])
+        assert not option.stamp([999], 10)  # not named
+        assert option.stamp([111], 10)
+        assert option.entries[0] == (111, 10)
+        assert option.entries[1] == (222, None)
+
+    def test_prespec_in_order_consumption(self):
+        # The second name cannot stamp before the first does.
+        option = TimestampOption.prespecified([111, 222])
+        assert not option.stamp([222], 10)
+        option.stamp([111], 10)
+        assert option.stamp([222], 20)
+
+    def test_timestamp_wraps_mod_2_32(self):
+        option = TimestampOption(slots=1)
+        option.stamp([1], (1 << 32) + 7)
+        assert option.entries[0][1] == 7
+
+    def test_copy_independent(self):
+        option = TimestampOption(slots=2)
+        clone = option.copy()
+        clone.stamp([1], 1)
+        assert option.entries == []
+
+
+class TestWire:
+    def test_ts_only_roundtrip(self):
+        option = TimestampOption(slots=3)
+        option.stamp([1], 100)
+        option.stamp([2], 200)
+        assert TimestampOption.from_bytes(option.to_bytes()) == option
+
+    def test_ts_addr_roundtrip(self):
+        option = TimestampOption(flag=TsFlag.TS_ADDR, slots=3)
+        option.stamp([777], 42)
+        assert TimestampOption.from_bytes(option.to_bytes()) == option
+
+    def test_prespec_roundtrip_partial(self):
+        option = TimestampOption.prespecified([10, 20, 30])
+        option.stamp([10], 5)
+        again = TimestampOption.from_bytes(option.to_bytes())
+        assert again == option
+        assert again.entries[1] == (20, None)
+
+    def test_overflow_roundtrips(self):
+        option = TimestampOption(slots=1, overflow=7)
+        assert TimestampOption.from_bytes(option.to_bytes()).overflow == 7
+
+    def test_max_size_fits_options_area(self):
+        option = TimestampOption(slots=9)
+        assert len(encode_options([option])) <= 40
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(OptionDecodeError):
+            TimestampOption.from_bytes(bytes([7, 4, 5, 0]))
+
+    def test_bad_flag_rejected(self):
+        wire = bytearray(TimestampOption(slots=1).to_bytes())
+        wire[3] = 2  # flag 2 is undefined
+        with pytest.raises(OptionDecodeError):
+            TimestampOption.from_bytes(bytes(wire))
+
+    def test_bad_pointer_rejected(self):
+        wire = bytearray(TimestampOption(slots=1).to_bytes())
+        wire[2] = 6  # misaligned for 4-byte entries (must be 5 mod 4)
+        with pytest.raises(OptionDecodeError):
+            TimestampOption.from_bytes(bytes(wire))
+
+    def test_decodes_through_options_area(self):
+        option = TimestampOption(flag=TsFlag.TS_ADDR, slots=2)
+        option.stamp([123], 9)
+        found = decode_options(encode_options([option]))
+        assert found == [option]
+
+    def test_packet_roundtrip_with_ts(self):
+        option = TimestampOption.prespecified([55])
+        pkt = IPv4Packet(src=1, dst=2, options=[option], payload=b"")
+        again = IPv4Packet.from_bytes(pkt.to_bytes())
+        assert again.timestamp_option == option
+        assert again.record_route is None
+
+    def test_str_renders(self):
+        option = TimestampOption.prespecified([55])
+        assert "TS_PRESPEC" in str(option)

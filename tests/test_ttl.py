@@ -1,0 +1,62 @@
+"""Tests for repro.core.ttl (§4.2 / Figure 5)."""
+
+import pytest
+
+from repro.core.ttl import DEFAULT_TTL_SWEEP, run_ttl_study
+
+
+@pytest.fixture(scope="module")
+def study(tiny_scenario, tiny_study):
+    return run_ttl_study(
+        tiny_scenario,
+        tiny_study.rr_survey,
+        per_class_per_vp=10,
+        max_vps=5,
+    )
+
+
+class TestTtlStudy:
+    def test_sweep_covers_paper_range(self):
+        assert DEFAULT_TTL_SWEEP[0] == 3
+        assert DEFAULT_TTL_SWEEP[-1] == 64
+        assert 23 in DEFAULT_TTL_SWEEP
+
+    def test_probe_counts_balanced(self, study):
+        for ttl in study.ttls:
+            _hits_r, probes_r = study.reachable[ttl]
+            _hits_u, probes_u = study.unreachable[ttl]
+            assert probes_r == probes_u > 0
+
+    def test_rates_bounded(self, study):
+        for ttl in study.ttls:
+            assert 0.0 <= study.rate(ttl, True) <= 1.0
+            assert 0.0 <= study.rate(ttl, False) <= 1.0
+
+    def test_low_ttl_starves_reachable(self, study):
+        assert study.rate(3, True) < 0.3
+
+    def test_default_ttl_reaches_most_reachable(self, study):
+        assert study.rate(64, True) > 0.8
+
+    def test_reachable_curve_left_of_unreachable(self, study):
+        # At every TTL, the near set responds at least as well as the
+        # far set.
+        for ttl in study.ttls:
+            assert study.rate(ttl, True) >= study.rate(ttl, False) - 0.05
+
+    def test_unreachable_mostly_expire_at_low_ttl(self, study):
+        assert study.rate(5, False) < 0.1
+
+    def test_quoted_rr_recovered_from_expired_probes(self, study):
+        # The §4.2 mechanism: expired reachable-set probes still yield
+        # RR data via the quoted header.
+        assert sum(study.quoted.values()) > 0
+
+    def test_best_window_is_mid_range(self, study):
+        window = study.best_window()
+        assert window, "expected a non-empty low-impact TTL window"
+        assert all(6 <= ttl <= 16 for ttl in window)
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Figure 5" in text and "TTL" in text

@@ -1,0 +1,47 @@
+"""Tests for repro.net.udp."""
+
+import pytest
+
+from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram, UdpDecodeError
+
+
+class TestUdpDatagram:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(40000, 33435, b"probe")
+        again = UdpDatagram.from_bytes(datagram.to_bytes(1, 2))
+        assert again == datagram
+
+    def test_length_field(self):
+        datagram = UdpDatagram(1, 2, b"abcd")
+        assert datagram.length == 12
+        wire = datagram.to_bytes()
+        assert int.from_bytes(wire[4:6], "big") == 12
+
+    def test_checksum_never_zero_on_wire(self):
+        # RFC 768 reserves 0 for "no checksum"; encoders emit 0xFFFF.
+        wire = UdpDatagram(0, 0, b"").to_bytes(0, 0)
+        assert wire[6:8] != b"\x00\x00"
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            UdpDatagram(70000, 1)
+        with pytest.raises(ValueError):
+            UdpDatagram(1, -5)
+
+    def test_high_port_floor_is_traceroute_base(self):
+        assert HIGH_PORT_FLOOR == 33434
+
+    def test_short_input_rejected(self):
+        with pytest.raises(UdpDecodeError):
+            UdpDatagram.from_bytes(b"\x00\x01")
+
+    def test_bad_length_rejected(self):
+        wire = bytearray(UdpDatagram(1, 2, b"abc").to_bytes())
+        wire[4:6] = (100).to_bytes(2, "big")
+        with pytest.raises(UdpDecodeError):
+            UdpDatagram.from_bytes(bytes(wire))
+
+    def test_trailing_bytes_ignored(self):
+        datagram = UdpDatagram(5, 6, b"xy")
+        again = UdpDatagram.from_bytes(datagram.to_bytes() + b"JUNK"[:2])
+        assert again.payload == b"xy"

@@ -1,0 +1,58 @@
+"""Tests for repro.probing.vantage."""
+
+import pytest
+
+from repro.probing.vantage import (
+    Platform,
+    SITE_CITIES,
+    VantagePoint,
+    vp_addr,
+)
+
+
+class TestVpAddr:
+    def test_lives_in_measurement_subnet(self):
+        addr = vp_addr(17, 0)
+        assert addr >> 16 == 17
+        assert (addr >> 8) & 0xFF == 230
+
+    def test_indices_distinct(self):
+        assert vp_addr(17, 0) != vp_addr(17, 1)
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            vp_addr(17, 254)
+        with pytest.raises(ValueError):
+            vp_addr(17, -1)
+
+
+class TestVantagePoint:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="mlab-nyc",
+            site="nyc",
+            platform=Platform.MLAB,
+            asn=17,
+            addr=vp_addr(17, 0),
+        )
+        defaults.update(kwargs)
+        return VantagePoint(**defaults)
+
+    def test_str_mentions_asn(self):
+        assert "AS17" in str(self.make())
+
+    def test_str_flags_filtering(self):
+        assert "[filtered]" in str(self.make(local_filtered=True))
+        assert "[filtered]" not in str(self.make())
+
+    def test_frozen(self):
+        vp = self.make()
+        with pytest.raises(AttributeError):
+            vp.asn = 99
+
+    def test_site_city_list_has_no_duplicates(self):
+        assert len(SITE_CITIES) == len(set(SITE_CITIES))
+
+    def test_paper_cities_lead_the_list(self):
+        # §3.3's greedy picks: NYC, LA, Denver, Miami, Milan.
+        assert SITE_CITIES[:5] == ["nyc", "lax", "den", "mia", "mil"]
