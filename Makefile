@@ -1,21 +1,30 @@
 # Convenience targets for the reproduction workflow.
+#
+# test/bench export PYTHONPATH=src so they run against the working
+# tree exactly like the tier-1 verify command (`PYTHONPATH=src python
+# -m pytest -x -q`), with no editable install required.
 
-.PHONY: install test bench examples study clean
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test bench examples study stats clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+	for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done
 
 study:
-	python examples/full_study.py
+	$(PYTHONPATH_SRC) python examples/full_study.py
+
+stats:
+	$(PYTHONPATH_SRC) python -m repro stats --preset small
 
 clean:
 	rm -rf .benchmarks benchmarks/output .hypothesis

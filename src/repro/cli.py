@@ -7,6 +7,12 @@ Commands:
   print the paper-style artifact;
 * ``probe`` — issue a single measurement (ping / ping-RR / ping-RRudp /
   ping-TS / traceroute) from a named VP and show the decoded result;
+  with ``--trace``, also render the hop-by-hop dataplane walk (RR
+  stamps, filter/rate-limit drops, TTL expiries, the verdict);
+* ``stats`` — run a study, then print the process-wide metrics
+  registry (dataplane counters by drop cause, rate-limiter decisions
+  by router class, per-probe-type counters, phase timings) as a
+  table, Prometheus text, or JSONL;
 * ``export`` — write the scenario's synthetic datasets (RouteViews-
   style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory.
 """
@@ -32,6 +38,9 @@ from repro.core.table1 import build_table1
 from repro.core.temporal import build_figure2
 from repro.core.ttl import run_ttl_study
 from repro.net.addr import addr_to_int, int_to_addr
+from repro.obs.export import to_jsonl, to_prometheus
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import PacketTracer
 from repro.scenarios.presets import PRESETS, get_preset
 
 __all__ = ["main", "build_parser"]
@@ -164,6 +173,30 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument(
         "--ttl", type=int, default=64, help="initial TTL (rr probes)"
     )
+    probe.add_argument(
+        "--trace",
+        action="store_true",
+        help="render the per-hop dataplane walk after the result",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a study, then print the metrics registry",
+    )
+    stats.add_argument(
+        "--preset", default="small", choices=sorted(PRESETS)
+    )
+    stats.add_argument("--seed", type=int, default=2016)
+    stats.add_argument(
+        "--format",
+        dest="stats_format",
+        default="table",
+        choices=["table", "prom", "jsonl"],
+    )
+    stats.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the rendered metrics to this file",
+    )
 
     export = sub.add_parser(
         "export", help="write synthetic datasets to a directory"
@@ -210,6 +243,9 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         vp = scenario.vp_by_name(args.vp)
     dst = addr_to_int(args.dst)
     prober = scenario.prober
+    tracer: Optional[PacketTracer] = None
+    if getattr(args, "trace", False):
+        tracer = scenario.network.attach_tracer()
     print(f"{args.probe_type} {int_to_addr(dst)} from {vp}")
     if args.probe_type == "ping":
         result = prober.ping(vp, dst)
@@ -229,6 +265,100 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     else:  # trace
         result = prober.traceroute(vp, dst)
         print(result)
+    if tracer is not None:
+        scenario.network.detach_tracer()
+        print("\n-- hop trace " + "-" * 47)
+        print(tracer.render())
+    return 0
+
+
+def _sum_series(
+    snapshot: dict, name: str, by: Optional[str] = None
+) -> Dict[str, int]:
+    """Sum a counter family's series, optionally grouped by one label
+    (the per-network ``net`` label is always aggregated away)."""
+    family = snapshot.get(name)
+    totals: Dict[str, int] = {}
+    if not family:
+        return totals
+    for series in family["series"]:
+        key = series["labels"].get(by, "") if by else ""
+        totals[key] = totals.get(key, 0) + series["value"]
+    return totals
+
+
+def _render_stats_table(snapshot: dict) -> str:
+    lines = [banner("metrics registry")]
+
+    sent = _sum_series(snapshot, "net_sent_total").get("", 0)
+    delivered = _sum_series(snapshot, "net_delivered_total").get("", 0)
+    drops = _sum_series(snapshot, "net_dropped_total", by="cause")
+    icmp = _sum_series(snapshot, "net_icmp_sent_total", by="kind")
+    lines.append("dataplane")
+    lines.append(f"  {'sent':<22} {sent:>10}")
+    lines.append(f"  {'delivered':<22} {delivered:>10}")
+    for cause in sorted(drops):
+        lines.append(f"  {'dropped[' + cause + ']':<22} {drops[cause]:>10}")
+    lines.append(f"  {'dropped[total]':<22} {sum(drops.values()):>10}")
+    for kind in sorted(icmp):
+        lines.append(f"  {'icmp[' + kind + ']':<22} {icmp[kind]:>10}")
+
+    accepted = _sum_series(snapshot, "ratelimit_accepted_total", by="role")
+    rejected = _sum_series(snapshot, "ratelimit_rejected_total", by="role")
+    if accepted or rejected:
+        lines.append("slow-path rate limiting (by router class)")
+        for role in sorted(set(accepted) | set(rejected)):
+            lines.append(
+                f"  {role:<10} accepted={accepted.get(role, 0):<10} "
+                f"rejected={rejected.get(role, 0)}"
+            )
+
+    probes = _sum_series(snapshot, "probe_sent_total", by="type")
+    replies = _sum_series(snapshot, "probe_replies_total", by="type")
+    timeouts = _sum_series(snapshot, "probe_timeouts_total", by="type")
+    if probes:
+        lines.append("probes (by type)")
+        for ptype in sorted(probes):
+            issued = probes[ptype]
+            answered = replies.get(ptype, 0)
+            rate = f"{answered / issued:.1%}" if issued else "-"
+            lines.append(
+                f"  {ptype:<8} sent={issued:<10} replies={answered:<10} "
+                f"timeouts={timeouts.get(ptype, 0):<10} reply_rate={rate}"
+            )
+
+    phases = snapshot.get("phase_seconds")
+    if phases and phases["series"]:
+        lines.append("phase timings (wall clock)")
+        for series in phases["series"]:
+            phase = series["labels"].get("phase", "?")
+            count = series["count"]
+            mean = series["sum"] / count if count else 0.0
+            lines.append(
+                f"  {phase:<16} runs={count:<6} total={series['sum']:.3f}s "
+                f"mean={mean:.3f}s"
+            )
+
+    cache = _sum_series(snapshot, "study_cache_lookups_total", by="result")
+    if cache:
+        lines.append("study cache")
+        for result in sorted(cache):
+            lines.append(f"  {result:<8} {cache[result]}")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    get_study(args.preset, seed=args.seed)
+    snapshot = REGISTRY.snapshot()
+    if args.stats_format == "prom":
+        rendered = to_prometheus(snapshot)
+    elif args.stats_format == "jsonl":
+        rendered = to_jsonl(snapshot)
+    else:
+        rendered = _render_stats_table(snapshot)
+    print(rendered)
+    if args.output is not None:
+        args.output.write_text(rendered.rstrip("\n") + "\n", "utf-8")
     return 0
 
 
@@ -254,6 +384,7 @@ _COMMANDS = {
     "presets": _cmd_presets,
     "study": _cmd_study,
     "probe": _cmd_probe,
+    "stats": _cmd_stats,
     "export": _cmd_export,
 }
 

@@ -18,10 +18,24 @@ from repro.core.survey import (
     run_ping_survey,
     run_rr_survey,
 )
+from repro.obs.metrics import REGISTRY
+from repro.obs.timing import timed
 from repro.scenarios.internet import Scenario
 from repro.scenarios.presets import get_preset
 
 __all__ = ["StudyData", "run_full_study", "get_study", "clear_study_cache"]
+
+_CACHE_LOOKUPS = REGISTRY.counter(
+    "study_cache_lookups_total",
+    "get_study() lookups, by result (hit = campaign reused).",
+    ("result",),
+)
+_CACHE_HITS = _CACHE_LOOKUPS.labels("hit")
+_CACHE_MISSES = _CACHE_LOOKUPS.labels("miss")
+_CACHE_SIZE = REGISTRY.gauge(
+    "study_cache_entries",
+    "Completed campaigns currently memoised by get_study().",
+)
 
 
 @dataclass
@@ -39,8 +53,9 @@ class StudyData:
 
 def run_full_study(scenario: Scenario) -> StudyData:
     """Run both §3.1 studies against a scenario."""
-    ping_survey = run_ping_survey(scenario)
-    rr_survey = run_rr_survey(scenario)
+    with timed("full_study"):
+        ping_survey = run_ping_survey(scenario)
+        rr_survey = run_rr_survey(scenario)
     return StudyData(
         scenario=scenario, ping_survey=ping_survey, rr_survey=rr_survey
     )
@@ -62,13 +77,18 @@ def get_study(
     key = (preset, seed)
     cached = _CACHE.get(key)
     if cached is None:
+        _CACHE_MISSES.inc()
         scenario = factory() if factory is not None else get_preset(
             preset, seed
         )
         cached = run_full_study(scenario)
         _CACHE[key] = cached
+        _CACHE_SIZE.set(len(_CACHE))
+    else:
+        _CACHE_HITS.inc()
     return cached
 
 
 def clear_study_cache() -> None:
     _CACHE.clear()
+    _CACHE_SIZE.set(0)

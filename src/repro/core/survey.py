@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.net.addr import parse_prefix, same_slash24
+from repro.obs.timing import timed
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder, order_destinations
 from repro.probing.vantage import Platform, VantagePoint
@@ -254,11 +255,12 @@ def run_ping_survey(
         raise ValueError("scenario has no origin vantage point")
     targets = list(scenario.hitlist) if dests is None else list(dests)
     survey = PingSurvey(origin_name=scenario.origin.name)
-    for dest in targets:
-        result = scenario.prober.ping(
-            scenario.origin, dest.addr, count=count, pps=pps
-        )
-        survey.responsive[dest.addr] = result.responded
+    with timed("ping_survey"):
+        for dest in targets:
+            result = scenario.prober.ping(
+                scenario.origin, dest.addr, count=count, pps=pps
+            )
+            survey.responsive[dest.addr] = result.responded
     return survey
 
 
@@ -286,19 +288,25 @@ def run_rr_survey(
         rr_slots=slots,
     )
     position = {dest.addr: index for index, dest in enumerate(targets)}
-    for vp_index, vp in enumerate(vp_list):
-        ordered = order_destinations(
-            targets, order, seed=scenario.seed, salt=vp.name
-        )
-        for dest in ordered:
-            result = scenario.prober.ping_rr(
-                vp, dest.addr, slots=slots, pps=pps
-            )
-            if not result.rr_responsive:
-                continue
-            dest_index = position[dest.addr]
-            survey.responses[dest_index][vp_index] = result.dest_slot()
-            for addr in result.rr_hops:
-                if addr != dest.addr and same_slash24(addr, dest.addr):
-                    survey.inprefix_addrs[dest_index].add(addr)
+    with timed("rr_survey"):
+        for vp_index, vp in enumerate(vp_list):
+            with timed("rr_survey_vp"):
+                ordered = order_destinations(
+                    targets, order, seed=scenario.seed, salt=vp.name
+                )
+                for dest in ordered:
+                    result = scenario.prober.ping_rr(
+                        vp, dest.addr, slots=slots, pps=pps
+                    )
+                    if not result.rr_responsive:
+                        continue
+                    dest_index = position[dest.addr]
+                    survey.responses[dest_index][vp_index] = (
+                        result.dest_slot()
+                    )
+                    for addr in result.rr_hops:
+                        if addr != dest.addr and same_slash24(
+                            addr, dest.addr
+                        ):
+                            survey.inprefix_addrs[dest_index].add(addr)
     return survey

@@ -1,0 +1,34 @@
+"""Observability: metrics registry, packet tracing, phase timing.
+
+The measurement platform measuring itself. See DESIGN.md §"Observability"
+for how the dataplane, rate limiters, prober, and campaign layers
+report here, and ``python -m repro stats`` for the operator view.
+"""
+
+from repro.obs.export import to_jsonl, to_prometheus, write_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from repro.obs.timing import timed
+from repro.obs.trace import DEFAULT_TRACE_CAPACITY, PacketTracer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "PacketTracer",
+    "TraceEvent",
+    "DEFAULT_TRACE_CAPACITY",
+    "timed",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

@@ -1,0 +1,125 @@
+"""Exporters: render a metrics snapshot as JSONL or Prometheus text.
+
+Both exporters operate on the plain-data snapshot from
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so they can also
+serialise snapshots persisted earlier (e.g. written next to benchmark
+artifacts). Pure stdlib; the Prometheus renderer follows the text
+exposition format (``# HELP`` / ``# TYPE`` preamble, ``_bucket`` /
+``_sum`` / ``_count`` histogram series with cumulative ``le`` labels).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, REGISTRY
+
+__all__ = ["to_jsonl", "to_prometheus", "write_jsonl"]
+
+Snapshot = Dict[str, dict]
+
+
+def _resolve(
+    snapshot: Optional[Union[Snapshot, MetricsRegistry]]
+) -> Snapshot:
+    if snapshot is None:
+        return REGISTRY.snapshot()
+    if isinstance(snapshot, MetricsRegistry):
+        return snapshot.snapshot()
+    return snapshot
+
+
+# -- JSONL ---------------------------------------------------------------
+
+
+def to_jsonl(
+    snapshot: Optional[Union[Snapshot, MetricsRegistry]] = None
+) -> str:
+    """One JSON object per line, one line per labelled series.
+
+    Counter/gauge lines: ``{"name", "type", "labels", "value"}``;
+    histogram lines add ``"count"``, ``"sum"``, and cumulative
+    ``"buckets"`` (``le=null`` means +Inf). Stable ordering: family
+    name, then label values.
+    """
+    data = _resolve(snapshot)
+    lines: List[str] = []
+    for name in sorted(data):
+        family = data[name]
+        for series in family["series"]:
+            record = {"name": name, "type": family["type"]}
+            record.update(series)
+            lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines)
+
+
+def write_jsonl(
+    path,
+    snapshot: Optional[Union[Snapshot, MetricsRegistry]] = None,
+) -> None:
+    """Write :func:`to_jsonl` output to ``path`` (trailing newline)."""
+    text = to_jsonl(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + ("\n" if text else ""))
+
+
+# -- Prometheus text format ------------------------------------------------
+
+
+def _label_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(
+    snapshot: Optional[Union[Snapshot, MetricsRegistry]] = None
+) -> str:
+    """Render the snapshot in the Prometheus text exposition format."""
+    data = _resolve(snapshot)
+    out: List[str] = []
+    for name in sorted(data):
+        family = data[name]
+        if family.get("help"):
+            out.append(f"# HELP {name} {_escape(family['help'])}")
+        out.append(f"# TYPE {name} {family['type']}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if family["type"] == "histogram":
+                for bound, count in series["buckets"]:
+                    le = "+Inf" if bound is None else _fmt(float(bound))
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    out.append(
+                        f"{name}_bucket{_label_text(bucket_labels)} {count}"
+                    )
+                out.append(
+                    f"{name}_sum{_label_text(labels)} {_fmt(series['sum'])}"
+                )
+                out.append(
+                    f"{name}_count{_label_text(labels)} {series['count']}"
+                )
+            else:
+                out.append(
+                    f"{name}{_label_text(labels)} {_fmt(series['value'])}"
+                )
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,387 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Every layer of the reproduction — the dataplane walk, token-bucket
+rate limiters, the prober, the campaign orchestration — reports into
+one :class:`MetricsRegistry` (module-level :data:`REGISTRY` by
+default), so a single snapshot answers the questions the paper's
+analysis turns on: *where* probes die (filtered at a provider AS,
+policed on the slow path, expired at TTL) and *how fast* campaigns
+ran.
+
+Design constraints, in order:
+
+* **O(1), allocation-free hot path.** Instruments are resolved to
+  bound child objects once (``family.labels(...)``); incrementing a
+  child is a single attribute update. Nothing on the per-packet path
+  builds tuples, dicts, or strings.
+* **Pure stdlib.** No ``prometheus_client`` dependency; the exporters
+  in :mod:`repro.obs.export` render the registry's snapshot in
+  Prometheus text format and JSONL themselves.
+* **Snapshot isolation.** :meth:`MetricsRegistry.snapshot` returns
+  plain data (dicts/lists/numbers) decoupled from the live
+  instruments; later increments never mutate an earlier snapshot.
+
+Thread safety: CPython attribute increments on the hot path are
+effectively atomic under the GIL; registration paths are guarded by a
+lock so lazily-built scenarios in threads cannot corrupt the family
+table. This matches the simulator's single-writer usage.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Wall-clock / sim-clock second buckets used by phase timers and the
+#: probe RTT histogram (upper bounds; +Inf is implicit).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter child. O(1) ``inc``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (cache sizes, load levels)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram child.
+
+    ``observe`` is O(log n_buckets) via bisect and allocates nothing;
+    bucket counts are stored *non*-cumulatively internally and rendered
+    cumulatively (Prometheus style) at snapshot time.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = tuple(bounds)
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        for index in range(len(self.counts)):
+            self.counts[index] = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:.6g})"
+
+
+class _Family:
+    """A named metric plus its labelled children."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Tuple[str, ...]
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, *values: object, **kv: object):
+        """Resolve (creating on first use) the child for a label set.
+
+        Accepts positional values in ``labelnames`` order or keyword
+        values; resolve once and keep the returned child for hot paths.
+        """
+        if kv:
+            if values:
+                raise ValueError("pass label values positionally or by name")
+            try:
+                values = tuple(str(kv[name]) for name in self.labelnames)
+            except KeyError as missing:
+                raise ValueError(
+                    f"{self.name}: missing label {missing}"
+                ) from None
+            if len(kv) != len(self.labelnames):
+                raise ValueError(
+                    f"{self.name}: unexpected labels "
+                    f"{sorted(set(kv) - set(self.labelnames))}"
+                )
+        else:
+            values = tuple(str(value) for value in values)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {len(values)} value(s)"
+            )
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(
+                    values, self._make_child()
+                )
+        return child
+
+    # Unlabelled convenience: family acts as its own default child.
+
+    def _default(self):
+        return self.labels()
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        return list(self._children.items())
+
+    def reset(self) -> None:
+        for child in self._children.values():
+            child.reset()
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: int = 1) -> None:
+        self._default().inc(amount)
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Sequence[float],
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        self.buckets = bounds
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+
+class MetricsRegistry:
+    """The process-wide table of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent: calling
+    them again with the same name returns the existing family (and
+    raises if the kind or label schema disagrees), so any module can
+    declare the instruments it needs without import-order choreography.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ---------------------------------------------------
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+            if (
+                existing.kind != family.kind
+                or existing.labelnames != family.labelnames
+            ):
+                raise ValueError(
+                    f"metric {family.name!r} re-registered with a "
+                    f"different schema: {existing.kind}{existing.labelnames}"
+                    f" vs {family.kind}{family.labelnames}"
+                )
+            return existing
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> CounterFamily:
+        return self._register(CounterFamily(name, help, tuple(labelnames)))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+    ) -> GaugeFamily:
+        return self._register(GaugeFamily(name, help, tuple(labelnames)))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> HistogramFamily:
+        return self._register(
+            HistogramFamily(name, help, tuple(labelnames), buckets)
+        )
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    def families(self) -> List[_Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- lifecycle ---------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every child of every family (families stay registered)."""
+        for family in self._families.values():
+            family.reset()
+
+    def clear(self) -> None:
+        """Drop every family entirely (tests wanting a blank slate)."""
+        with self._lock:
+            self._families.clear()
+
+    # -- snapshots ---------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A point-in-time copy as plain data, isolated from later
+        updates. Shape::
+
+            {name: {"type": ..., "help": ..., "labelnames": [...],
+                    "series": [{"labels": {...}, ...values...}]}}
+
+        Counter/gauge series carry ``"value"``; histogram series carry
+        ``"count"``, ``"sum"``, and cumulative ``"buckets"``
+        ``[[le, count], ...]`` with ``le=null`` for +Inf (JSON-safe).
+        """
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            series = []
+            for values, child in sorted(family.children()):
+                labels = dict(zip(family.labelnames, values))
+                if family.kind == "histogram":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": [
+                                [None if bound == float("inf") else bound,
+                                 count]
+                                for bound, count in child.cumulative()
+                            ],
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            }
+        return out
+
+    def to_dict(self) -> Dict[str, dict]:
+        """Alias for :meth:`snapshot` (symmetry with other repo APIs)."""
+        return self.snapshot()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._families)} families)"
+
+
+#: The process-wide default registry.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (indirection point for tests)."""
+    return REGISTRY

@@ -1,0 +1,79 @@
+"""Phase timing: wall-clock histograms for campaign stages.
+
+The ROADMAP's "as fast as the hardware allows" needs a baseline;
+``timed("rr_survey")`` around a campaign phase feeds a labelled
+wall-clock histogram (``phase_seconds{phase="rr_survey"}``) in the
+process-wide registry, so ``python -m repro stats`` and the exporters
+can show exactly where a study spends its time. Works as a context
+manager *and* a decorator::
+
+    with timed("rr_survey"):
+        ...
+
+    @timed("table1")
+    def build(): ...
+
+Overhead is two ``perf_counter()`` calls per phase — phases are
+seconds-long, so this is noise.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Optional, TypeVar
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+__all__ = ["timed", "PHASE_HISTOGRAM"]
+
+#: Name of the shared phase-duration histogram family.
+PHASE_HISTOGRAM = "phase_seconds"
+
+_F = TypeVar("_F", bound=Callable)
+
+
+class timed:
+    """Context manager / decorator that times a named phase."""
+
+    __slots__ = ("phase", "_registry", "_hist", "_start", "last_seconds")
+
+    def __init__(
+        self, phase: str, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.phase = phase
+        reg = REGISTRY if registry is None else registry
+        self._registry = reg
+        self._hist: Histogram = reg.histogram(
+            PHASE_HISTOGRAM,
+            "Wall-clock duration of campaign/analysis phases.",
+            labelnames=("phase",),
+            buckets=DEFAULT_TIME_BUCKETS,
+        ).labels(phase=phase)
+        self._start: Optional[float] = None
+        #: Duration of the most recent completed timing, for callers
+        #: that want the number as well as the histogram sample.
+        self.last_seconds: Optional[float] = None
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - (self._start or 0.0)
+        self.last_seconds = elapsed
+        self._hist.observe(elapsed)
+
+    def __call__(self, func: _F) -> _F:
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            # Fresh instance per call: decorator stays re-entrant.
+            with self.__class__(self.phase, registry=self._registry):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]

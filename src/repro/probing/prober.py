@@ -46,6 +46,7 @@ from repro.net.packet import (
 )
 from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram
 from repro.net.timestamp import TimestampOption, TsFlag
+from repro.obs.metrics import REGISTRY
 from repro.probing.results import (
     PingResult,
     RRPingResult,
@@ -65,6 +66,39 @@ DEFAULT_PPS = 20.0
 _GAP_LIMIT = 6
 
 
+class _ProbeMetrics:
+    """Pre-resolved registry children for one (network, probe-type).
+
+    Resolving labels once per type keeps the per-probe cost at plain
+    bound-method increments — no label lookups, no allocations.
+    """
+
+    __slots__ = ("probes", "replies", "timeouts", "rtt")
+
+    def __init__(self, net_id: str, ptype: str) -> None:
+        self.probes = REGISTRY.counter(
+            "probe_sent_total",
+            "Probes issued, by probe type.",
+            ("net", "type"),
+        ).labels(net_id, ptype)
+        self.replies = REGISTRY.counter(
+            "probe_replies_total",
+            "Probe replies successfully parsed, by probe type.",
+            ("net", "type"),
+        ).labels(net_id, ptype)
+        self.timeouts = REGISTRY.counter(
+            "probe_timeouts_total",
+            "Probes that produced no (parseable) reply, by probe type.",
+            ("net", "type"),
+        ).labels(net_id, ptype)
+        self.rtt = REGISTRY.histogram(
+            "probe_rtt_sim_seconds",
+            "Sim-clock seconds from probe issue (pacing included) to "
+            "reply; pacing-dominated until propagation delay is modeled.",
+            ("net", "type"),
+        ).labels(net_id, ptype)
+
+
 class Prober:
     """Issues probes from vantage points through a simulated network."""
 
@@ -75,6 +109,8 @@ class Prober:
         self.default_pps = default_pps
         self._ident = 0
         self._seq = 0
+        self._mx: dict = {}
+        self._mx_network = network
 
     # -- plumbing ---------------------------------------------------------
 
@@ -83,19 +119,40 @@ class Prober:
         self._seq = (self._seq + 1) & 0xFFFF
         return self._ident, self._seq
 
+    def _metrics_for(self, ptype: str) -> _ProbeMetrics:
+        """Per-probe-type registry children (rebound if the network
+        was swapped out, as some test fixtures do)."""
+        if self._mx_network is not self.network:
+            self._mx = {}
+            self._mx_network = self.network
+        metrics = self._mx.get(ptype)
+        if metrics is None:
+            metrics = _ProbeMetrics(self.network.net_id, ptype)
+            self._mx[ptype] = metrics
+        return metrics
+
     def _roundtrip(
-        self, pkt: IPv4Packet, pps: Optional[float]
+        self, pkt: IPv4Packet, pps: Optional[float], ptype: str = "ping"
     ) -> Optional[IPv4Packet]:
         """Pace, serialise, inject, and parse any reply."""
+        metrics = self._metrics_for(ptype)
         rate = self.default_pps if pps is None else pps
-        self.network.clock.advance(1.0 / rate)
+        clock = self.network.clock
+        start = clock.now
+        clock.advance(1.0 / rate)
+        metrics.probes.inc()
         reply_bytes = self.network.send_wire(pkt.to_bytes())
         if reply_bytes is None:
+            metrics.timeouts.inc()
             return None
         try:
-            return IPv4Packet.from_bytes(reply_bytes)
+            reply = IPv4Packet.from_bytes(reply_bytes)
         except PacketDecodeError:  # pragma: no cover - defensive
+            metrics.timeouts.inc()
             return None
+        metrics.replies.inc()
+        metrics.rtt.observe(clock.now - start)
+        return reply
 
     # -- plain ping ---------------------------------------------------------
 
@@ -122,7 +179,7 @@ class Prober:
                 payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, seq).to_bytes(),
             )
             sent += 1
-            reply = self._roundtrip(pkt, pps)
+            reply = self._roundtrip(pkt, pps, "ping")
             if reply is None or reply.proto != PROTO_ICMP:
                 continue
             try:
@@ -168,7 +225,7 @@ class Prober:
             options=[RecordRouteOption(slots=slots)],
             payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, seq).to_bytes(),
         )
-        reply = self._roundtrip(pkt, pps)
+        reply = self._roundtrip(pkt, pps, "rr")
         if reply is None or reply.proto != PROTO_ICMP:
             return RRPingResult(
                 vp_name=vp.name, dst=dst, responded=False, rr_slots=slots
@@ -247,7 +304,7 @@ class Prober:
             options=[option],
             payload=IcmpEcho(ICMP_ECHO_REQUEST, ident, seq).to_bytes(),
         )
-        reply = self._roundtrip(pkt, pps)
+        reply = self._roundtrip(pkt, pps, "ts")
         if reply is None or reply.proto != PROTO_ICMP:
             return TsPingResult(
                 vp_name=vp.name, dst=dst, responded=False, flag=int(flag)
@@ -301,7 +358,7 @@ class Prober:
             options=[RecordRouteOption(slots=slots)],
             payload=datagram.to_bytes(vp.addr, dst),
         )
-        reply = self._roundtrip(pkt, pps)
+        reply = self._roundtrip(pkt, pps, "rrudp")
         if reply is None or reply.proto != PROTO_ICMP:
             return RRUdpResult(vp_name=vp.name, dst=dst, got_unreachable=False)
         try:
@@ -355,7 +412,7 @@ class Prober:
                         ICMP_ECHO_REQUEST, ident, seq
                     ).to_bytes(),
                 )
-                reply = self._roundtrip(pkt, pps)
+                reply = self._roundtrip(pkt, pps, "trace")
                 if reply is None or reply.proto != PROTO_ICMP:
                     continue
                 try:

@@ -27,8 +27,8 @@ resolution) are answered without a path walk.
 
 from __future__ import annotations
 
+import itertools
 import random
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.net.addr import Prefix
@@ -40,11 +40,13 @@ from repro.net.icmp import (
 )
 from repro.net.packet import IPv4Packet, PROTO_ICMP, PROTO_UDP
 from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram, UdpDecodeError
+from repro.obs.metrics import Counter, MetricsRegistry, REGISTRY
+from repro.obs.trace import PacketTracer
 from repro.rng import derive_seed
 from repro.sim.clock import SimClock
 from repro.sim.host import SimHost, build_host
 from repro.sim.policies import RouterPolicy, SimParams, build_router_policy
-from repro.sim.rate_limiter import TokenBucket
+from repro.sim.rate_limiter import BucketMetrics, TokenBucket
 from repro.topology.generator import GeneratedTopology
 from repro.topology.hitlist import Destination, Hitlist
 from repro.topology.routers import Hop, RouterFabric, RouterNode
@@ -56,25 +58,127 @@ __all__ = ["NetworkStats", "Network", "MIN_QUOTE", "FULL_QUOTE"]
 MIN_QUOTE = 8
 FULL_QUOTE = 1 << 16
 
+#: Distinguishes each Network's series in the process-wide registry.
+_NET_IDS = itertools.count()
 
-@dataclass
+
 class NetworkStats:
-    """Drop/delivery counters, for tests and diagnostics."""
+    """Drop/delivery counters, for tests and diagnostics.
 
-    sent: int = 0
-    delivered: int = 0
-    dropped_no_route: int = 0
-    dropped_filtered: int = 0
-    dropped_rate_limited: int = 0
-    dropped_ttl: int = 0
-    dropped_host: int = 0
-    dropped_loss: int = 0
-    ttl_exceeded_sent: int = 0
-    port_unreach_sent: int = 0
+    Formerly a plain dataclass of ints; now a *façade* over
+    per-network counters in the process-wide
+    :class:`~repro.obs.metrics.MetricsRegistry`, keeping the exact
+    attribute API (read ``stats.sent``, call ``stats.reset()``) while
+    the registry remains the single source of truth for exporters and
+    ``python -m repro stats``. ``reset()`` zeroes only the declared
+    counter fields — never auxiliary attributes — so the façade can
+    safely grow non-counter state later.
+
+    Constructing ``NetworkStats()`` standalone (no registry children)
+    still works and is backed by private, unregistered counters.
+    """
+
+    _FIELDS = (
+        "sent",
+        "delivered",
+        "dropped_no_route",
+        "dropped_filtered",
+        "dropped_rate_limited",
+        "dropped_ttl",
+        "dropped_host",
+        "dropped_loss",
+        "ttl_exceeded_sent",
+        "port_unreach_sent",
+    )
+
+    def __init__(
+        self, children: Optional[Dict[str, Counter]] = None
+    ) -> None:
+        if children is None:
+            children = {name: Counter() for name in self._FIELDS}
+        self._children = children
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return self.__dict__["_children"][name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def reset(self) -> None:
-        for name in vars(self):
-            setattr(self, name, 0)
+        """Zero the declared counter fields (and nothing else)."""
+        children = self._children
+        for name in self._FIELDS:
+            children[name].reset()
+
+    @property
+    def dropped_total(self) -> int:
+        """All drops, across every cause."""
+        children = self._children
+        return sum(
+            children[name].value
+            for name in self._FIELDS
+            if name.startswith("dropped_")
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        children = self._children
+        return {name: children[name].value for name in self._FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NetworkStats):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        body = ", ".join(
+            f"{name}={value}" for name, value in self.to_dict().items()
+        )
+        return f"NetworkStats({body})"
+
+
+class _NetMetrics:
+    """Hot-path bundle: one pre-resolved counter child per event.
+
+    Resolved once per :class:`Network`; incrementing is a single
+    bound-method call with no label lookup and no allocation.
+    """
+
+    __slots__ = NetworkStats._FIELDS
+
+    def __init__(self, registry: MetricsRegistry, net_id: str) -> None:
+        sent = registry.counter(
+            "net_sent_total",
+            "Packets injected into the simulated dataplane.",
+            ("net",),
+        )
+        delivered = registry.counter(
+            "net_delivered_total",
+            "Reply packets delivered back to the prober.",
+            ("net",),
+        )
+        dropped = registry.counter(
+            "net_dropped_total",
+            "Packets dropped in the dataplane, by cause.",
+            ("net", "cause"),
+        )
+        icmp = registry.counter(
+            "net_icmp_sent_total",
+            "ICMP errors generated by the dataplane, by kind.",
+            ("net", "kind"),
+        )
+        self.sent = sent.labels(net_id)
+        self.delivered = delivered.labels(net_id)
+        self.dropped_no_route = dropped.labels(net_id, "no_route")
+        self.dropped_filtered = dropped.labels(net_id, "filtered")
+        self.dropped_rate_limited = dropped.labels(net_id, "rate_limited")
+        self.dropped_ttl = dropped.labels(net_id, "ttl")
+        self.dropped_host = dropped.labels(net_id, "host")
+        self.dropped_loss = dropped.labels(net_id, "loss")
+        self.ttl_exceeded_sent = icmp.labels(net_id, "ttl_exceeded")
+        self.port_unreach_sent = icmp.labels(net_id, "port_unreach")
+
+    def as_children(self) -> Dict[str, Counter]:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 # Walk outcomes.
@@ -101,7 +205,14 @@ class Network:
         self.hitlist = hitlist
         self.params = params
         self.clock = SimClock()
-        self.stats = NetworkStats()
+        #: This network's label value in the process-wide registry.
+        self.net_id = str(next(_NET_IDS))
+        self.registry = REGISTRY
+        self._mx = _NetMetrics(self.registry, self.net_id)
+        self.stats = NetworkStats(self._mx.as_children())
+        #: Opt-in per-hop tracer; ``None`` keeps the walk allocation-free.
+        self._tracer: Optional[PacketTracer] = None
+        self._bucket_metrics: Dict[str, BucketMetrics] = {}
         self._policies: Dict[Tuple, RouterPolicy] = {}
         self._limiters: Dict[Tuple, TokenBucket] = {}
         self._hosts: Dict[int, SimHost] = {}
@@ -114,6 +225,24 @@ class Network:
         #: reduce and that the conclusion worries operators will react
         #: to. Counted per router traversal of an options packet.
         self.options_load: Dict[int, int] = {}
+
+    # -- tracing ---------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[PacketTracer]:
+        return self._tracer
+
+    def attach_tracer(
+        self, tracer: Optional[PacketTracer] = None
+    ) -> PacketTracer:
+        """Enable per-hop event tracing; returns the active tracer."""
+        self._tracer = PacketTracer() if tracer is None else tracer
+        return self._tracer
+
+    def detach_tracer(self) -> Optional[PacketTracer]:
+        """Disable tracing; returns the tracer that was attached."""
+        tracer, self._tracer = self._tracer, None
+        return tracer
 
     # -- entity resolution ---------------------------------------------------
 
@@ -151,11 +280,41 @@ class Network:
             self._policies[router.key] = policy
         return policy
 
+    def _bucket_metrics_for(self, role: str) -> BucketMetrics:
+        """Per-router-class token-bucket counters (resolved once)."""
+        metrics = self._bucket_metrics.get(role)
+        if metrics is None:
+            accepted = self.registry.counter(
+                "ratelimit_accepted_total",
+                "Options packets admitted by slow-path token buckets.",
+                ("net", "role"),
+            )
+            rejected = self.registry.counter(
+                "ratelimit_rejected_total",
+                "Options packets policed away by slow-path token buckets.",
+                ("net", "role"),
+            )
+            refills = self.registry.counter(
+                "ratelimit_refill_events_total",
+                "Token-bucket refill events (time advanced between probes).",
+                ("net", "role"),
+            )
+            metrics = BucketMetrics(
+                accepted=accepted.labels(self.net_id, role),
+                rejected=rejected.labels(self.net_id, role),
+                refills=refills.labels(self.net_id, role),
+            )
+            self._bucket_metrics[role] = metrics
+        return metrics
+
     def _limiter_of(self, router: RouterNode, pps: float) -> TokenBucket:
         limiter = self._limiters.get(router.key)
         if limiter is None:
             limiter = TokenBucket(
-                pps, self.params.rate_limit_burst, start=self.clock.now
+                pps,
+                self.params.rate_limit_burst,
+                start=self.clock.now,
+                metrics=self._bucket_metrics_for(router.key[1]),
             )
             self._limiters[router.key] = limiter
         return limiter
@@ -213,26 +372,53 @@ class Network:
     # -- the walk ---------------------------------------------------------
 
     def _walk(
-        self, pkt: IPv4Packet, segments: Tuple[Tuple[Hop, ...], ...]
+        self,
+        pkt: IPv4Packet,
+        segments: Tuple[Tuple[Hop, ...], ...],
+        direction: str = "fwd",
     ) -> Tuple[int, Optional[IPv4Packet]]:
         """Advance ``pkt`` across the hop segments, in order.
 
         Returns ``(_ARRIVED, None)``, ``(_DROPPED, None)``, or
         ``(_ERROR, reply)`` when a router generated an ICMP error.
+        ``direction`` labels trace events ("fwd" toward the
+        destination, "rev" for the reply's walk back).
         """
         now = self.clock.now
         now_ms = int(now * 1000)
         rr = pkt.record_route
         ts = pkt.timestamp_option
         has_options = pkt.has_options
+        mx = self._mx
+        tracer = self._tracer
         for segment in segments:
             for hop in segment:
                 policy = self.policy_of(hop.router)
+                if tracer is not None:
+                    tracer.emit(
+                        "hop",
+                        now,
+                        direction=direction,
+                        addr=hop.icmp_addr,
+                        asn=hop.router.asn,
+                        role=hop.router.key[1],
+                        detail=f"ttl={pkt.ttl}",
+                    )
                 if policy.decrements_ttl:
                     if pkt.ttl <= 1:
                         pkt.ttl = 0
                         if policy.sends_ttl_exceeded:
-                            self.stats.ttl_exceeded_sent += 1
+                            mx.ttl_exceeded_sent.inc()
+                            if tracer is not None:
+                                tracer.emit(
+                                    "ttl_expired",
+                                    now,
+                                    direction=direction,
+                                    addr=hop.icmp_addr,
+                                    asn=hop.router.asn,
+                                    role=hop.router.key[1],
+                                    detail="time-exceeded sent",
+                                )
                             return _ERROR, self._icmp_error_reply(
                                 IcmpError.time_exceeded(
                                     pkt, self._quote_bytes(policy.quote_full)
@@ -240,7 +426,17 @@ class Network:
                                 src=hop.icmp_addr,
                                 dst=pkt.src,
                             )
-                        self.stats.dropped_ttl += 1
+                        mx.dropped_ttl.inc()
+                        if tracer is not None:
+                            tracer.emit(
+                                "ttl_expired",
+                                now,
+                                direction=direction,
+                                addr=hop.icmp_addr,
+                                asn=hop.router.asn,
+                                role=hop.router.key[1],
+                                detail="silent",
+                            )
                         return _DROPPED, None
                     pkt.ttl -= 1
                 if has_options:
@@ -249,22 +445,62 @@ class Network:
                         self.options_load.get(asn, 0) + 1
                     )
                     if policy.drops_options:
-                        self.stats.dropped_filtered += 1
+                        mx.dropped_filtered.inc()
+                        if tracer is not None:
+                            tracer.emit(
+                                "drop",
+                                now,
+                                direction=direction,
+                                addr=hop.icmp_addr,
+                                asn=asn,
+                                role=hop.router.key[1],
+                                detail="filtered",
+                            )
                         return _DROPPED, None
                     if policy.rate_limit_pps is not None:
                         limiter = self._limiter_of(
                             hop.router, policy.rate_limit_pps
                         )
                         if not limiter.allow(now):
-                            self.stats.dropped_rate_limited += 1
+                            mx.dropped_rate_limited.inc()
+                            if tracer is not None:
+                                tracer.emit(
+                                    "drop",
+                                    now,
+                                    direction=direction,
+                                    addr=hop.icmp_addr,
+                                    asn=asn,
+                                    role=hop.router.key[1],
+                                    detail=(
+                                        "rate_limited "
+                                        f"{policy.rate_limit_pps:g}pps"
+                                    ),
+                                )
                             return _DROPPED, None
                     if policy.stamps_rr:
                         if rr is not None:
-                            rr.stamp(hop.stamp_addr)
+                            if rr.stamp(hop.stamp_addr) and tracer is not None:
+                                tracer.emit(
+                                    "rr_stamp",
+                                    now,
+                                    direction=direction,
+                                    addr=hop.stamp_addr,
+                                    asn=asn,
+                                    role=hop.router.key[1],
+                                    detail=f"slot {len(rr.recorded)}",
+                                )
                         if ts is not None:
                             # Routers that honor RR honor Timestamp too
                             # (both ride the same slow path).
                             ts.stamp(hop.router.addrs, now_ms)
+                            if tracer is not None:
+                                tracer.emit(
+                                    "ts_stamp",
+                                    now,
+                                    direction=direction,
+                                    asn=asn,
+                                    role=hop.router.key[1],
+                                )
         return _ARRIVED, None
 
     @staticmethod
@@ -294,7 +530,11 @@ class Network:
         if self.params.loss_prob <= 0:
             return False
         if self._loss_rng.random() < self.params.loss_prob:
-            self.stats.dropped_loss += 1
+            self._mx.dropped_loss.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "drop", self.clock.now, detail="loss"
+                )
             return True
         return False
 
@@ -312,10 +552,30 @@ class Network:
         (the simulator's allocation invariant); measurement-side code
         must use :mod:`repro.analysis.ip2as` instead.
         """
-        self.stats.sent += 1
+        self._mx.sent.inc()
+        tracer = self._tracer
+        if tracer is not None:
+            proto = (
+                "icmp" if pkt.proto == PROTO_ICMP
+                else "udp" if pkt.proto == PROTO_UDP
+                else str(pkt.proto)
+            )
+            options = (
+                "+rr" if pkt.record_route is not None else ""
+            ) + ("+ts" if pkt.timestamp_option is not None else "")
+            tracer.emit(
+                "send",
+                self.clock.now,
+                addr=pkt.dst,
+                detail=f"{proto} ttl={pkt.ttl}{options}",
+            )
         src_asn = pkt.src >> 16
         if src_asn not in self.graph:
-            self.stats.dropped_no_route += 1
+            self._mx.dropped_no_route.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, detail="no_route (source)"
+                )
             return None
         host = self.host_of_addr(pkt.dst)
         if host is not None:
@@ -323,16 +583,25 @@ class Network:
         router = self.fabric.router_of_addr(pkt.dst)
         if router is not None:
             return self._deliver_to_router(pkt, router)
-        self.stats.dropped_no_route += 1
+        self._mx.dropped_no_route.inc()
+        if tracer is not None:
+            tracer.emit(
+                "drop", self.clock.now, detail="no_route (destination)"
+            )
         return None
 
     def _deliver_to_host(
         self, pkt: IPv4Packet, host: SimHost, src_asn: int
     ) -> Optional[IPv4Packet]:
         dest = host.dest
+        tracer = self._tracer
         trunk = self._trunk(src_asn, dest.asn)
         if trunk is None:
-            self.stats.dropped_no_route += 1
+            self._mx.dropped_no_route.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, detail="no_route (trunk)"
+                )
             return None
         outcome, error_reply = self._walk(pkt, (trunk, self._tail(dest)))
         if outcome == _ERROR:
@@ -343,12 +612,29 @@ class Network:
         # Silent last-metre devices: decrement TTL, touch nothing else.
         if host.silent_hops:
             if pkt.ttl <= host.silent_hops:
-                self.stats.dropped_ttl += 1
+                self._mx.dropped_ttl.inc()
+                if tracer is not None:
+                    tracer.emit(
+                        "ttl_expired",
+                        self.clock.now,
+                        addr=host.addr,
+                        asn=dest.asn,
+                        role="silent",
+                        detail="silent",
+                    )
                 return None
             pkt.ttl -= host.silent_hops
 
         if pkt.has_options and host.drops_options:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop",
+                    self.clock.now,
+                    addr=host.addr,
+                    asn=dest.asn,
+                    detail="host drops options",
+                )
             return None
         if self._lost():
             return None
@@ -357,19 +643,38 @@ class Network:
             return self._host_icmp(pkt, host, src_asn)
         if pkt.proto == PROTO_UDP:
             return self._host_udp(pkt, host)
-        self.stats.dropped_host += 1
+        self._mx.dropped_host.inc()
+        if tracer is not None:
+            tracer.emit(
+                "drop",
+                self.clock.now,
+                addr=host.addr,
+                asn=dest.asn,
+                detail=f"host: unsupported proto {pkt.proto}",
+            )
         return None
 
     def _host_icmp(
         self, pkt: IPv4Packet, host: SimHost, src_asn: int
     ) -> Optional[IPv4Packet]:
+        tracer = self._tracer
         try:
             echo = IcmpEcho.from_bytes(pkt.payload)
         except IcmpDecodeError:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, addr=host.addr,
+                    detail="host: bad icmp",
+                )
             return None
         if echo.kind != ICMP_ECHO_REQUEST or not host.ping_responsive:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, addr=host.addr,
+                    detail="host unresponsive",
+                )
             return None
 
         options = []
@@ -378,6 +683,38 @@ class Network:
             reply_rr = host.stamp_reply(rr)
             if reply_rr is not None:
                 options.append(reply_rr)
+            if tracer is not None:
+                tracer.emit(
+                    "host_reply",
+                    self.clock.now,
+                    direction="rev",
+                    addr=host.addr,
+                    asn=host.asn,
+                    role="host",
+                    detail=f"rr_mode={host.rr_mode.value}",
+                )
+                if (
+                    reply_rr is not None
+                    and len(reply_rr.recorded) > len(rr.recorded)
+                ):
+                    tracer.emit(
+                        "rr_stamp",
+                        self.clock.now,
+                        direction="rev",
+                        addr=reply_rr.recorded[-1],
+                        asn=host.asn,
+                        role="host",
+                        detail=f"slot {len(reply_rr.recorded)}",
+                    )
+        elif tracer is not None:
+            tracer.emit(
+                "host_reply",
+                self.clock.now,
+                direction="rev",
+                addr=host.addr,
+                asn=host.asn,
+                role="host",
+            )
         ts = pkt.timestamp_option
         if ts is not None:
             reply_ts = host.stamp_timestamp(
@@ -399,15 +736,41 @@ class Network:
     def _host_udp(
         self, pkt: IPv4Packet, host: SimHost
     ) -> Optional[IPv4Packet]:
+        tracer = self._tracer
         try:
             datagram = UdpDatagram.from_bytes(pkt.payload)
         except UdpDecodeError:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, addr=host.addr,
+                    detail="host: bad udp",
+                )
             return None
         if datagram.dst_port < HIGH_PORT_FLOOR or not host.udp_unreachable:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, addr=host.addr,
+                    detail="host: udp silent",
+                )
             return None
-        self.stats.port_unreach_sent += 1
+        self._mx.port_unreach_sent.inc()
+        if tracer is not None:
+            rr = pkt.record_route
+            detail = (
+                "no rr" if rr is None
+                else f"quoting rr ({len(rr.recorded)} stamps)"
+            )
+            tracer.emit(
+                "port_unreach",
+                self.clock.now,
+                direction="rev",
+                addr=host.addr,
+                asn=host.asn,
+                role="host",
+                detail=detail,
+            )
         # The quote reflects the packet as it arrived: the RR option with
         # every slot the *path* filled, but no stamp from the host itself
         # — exactly the signal §3.3's ping-RRudp test reads.
@@ -430,21 +793,41 @@ class Network:
         while slots remain.
         """
         trunk = self._trunk(host.asn, src_asn)
+        tracer = self._tracer
         if trunk is None:
-            self.stats.dropped_no_route += 1
+            self._mx.dropped_no_route.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, direction="rev",
+                    detail="no_route (reverse trunk)",
+                )
             return None
         tail = self._tails.get(host.dest.prefix.base) or ()
         access = tuple(
             hop for hop in tail if hop.router.key[1] == "access"
         )
-        outcome, error_reply = self._walk(reply, (access, trunk))
+        outcome, error_reply = self._walk(
+            reply, (access, trunk), direction="rev"
+        )
         if outcome == _ERROR:
             return error_reply  # reply's own TTL expired (pathological)
         if outcome == _DROPPED:
             return None
         if self._lost():
             return None
-        self.stats.delivered += 1
+        self._mx.delivered.inc()
+        if tracer is not None:
+            tracer.emit(
+                "deliver",
+                self.clock.now,
+                direction="rev",
+                addr=reply.src,
+                detail=(
+                    f"rr stamps={len(reply.record_route.recorded)}"
+                    if reply.record_route is not None
+                    else "no options"
+                ),
+            )
         return reply
 
     def _deliver_to_router(
@@ -457,23 +840,40 @@ class Network:
         (documented shortcut; alias probes carry no options).
         """
         policy = self.policy_of(router)
+        tracer = self._tracer
         if pkt.proto != PROTO_ICMP or not policy.ping_responsive:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
+            if tracer is not None:
+                tracer.emit(
+                    "drop", self.clock.now, addr=pkt.dst,
+                    asn=router.asn, role=router.key[1],
+                    detail="router unresponsive",
+                )
             return None
         try:
             echo = IcmpEcho.from_bytes(pkt.payload)
         except IcmpDecodeError:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
             return None
         if echo.kind != ICMP_ECHO_REQUEST:
-            self.stats.dropped_host += 1
+            self._mx.dropped_host.inc()
             return None
         if self._lost():
             return None
         ident = (
             policy.ipid_seed + int(policy.ipid_velocity * self.clock.now)
         ) & 0xFFFF
-        self.stats.delivered += 1
+        self._mx.delivered.inc()
+        if tracer is not None:
+            tracer.emit(
+                "deliver",
+                self.clock.now,
+                direction="rev",
+                addr=pkt.dst,
+                asn=router.asn,
+                role=router.key[1],
+                detail="control-plane echo",
+            )
         return IPv4Packet(
             src=pkt.dst,
             dst=pkt.src,

@@ -9,13 +9,39 @@ steady-state limit and the burst tolerance those policers have.
 
 from __future__ import annotations
 
-__all__ = ["TokenBucket"]
+from typing import Optional
+
+__all__ = ["TokenBucket", "BucketMetrics"]
+
+
+class BucketMetrics:
+    """Counters a :class:`TokenBucket` reports into (duck-typed).
+
+    Each field is anything with an ``inc()`` method — in practice
+    per-router-class children of the process-wide
+    :class:`repro.obs.metrics.MetricsRegistry` (see
+    ``Network._bucket_metrics_for``). Buckets without metrics attached
+    pay a single ``is None`` check per decision.
+    """
+
+    __slots__ = ("accepted", "rejected", "refills")
+
+    def __init__(self, accepted, rejected, refills) -> None:
+        self.accepted = accepted
+        self.rejected = rejected
+        self.refills = refills
 
 
 class TokenBucket:
     """A token bucket: ``rate`` tokens/second, capacity ``burst``."""
 
-    def __init__(self, rate: float, burst: float, start: float = 0.0) -> None:
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        start: float = 0.0,
+        metrics: Optional[BucketMetrics] = None,
+    ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive: {rate}")
         if burst < 1:
@@ -24,6 +50,7 @@ class TokenBucket:
         self.burst = float(burst)
         self._tokens = float(burst)
         self._last = float(start)
+        self.metrics = metrics
 
     def _refill(self, now: float) -> None:
         if now > self._last:
@@ -31,13 +58,20 @@ class TokenBucket:
                 self.burst, self._tokens + (now - self._last) * self.rate
             )
             self._last = now
+            if self.metrics is not None:
+                self.metrics.refills.inc()
 
     def allow(self, now: float) -> bool:
         """Consume one token at time ``now`` if available."""
         self._refill(now)
+        metrics = self.metrics
         if self._tokens >= 1.0:
             self._tokens -= 1.0
+            if metrics is not None:
+                metrics.accepted.inc()
             return True
+        if metrics is not None:
+            metrics.rejected.inc()
         return False
 
     def peek(self, now: float) -> float:

@@ -116,3 +116,49 @@ class TestCommands:
         assert {
             "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "s33", "s35"
         } <= set(EXPERIMENTS)
+
+    def test_probe_trace_renders_hop_walk(self, capsys, tiny_scenario):
+        dest = list(tiny_scenario.hitlist)[0]
+        code = main(
+            [
+                "probe",
+                "--preset",
+                "tiny",
+                "--dst",
+                int_to_addr(dest.addr),
+                "--type",
+                "rr",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hop trace" in out
+        assert "send" in out
+        assert "verdict:" in out
+
+    def test_stats_table_after_study(self, capsys):
+        code = main(["stats", "--preset", "tiny"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dataplane" in out
+        assert "sent" in out and "delivered" in out
+        assert "dropped[" in out
+        assert "probes (by type)" in out
+
+    def test_stats_prom_and_jsonl_formats(self, capsys, tmp_path):
+        prom_file = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "stats", "--preset", "tiny",
+                "--format", "prom", "--output", str(prom_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE net_sent_total counter" in out
+        assert prom_file.read_text("utf-8").startswith("#")
+        code = main(["stats", "--preset", "tiny", "--format", "jsonl"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"name": "net_sent_total"' in out
