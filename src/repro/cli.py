@@ -153,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="also write the report to this file",
     )
+    study.add_argument(
+        "--jobs", type=int, default=1,
+        help="survey fan-out: worker processes (1 = serial; "
+             "results are identical for any value)",
+    )
 
     probe = sub.add_parser("probe", help="issue a single measurement")
     probe.add_argument(
@@ -197,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="also write the rendered metrics to this file",
     )
+    stats.add_argument(
+        "--jobs", type=int, default=1,
+        help="survey fan-out: worker processes (1 = serial)",
+    )
 
     export = sub.add_parser(
         "export", help="write synthetic datasets to a directory"
@@ -218,7 +227,9 @@ def _cmd_presets(_args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    study = get_study(args.preset, seed=args.seed)
+    study = get_study(
+        args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1)
+    )
     names = (
         sorted(EXPERIMENTS)
         if args.experiment == "all"
@@ -344,11 +355,34 @@ def _render_stats_table(snapshot: dict) -> str:
         lines.append("study cache")
         for result in sorted(cache):
             lines.append(f"  {result:<8} {cache[result]}")
+
+    paths = _sum_series(snapshot, "path_cache_lookups_total", by="result")
+    if paths:
+        lines.append("forward-path cache")
+        hits = paths.get("hit", 0)
+        misses = paths.get("miss", 0)
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "-"
+        lines.append(f"  {'hit':<8} {hits:>10}")
+        lines.append(f"  {'miss':<8} {misses:>10}")
+        lines.append(f"  {'hit_rate':<8} {rate:>10}")
+
+    trees = _sum_series(
+        snapshot, "routing_tree_cache_lookups_total", by="result"
+    )
+    if trees:
+        evictions = _sum_series(
+            snapshot, "routing_tree_cache_evictions_total"
+        ).get("", 0)
+        lines.append("routing-tree LRU cache")
+        lines.append(f"  {'hit':<9} {trees.get('hit', 0):>10}")
+        lines.append(f"  {'miss':<9} {trees.get('miss', 0):>10}")
+        lines.append(f"  {'evictions':<9} {evictions:>10}")
     return "\n".join(lines)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    get_study(args.preset, seed=args.seed)
+    get_study(args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1))
     snapshot = REGISTRY.snapshot()
     if args.stats_format == "prom":
         rendered = to_prometheus(snapshot)

@@ -1,0 +1,263 @@
+"""Per-VP process fan-out: the parallel survey engine.
+
+The paper's headline artifact is an all-VPs × all-prefixes ping-RR
+campaign (§3.1). Its parallelism structure is exactly the one real
+platforms exploit (each RIPE-Atlas/M-Lab vantage point paces and
+probes independently): one VP's complete probe sequence shares no
+*order-sensitive* state with any other VP's, so the campaign shards
+cleanly across a :mod:`multiprocessing` worker pool with one VP per
+task.
+
+Determinism contract (enforced by ``Network.begin_vp_session`` and
+tested byte-for-byte in ``tests/test_parallel_survey.py``):
+
+* each VP probes its destinations in its own seeded order
+  (``order_destinations(seed, salt=vp.name)``);
+* each VP's sequence runs against **fresh token buckets** (rate-limiter
+  state is per-worker by design, matching the paper's independent-VP
+  pacing) and a **per-VP loss stream** seeded from ``(seed, vp.name)``;
+* everything else the dataplane walk touches — router policies, hosts,
+  routing trees, forward-path expansions — is value-deterministic, so
+  warm caches change speed, never results.
+
+Under those rules the serial loop and any worker pool produce the same
+rows, and ``save_survey`` output is byte-identical for any ``jobs``.
+
+Worker plumbing: under the default ``fork`` start method workers
+inherit the parent's scenario copy-on-write (zero rebuild cost); under
+``spawn`` each worker rebuilds the scenario from its
+:class:`~repro.scenarios.internet.ScenarioParams` (bit-identical by
+construction). Each task returns compact result rows plus a pruned
+metrics-registry snapshot and the worker's per-AS options-load delta;
+the parent folds snapshots back with
+:meth:`repro.obs.metrics.MetricsRegistry.merge`, so campaign totals in
+``repro stats`` look exactly like a serial run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import REGISTRY
+from repro.probing.prober import DEFAULT_PPS
+from repro.probing.scheduler import ProbeOrder, split_round_robin
+from repro.probing.vantage import VantagePoint
+from repro.scenarios.internet import Scenario, build_scenario
+from repro.topology.hitlist import Destination
+
+__all__ = ["ParallelSurveyRunner", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """The fan-out used for ``jobs=None``: one worker per CPU."""
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state.
+#
+# ``_PARENT_SCENARIO`` is the fork-inheritance handoff: the parent sets
+# it just before creating the pool; forked children see it and reuse
+# the inherited (copy-on-write) scenario. Spawned children re-import
+# this module, find it ``None``, and rebuild from the pickled params.
+# ---------------------------------------------------------------------------
+
+_PARENT_SCENARIO: Optional[Scenario] = None
+_WORKER: Optional[dict] = None
+
+
+def _init_worker(payload: dict) -> None:
+    global _WORKER
+    scenario = _PARENT_SCENARIO
+    if scenario is None:
+        scenario = build_scenario(payload["params"])
+    _WORKER = dict(payload, scenario=scenario)
+
+
+def _compact_snapshot(snapshot: Dict[str, dict]) -> Dict[str, dict]:
+    """Prune a worker snapshot before shipping it to the parent.
+
+    Zero-valued series carry no information; gauges are process-local
+    levels (cache sizes of a throwaway worker) whose last-write-wins
+    merge semantics would stomp the parent's own values, so workers
+    never ship them.
+    """
+    out: Dict[str, dict] = {}
+    for name, family in snapshot.items():
+        if family["type"] == "gauge":
+            continue
+        if family["type"] == "histogram":
+            series = [s for s in family["series"] if s["count"]]
+        else:
+            series = [s for s in family["series"] if s["value"]]
+        if series:
+            out[name] = dict(family, series=series)
+    return out
+
+
+def _rr_task(vp_index: int) -> tuple:
+    """One VP's full ping-RR sequence, in an isolated metrics window."""
+    from repro.core.survey import probe_vp_rr
+
+    state = _WORKER
+    assert state is not None, "worker initialized without state"
+    scenario: Scenario = state["scenario"]
+    # The registry in this process is a private copy (fork) or fresh
+    # (spawn); zeroing it per task makes the closing snapshot exactly
+    # this task's contribution.
+    REGISTRY.reset()
+    scenario.network.options_load.clear()
+    targets: List[Destination] = state["targets"]
+    position: Dict[int, int] = state["position"]
+    vp: VantagePoint = state["vps"][vp_index]
+    rows = probe_vp_rr(
+        scenario,
+        vp,
+        targets,
+        position,
+        order=state["order"],
+        slots=state["slots"],
+        pps=state["pps"],
+    )
+    return (
+        vp_index,
+        rows,
+        _compact_snapshot(REGISTRY.snapshot()),
+        dict(scenario.network.options_load),
+    )
+
+
+def _ping_task(shard_index: int) -> tuple:
+    """One fixed destination shard of the origin plain-ping study."""
+    from repro.core.survey import probe_ping_shard
+
+    state = _WORKER
+    assert state is not None, "worker initialized without state"
+    scenario: Scenario = state["scenario"]
+    REGISTRY.reset()
+    scenario.network.options_load.clear()
+    shard: List[Destination] = state["shards"][shard_index]
+    rows = probe_ping_shard(
+        scenario,
+        shard_index,
+        shard,
+        count=state["count"],
+        pps=state["pps"],
+    )
+    return (
+        shard_index,
+        rows,
+        _compact_snapshot(REGISTRY.snapshot()),
+        dict(scenario.network.options_load),
+    )
+
+
+class ParallelSurveyRunner:
+    """Shards survey campaigns across a per-VP process pool.
+
+    One instance wraps one scenario; :meth:`run_rr` and
+    :meth:`run_ping` each spin up a pool of ``jobs`` workers, dispatch
+    one VP (or destination shard) per task, and merge compact rows,
+    metrics snapshots, and options-load deltas back into the parent.
+
+    Usually reached through ``run_rr_survey(..., jobs=N)`` /
+    ``run_ping_survey(..., jobs=N)`` rather than directly.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        jobs: Optional[int] = None,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.jobs = default_jobs() if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive: {jobs}")
+        self._ctx = (
+            multiprocessing.get_context() if mp_context is None else mp_context
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _run_pool(
+        self, payload: dict, task, task_count: int, workers: int
+    ) -> List[tuple]:
+        """Run ``task`` over ``range(task_count)``, merging telemetry.
+
+        Results are re-ordered by task index before metric merging so
+        parent-side totals are independent of completion order.
+        """
+        global _PARENT_SCENARIO
+        _PARENT_SCENARIO = self.scenario
+        try:
+            with self._ctx.Pool(
+                processes=max(1, min(workers, task_count)),
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                results = pool.map(task, range(task_count), chunksize=1)
+        finally:
+            _PARENT_SCENARIO = None
+        results.sort(key=lambda item: item[0])
+        options_load = self.scenario.network.options_load
+        for _index, _rows, snapshot, load_delta in results:
+            REGISTRY.merge(snapshot)
+            for asn, count in load_delta.items():
+                options_load[asn] = options_load.get(asn, 0) + count
+        return results
+
+    # -- campaigns ---------------------------------------------------------
+
+    def run_rr(
+        self,
+        targets: Sequence[Destination],
+        vps: Sequence[VantagePoint],
+        pps: float = DEFAULT_PPS,
+        order: ProbeOrder = ProbeOrder.RANDOM,
+        slots: int = 9,
+    ) -> List[tuple]:
+        """Per-VP result rows for the RR survey, in VP order."""
+        targets = list(targets)
+        payload = {
+            "params": self.scenario.params,
+            "targets": targets,
+            "position": {
+                dest.addr: index for index, dest in enumerate(targets)
+            },
+            "vps": list(vps),
+            "order": order,
+            "slots": slots,
+            "pps": pps,
+        }
+        results = self._run_pool(payload, _rr_task, len(payload["vps"]),
+                                 self.jobs)
+        return [rows for _index, rows, _snap, _load in results]
+
+    def run_ping(
+        self,
+        targets: Sequence[Destination],
+        count: int = 3,
+        pps: float = DEFAULT_PPS,
+    ) -> List[Tuple[int, bool]]:
+        """(addr, responded) pairs for the ping survey, in shard-deal
+        order — identical for every parallel degree."""
+        from repro.core.survey import PING_SHARDS
+
+        targets = list(targets)
+        shards = split_round_robin(
+            targets, min(PING_SHARDS, len(targets))
+        )
+        payload = {
+            "params": self.scenario.params,
+            "shards": shards,
+            "count": count,
+            "pps": pps,
+        }
+        results = self._run_pool(payload, _ping_task, len(shards), self.jobs)
+        merged: List[Tuple[int, bool]] = []
+        for _index, rows, _snap, _load in results:
+            merged.extend(rows)
+        return merged

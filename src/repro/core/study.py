@@ -51,11 +51,17 @@ class StudyData:
         return self.scenario.name
 
 
-def run_full_study(scenario: Scenario) -> StudyData:
-    """Run both §3.1 studies against a scenario."""
+def run_full_study(scenario: Scenario, jobs: int = 1) -> StudyData:
+    """Run both §3.1 studies against a scenario.
+
+    ``jobs`` is forwarded to the survey engine: ``jobs >= 2`` fans the
+    campaigns out across a per-VP process pool (see
+    :mod:`repro.core.parallel`); the RR survey's persisted JSON is
+    byte-identical for any value.
+    """
     with timed("full_study"):
-        ping_survey = run_ping_survey(scenario)
-        rr_survey = run_rr_survey(scenario)
+        ping_survey = run_ping_survey(scenario, jobs=jobs)
+        rr_survey = run_rr_survey(scenario, jobs=jobs)
     return StudyData(
         scenario=scenario, ping_survey=ping_survey, rr_survey=rr_survey
     )
@@ -68,11 +74,14 @@ def get_study(
     preset: str = "small",
     seed: int = 2016,
     factory: Optional[Callable[[], Scenario]] = None,
+    jobs: int = 1,
 ) -> StudyData:
     """Memoised full study for a preset scenario.
 
     ``factory`` overrides preset lookup (still cached under
-    ``(preset, seed)``) for callers with custom scenarios.
+    ``(preset, seed)``) for callers with custom scenarios. ``jobs``
+    sets survey fan-out on a cache miss; it is not part of the cache
+    key because the RR campaign's results are jobs-invariant.
     """
     key = (preset, seed)
     cached = _CACHE.get(key)
@@ -81,7 +90,7 @@ def get_study(
         scenario = factory() if factory is not None else get_preset(
             preset, seed
         )
-        cached = run_full_study(scenario)
+        cached = run_full_study(scenario, jobs=jobs)
         _CACHE[key] = cached
         _CACHE_SIZE.set(len(_CACHE))
     else:

@@ -19,10 +19,20 @@ from this structure.
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.net.addr import parse_prefix, same_slash24
 from repro.obs.timing import timed
@@ -39,6 +49,21 @@ __all__ = [
     "run_rr_survey",
     "save_survey",
     "load_survey",
+    "PING_SHARDS",
+]
+
+#: Fixed shard count for the parallel ping survey. Destinations are
+#: dealt round-robin into this many shards regardless of ``jobs``, so
+#: any ``jobs >= 2`` run produces identical results (each shard is one
+#: deterministic loss-stream session; see DESIGN.md).
+PING_SHARDS = 8
+
+#: One VP's compact survey contribution:
+#: ``(rows, inprefix)`` where rows = [(dest_index, slot-or-None), ...]
+#: in probe order and inprefix = [(dest_index, (addr, ...)), ...].
+VPRows = Tuple[
+    List[Tuple[int, Optional[int]]],
+    List[Tuple[int, Tuple[int, ...]]],
 ]
 
 
@@ -162,14 +187,23 @@ class RRSurvey:
         ]
 
 
+def _is_gzip_path(path: Union[str, Path]) -> bool:
+    """Auto-detect compressed survey artifacts by the ``.gz`` suffix."""
+    return str(path).endswith(".gz")
+
+
 def save_survey(survey: RRSurvey, path: Union[str, Path]) -> None:
-    """Persist a completed RR survey as JSON.
+    """Persist a completed RR survey as JSON (gzipped for ``*.gz``).
 
     Campaigns are the expensive artifact; saving them lets analyses
     (and future sessions) run without re-probing. Everything needed to
     reconstruct the survey — VPs, destinations, per-destination
     observations — is stored; the scenario itself is not (surveys are
     measurement data, independent of the world that produced them).
+
+    A ``.json.gz`` (or any ``.gz``) path writes a deterministic gzip
+    stream (``mtime=0``), so large campaign artifacts stay small and
+    byte-comparable across runs.
     """
     record = {
         "version": 1,
@@ -201,14 +235,21 @@ def save_survey(survey: RRSurvey, path: Union[str, Path]) -> None:
             sorted(addrs) for addrs in survey.inprefix_addrs
         ],
     }
-    Path(path).write_text(
-        json.dumps(record, separators=(",", ":")), "utf-8"
-    )
+    data = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    if _is_gzip_path(path):
+        # mtime=0 keeps the compressed bytes deterministic, so the
+        # parallel-vs-serial parity bar applies to .json.gz too.
+        Path(path).write_bytes(gzip.compress(data, mtime=0))
+    else:
+        Path(path).write_bytes(data)
 
 
 def load_survey(path: Union[str, Path]) -> RRSurvey:
-    """Load a survey previously written by :func:`save_survey`."""
-    record = json.loads(Path(path).read_text("utf-8"))
+    """Load a survey written by :func:`save_survey` (``.gz`` aware)."""
+    raw = Path(path).read_bytes()
+    if _is_gzip_path(path):
+        raw = gzip.decompress(raw)
+    record = json.loads(raw.decode("utf-8"))
     if record.get("version") != 1:
         raise ValueError(
             f"unsupported survey file version {record.get('version')!r}"
@@ -244,17 +285,109 @@ def load_survey(path: Union[str, Path]) -> RRSurvey:
     )
 
 
+def probe_vp_rr(
+    scenario: Scenario,
+    vp: VantagePoint,
+    targets: Sequence[Destination],
+    position: Dict[int, int],
+    order: ProbeOrder = ProbeOrder.RANDOM,
+    slots: int = 9,
+    pps: float = DEFAULT_PPS,
+) -> VPRows:
+    """One vantage point's complete ping-RR probe sequence.
+
+    This is the unit of work the parallel engine shards: the VP's full
+    destination walk runs inside its own deterministic probe session
+    (fresh token buckets, a per-VP loss stream seeded from
+    ``(seed, vp.name)``), so the result rows are byte-identical whether
+    this executes in the serial loop or in a worker process — the
+    engine's determinism contract (see DESIGN.md).
+    """
+    network = scenario.network
+    network.begin_vp_session(vp.name)
+    try:
+        with timed("rr_survey_vp"):
+            ordered = order_destinations(
+                targets, order, seed=scenario.seed, salt=vp.name
+            )
+            rows: List[Tuple[int, Optional[int]]] = []
+            inprefix: Dict[int, Set[int]] = {}
+            for dest in ordered:
+                result = scenario.prober.ping_rr(
+                    vp, dest.addr, slots=slots, pps=pps
+                )
+                if not result.rr_responsive:
+                    continue
+                dest_index = position[dest.addr]
+                rows.append((dest_index, result.dest_slot()))
+                for addr in result.rr_hops:
+                    if addr != dest.addr and same_slash24(addr, dest.addr):
+                        inprefix.setdefault(dest_index, set()).add(addr)
+    finally:
+        network.end_vp_session()
+    packed = sorted(
+        (dest_index, tuple(sorted(addrs)))
+        for dest_index, addrs in inprefix.items()
+    )
+    return rows, packed
+
+
+def probe_ping_shard(
+    scenario: Scenario,
+    shard_index: int,
+    targets: Sequence[Destination],
+    count: int = 3,
+    pps: float = DEFAULT_PPS,
+) -> List[Tuple[int, bool]]:
+    """One fixed shard of the origin plain-ping study.
+
+    Sharding uses :data:`PING_SHARDS` deterministic loss-stream
+    sessions regardless of worker count, so any parallel degree yields
+    the same survey.
+    """
+    origin = scenario.origin
+    assert origin is not None
+    network = scenario.network
+    network.begin_vp_session(f"{origin.name}/ping-shard-{shard_index}")
+    try:
+        out = []
+        for dest in targets:
+            result = scenario.prober.ping(
+                origin, dest.addr, count=count, pps=pps
+            )
+            out.append((dest.addr, result.responded))
+    finally:
+        network.end_vp_session()
+    return out
+
+
 def run_ping_survey(
     scenario: Scenario,
     dests: Optional[Sequence[Destination]] = None,
     count: int = 3,
     pps: float = DEFAULT_PPS,
+    jobs: int = 1,
 ) -> PingSurvey:
-    """The origin-host plain-ping study (§3.1's second study)."""
+    """The origin-host plain-ping study (§3.1's second study).
+
+    ``jobs >= 2`` fans :data:`PING_SHARDS` destination shards out
+    across a process pool; any parallel degree produces identical
+    results (per-shard loss sessions). ``jobs=1`` is the serial path.
+    """
     if scenario.origin is None:
         raise ValueError("scenario has no origin vantage point")
     targets = list(scenario.hitlist) if dests is None else list(dests)
     survey = PingSurvey(origin_name=scenario.origin.name)
+    if jobs is not None and jobs >= 2 and len(targets) > 1:
+        from repro.core.parallel import ParallelSurveyRunner
+
+        runner = ParallelSurveyRunner(scenario, jobs=jobs)
+        with timed("ping_survey"):
+            for addr, responded in runner.run_ping(
+                targets, count=count, pps=pps
+            ):
+                survey.responsive[addr] = responded
+        return survey
     with timed("ping_survey"):
         for dest in targets:
             result = scenario.prober.ping(
@@ -271,12 +404,21 @@ def run_rr_survey(
     pps: float = DEFAULT_PPS,
     order: ProbeOrder = ProbeOrder.RANDOM,
     slots: int = 9,
+    jobs: int = 1,
 ) -> RRSurvey:
     """The all-VPs ping-RR study (§3.1's first study).
 
     Every VP (locally-filtered ones included — they simply never
     answer, as in the real study) probes every destination once, in
     its own random order, at ``pps``.
+
+    ``jobs`` controls per-VP process fan-out: ``jobs=1`` (default)
+    runs the serial path in-process; ``jobs >= 2`` shards one VP's
+    full probe sequence per worker task and merges the compact result
+    rows plus each worker's metrics-registry snapshot back into the
+    parent. Both paths run each VP inside the same deterministic probe
+    session, so the resulting :func:`save_survey` JSON is
+    **byte-identical** for any ``jobs`` value on the same seed.
     """
     targets = list(scenario.hitlist) if dests is None else list(dests)
     vp_list = list(scenario.vps) if vps is None else list(vps)
@@ -288,25 +430,28 @@ def run_rr_survey(
         rr_slots=slots,
     )
     position = {dest.addr: index for index, dest in enumerate(targets)}
-    with timed("rr_survey"):
-        for vp_index, vp in enumerate(vp_list):
-            with timed("rr_survey_vp"):
-                ordered = order_destinations(
-                    targets, order, seed=scenario.seed, salt=vp.name
+    if jobs is not None and jobs >= 2 and len(vp_list) > 1:
+        from repro.core.parallel import ParallelSurveyRunner
+
+        runner = ParallelSurveyRunner(scenario, jobs=jobs)
+        with timed("rr_survey"):
+            per_vp = runner.run_rr(
+                targets, vp_list, pps=pps, order=order, slots=slots
+            )
+    else:
+        with timed("rr_survey"):
+            per_vp = [
+                probe_vp_rr(
+                    scenario, vp, targets, position,
+                    order=order, slots=slots, pps=pps,
                 )
-                for dest in ordered:
-                    result = scenario.prober.ping_rr(
-                        vp, dest.addr, slots=slots, pps=pps
-                    )
-                    if not result.rr_responsive:
-                        continue
-                    dest_index = position[dest.addr]
-                    survey.responses[dest_index][vp_index] = (
-                        result.dest_slot()
-                    )
-                    for addr in result.rr_hops:
-                        if addr != dest.addr and same_slash24(
-                            addr, dest.addr
-                        ):
-                            survey.inprefix_addrs[dest_index].add(addr)
+                for vp in vp_list
+            ]
+    # Merge in VP order so per-destination dict insertion order (and
+    # therefore the persisted JSON) is independent of completion order.
+    for vp_index, (rows, inprefix) in enumerate(per_vp):
+        for dest_index, slot in rows:
+            survey.responses[dest_index][vp_index] = slot
+        for dest_index, addrs in inprefix:
+            survey.inprefix_addrs[dest_index].update(addrs)
     return survey

@@ -374,6 +374,83 @@ class MetricsRegistry:
         """Alias for :meth:`snapshot` (symmetry with other repo APIs)."""
         return self.snapshot()
 
+    # -- merging ---------------------------------------------------
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (possibly from another process) into
+        the live registry.
+
+        This is the parent side of the parallel survey engine's
+        metrics protocol: each worker probes with its own process-local
+        registry, snapshots it, and ships the plain-data snapshot back;
+        the parent merges every worker snapshot so campaign totals look
+        exactly as they would have from a serial run.
+
+        Semantics per instrument kind:
+
+        * **counter** — values are summed (``child.inc(value)``);
+        * **gauge** — last write wins (the snapshot's value replaces
+          the local one);
+        * **histogram** — per-bucket counts, ``sum`` and ``count`` are
+          summed; bucket bounds must match or ``ValueError`` is raised.
+
+        Families and children absent locally are registered on the
+        fly, so merging into a fresh registry reconstructs the
+        snapshot exactly.
+        """
+        for name, family_data in snapshot.items():
+            kind = family_data["type"]
+            labelnames = tuple(family_data["labelnames"])
+            help_text = family_data.get("help", "")
+            series_list = family_data["series"]
+            if kind == "counter":
+                family = self.counter(name, help_text, labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, help_text, labelnames)
+            elif kind == "histogram":
+                if not series_list:
+                    continue  # no children: bounds unknown, nothing to add
+                bounds = tuple(
+                    bound
+                    for bound, _count in series_list[0]["buckets"]
+                    if bound is not None
+                )
+                family = self.histogram(
+                    name, help_text, labelnames, buckets=bounds
+                )
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown metric kind {kind!r} in snapshot")
+            for series in series_list:
+                values = tuple(
+                    series["labels"][label] for label in labelnames
+                )
+                child = family.labels(*values)
+                if kind == "counter":
+                    child.inc(series["value"])
+                elif kind == "gauge":
+                    child.set(series["value"])
+                else:
+                    self._merge_histogram(name, child, series)
+
+    @staticmethod
+    def _merge_histogram(name: str, child: "Histogram", series: dict) -> None:
+        bounds = tuple(
+            bound for bound, _count in series["buckets"] if bound is not None
+        )
+        if bounds != child.bounds:
+            raise ValueError(
+                f"histogram {name!r}: snapshot buckets {bounds} do not "
+                f"match local buckets {child.bounds}"
+            )
+        # Snapshot buckets are cumulative; de-cumulate into the child's
+        # non-cumulative internal slots.
+        previous = 0
+        for index, (_bound, cumulative) in enumerate(series["buckets"]):
+            child.counts[index] += cumulative - previous
+            previous = cumulative
+        child.sum += series["sum"]
+        child.count += series["count"]
+
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._families)} families)"
 

@@ -65,6 +65,11 @@ DEFAULT_PPS = 20.0
 #: Abort a traceroute after this many consecutive silent hops.
 _GAP_LIMIT = 6
 
+#: Upper bound on the per-(network, probe-type) metrics cache. Probe
+#: types are a small closed set, but fixtures that re-point one prober
+#: at many networks would otherwise grow the cache without limit.
+_MX_CACHE_MAX = 64
+
 
 class _ProbeMetrics:
     """Pre-resolved registry children for one (network, probe-type).
@@ -109,8 +114,13 @@ class Prober:
         self.default_pps = default_pps
         self._ident = 0
         self._seq = 0
+        #: (net_id, probe type) -> pre-resolved registry children.
+        #: Keyed by the network's *label value*, not the object, so a
+        #: prober re-pointed at a new ``Network`` (or back at an old
+        #: one) always counts against the right ``net`` label and
+        #: never keeps the previous network alive through a stale
+        #: reference. Bounded: see :data:`_MX_CACHE_MAX`.
         self._mx: dict = {}
-        self._mx_network = network
 
     # -- plumbing ---------------------------------------------------------
 
@@ -120,15 +130,22 @@ class Prober:
         return self._ident, self._seq
 
     def _metrics_for(self, ptype: str) -> _ProbeMetrics:
-        """Per-probe-type registry children (rebound if the network
-        was swapped out, as some test fixtures do)."""
-        if self._mx_network is not self.network:
-            self._mx = {}
-            self._mx_network = self.network
-        metrics = self._mx.get(ptype)
+        """Per-(network, probe-type) registry children.
+
+        The key includes ``network.net_id`` so swapping ``.network``
+        (as some fixtures do) re-resolves the children under the new
+        label instead of silently incrementing the old network's
+        series. Growth is bounded: the cache is cleared wholesale if a
+        pathological caller cycles through many networks (children
+        re-resolve from the registry in O(1), so this is cheap).
+        """
+        key = (self.network.net_id, ptype)
+        metrics = self._mx.get(key)
         if metrics is None:
+            if len(self._mx) >= _MX_CACHE_MAX:
+                self._mx.clear()
             metrics = _ProbeMetrics(self.network.net_id, ptype)
-            self._mx[ptype] = metrics
+            self._mx[key] = metrics
         return metrics
 
     def _roundtrip(

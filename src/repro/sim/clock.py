@@ -40,5 +40,24 @@ class SimClock:
         self._now = when
         return self._now
 
+    def rebase(self, at: float = 0.0) -> float:
+        """Set the clock to an arbitrary time; returns the previous one.
+
+        This is the probe-session escape hatch, not general time
+        travel: per-VP survey sessions rebase to ``0.0`` so every
+        arithmetic the session performs (token-bucket refill deltas in
+        particular) happens on the *same float values* regardless of
+        how much simulated time any other VP consumed first — absolute
+        offsets change float roundoff, and the parallel engine's
+        byte-parity contract cannot tolerate that. The session restores
+        ``previous + elapsed`` on exit, so time still adds up from the
+        outside (see ``Network.begin_vp_session``).
+        """
+        if at < 0:
+            raise ValueError(f"clock cannot be set negative: {at}")
+        previous = self._now
+        self._now = float(at)
+        return previous
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f})"

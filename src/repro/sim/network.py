@@ -42,7 +42,7 @@ from repro.net.packet import IPv4Packet, PROTO_ICMP, PROTO_UDP
 from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram, UdpDecodeError
 from repro.obs.metrics import Counter, MetricsRegistry, REGISTRY
 from repro.obs.trace import PacketTracer
-from repro.rng import derive_seed
+from repro.rng import derive_seed, stable_u64
 from repro.sim.clock import SimClock
 from repro.sim.host import SimHost, build_host
 from repro.sim.policies import RouterPolicy, SimParams, build_router_policy
@@ -186,6 +186,9 @@ _ARRIVED = 0
 _DROPPED = 1
 _ERROR = 2
 
+#: Sentinel distinguishing "not cached" from a cached None (no route).
+_PATH_MISS = object()
+
 
 class Network:
     """The simulated Internet's dataplane."""
@@ -219,7 +222,34 @@ class Network:
         self._alias_owner: Dict[int, SimHost] = {}
         self._trunks: Dict[Tuple[int, int], Optional[Tuple[Hop, ...]]] = {}
         self._tails: Dict[int, Tuple[Hop, ...]] = {}
+        #: Forward-path cache: (ingress AS, destination prefix base) ->
+        #: the fully expanded router-level segment tuple (or None for
+        #: "no route"), so the per-probe hop walk starts from a cached
+        #: router list instead of re-running valley-free expansion.
+        self._fwd_paths: Dict[
+            Tuple[int, int], Optional[Tuple[Tuple[Hop, ...], ...]]
+        ] = {}
+        path_lookups = self.registry.counter(
+            "path_cache_lookups_total",
+            "Forward-path cache lookups (router-level expansion), "
+            "by result.",
+            ("net", "result"),
+        )
+        self._path_hits = path_lookups.labels(self.net_id, "hit")
+        self._path_misses = path_lookups.labels(self.net_id, "miss")
+        self._path_invalidations = self.registry.counter(
+            "path_cache_invalidations_total",
+            "Explicit forward-path cache invalidations "
+            "(topology mutation).",
+            ("net",),
+        ).labels(self.net_id)
         self._loss_rng = random.Random(derive_seed(params.seed, "loss"))
+        #: The shared (legacy) loss stream, restored when a per-VP
+        #: probe session ends.
+        self._base_loss_rng = self._loss_rng
+        #: Saved outer clock value while a per-VP session has the clock
+        #: rebased to 0.0 (see :meth:`begin_vp_session`).
+        self._session_outer = 0.0
         #: Slow-path load: options packets processed per AS, i.e. the
         #: route-processor work [10] that §4.2's TTL limiting exists to
         #: reduce and that the conclusion worries operators will react
@@ -365,9 +395,92 @@ class Network:
             self._tails[dest.prefix.base] = tail
         return tail
 
+    def _forward_path(
+        self, src_asn: int, dest: Destination
+    ) -> Optional[Tuple[Tuple[Hop, ...], ...]]:
+        """The full router-level forward path, memoised.
+
+        Keyed on (ingress AS, destination prefix): every probe from any
+        VP attached to ``src_asn`` toward any address inside the
+        destination's prefix walks the same trunk + access tail, so the
+        expansion (AS-path lookup, trunk expansion, tail expansion) is
+        done once and the per-probe cost collapses to one dict hit.
+        ``None`` ("no route") is cached too — unroutable prefixes are
+        re-asked constantly by surveys.
+        """
+        key = (src_asn, dest.prefix.base)
+        cached = self._fwd_paths.get(key, _PATH_MISS)
+        if cached is not _PATH_MISS:
+            self._path_hits.inc()
+            return cached
+        self._path_misses.inc()
+        trunk = self._trunk(src_asn, dest.asn)
+        segments = (
+            None if trunk is None else (trunk, self._tail(dest))
+        )
+        self._fwd_paths[key] = segments
+        return segments
+
     def clear_caches(self) -> None:
         self._trunks.clear()
         self._tails.clear()
+        self._fwd_paths.clear()
+
+    def invalidate_routes(self) -> None:
+        """Explicitly invalidate every route-derived cache.
+
+        Call after mutating the AS graph (adding/removing links,
+        re-homing prefixes): drops the forward-path cache, the
+        trunk/tail expansions, and the routing system's cached trees so
+        the next packet re-derives its path from the mutated topology.
+        """
+        self._path_invalidations.inc()
+        self.clear_caches()
+        self.routing.clear_cache()
+
+    # -- per-VP probe sessions ---------------------------------------------
+
+    def begin_vp_session(self, name: str) -> None:
+        """Enter the deterministic per-VP probing context.
+
+        The parallel survey engine's determinism contract: a vantage
+        point's probe sequence must produce the same results whether it
+        runs in the shared serial process or in its own worker. Three
+        pieces of network state are order-sensitive across VPs and are
+        therefore scoped per session:
+
+        * **the clock** is rebased to ``0.0`` so every probe lands on
+          the exact float timestamps a fresh process would see —
+          token-bucket refill maths (``(now - last) * rate``) round
+          differently on large absolute floats, and even one flipped
+          allow/deny breaks the byte-parity contract;
+        * **token buckets** are refilled at session time 0 (each VP
+          faces fresh slow-path policers, exactly as in the paper where
+          VPs probe independently and their 20 pps streams do not share
+          fate);
+        * **the loss stream** is re-seeded from ``(seed, name)`` so the
+          k-th loss draw of a VP's sequence is the same regardless of
+          which — or how many — other VPs probed before it.
+
+        Everything else the walk touches (policies, hosts, paths) is
+        value-deterministic, so warm caches change speed, never bytes.
+        """
+        self._session_outer = self.clock.rebase(0.0)
+        self.reset_limiters()
+        self._loss_rng = random.Random(
+            stable_u64(self.params.seed, "vp-loss", name)
+        )
+
+    def end_vp_session(self) -> None:
+        """Leave the per-VP context, restoring shared network state.
+
+        The clock resumes at ``outer + elapsed`` so simulated time
+        still adds up across sessions from the outside.
+        """
+        elapsed = self.clock.now
+        self.clock.rebase(self._session_outer + elapsed)
+        self._session_outer = 0.0
+        self._loss_rng = self._base_loss_rng
 
     # -- the walk ---------------------------------------------------------
 
@@ -595,15 +708,15 @@ class Network:
     ) -> Optional[IPv4Packet]:
         dest = host.dest
         tracer = self._tracer
-        trunk = self._trunk(src_asn, dest.asn)
-        if trunk is None:
+        segments = self._forward_path(src_asn, dest)
+        if segments is None:
             self._mx.dropped_no_route.inc()
             if tracer is not None:
                 tracer.emit(
                     "drop", self.clock.now, detail="no_route (trunk)"
                 )
             return None
-        outcome, error_reply = self._walk(pkt, (trunk, self._tail(dest)))
+        outcome, error_reply = self._walk(pkt, segments)
         if outcome == _ERROR:
             return error_reply
         if outcome == _DROPPED:

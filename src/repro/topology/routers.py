@@ -144,7 +144,25 @@ class RouterFabric:
         return self._graph
 
     def border(self, asn: int, neighbor: int) -> RouterNode:
-        return self._borders[(asn, neighbor)]
+        """The border router ``asn`` faces ``neighbor`` with.
+
+        Borders for the construction-time adjacencies are built
+        eagerly; an adjacency added to the AS graph *after* fabric
+        construction (runtime topology mutation, followed by
+        ``Network.invalidate_routes()``) gets its border router
+        materialised lazily here, drawing interface addresses from the
+        AS's infrastructure region like any other router. Asking for a
+        pair that is not adjacent in the graph is still a ``KeyError``.
+        """
+        router = self._borders.get((asn, neighbor))
+        if router is None:
+            if neighbor not in self._graph.neighbors_of(asn):
+                raise KeyError((asn, neighbor))
+            router = RouterNode(key=(asn, "border", neighbor), asn=asn)
+            for role in ("ext", "int", "lo"):
+                self._add_iface(router, role)
+            self._borders[(asn, neighbor)] = router
+        return router
 
     def core_pool(self, asn: int) -> List[RouterNode]:
         return self._pools[asn]

@@ -20,9 +20,10 @@ asking for many sources' paths to the same destination is cheap.
 from __future__ import annotations
 
 import heapq
-from collections import deque
+from collections import OrderedDict
 from typing import Dict, List, NamedTuple, Optional
 
+from repro.obs.metrics import REGISTRY
 from repro.topology.autsys import ASGraph
 
 __all__ = ["RouteKind", "RouteInfo", "RoutingSystem"]
@@ -55,12 +56,28 @@ class RoutingSystem:
     def __init__(self, graph: ASGraph, cache_size: int = 4096) -> None:
         self._graph = graph
         self._cache_size = cache_size
-        self._trees: Dict[int, Dict[int, RouteInfo]] = {}
-        self._tree_order: deque = deque()
+        #: True LRU: most-recently-used trees live at the right end.
+        self._trees: "OrderedDict[int, Dict[int, RouteInfo]]" = OrderedDict()
+        lookups = REGISTRY.counter(
+            "routing_tree_cache_lookups_total",
+            "Routing-tree LRU cache lookups, by result.",
+            ("result",),
+        )
+        self._cache_hits = lookups.labels("hit")
+        self._cache_misses = lookups.labels("miss")
+        self._cache_evictions = REGISTRY.counter(
+            "routing_tree_cache_evictions_total",
+            "Routing trees evicted from the LRU cache.",
+        ).labels()
 
     @property
     def graph(self) -> ASGraph:
         return self._graph
+
+    @property
+    def cache_len(self) -> int:
+        """Number of routing trees currently cached."""
+        return len(self._trees)
 
     # -- routing trees -----------------------------------------------------
 
@@ -68,13 +85,15 @@ class RoutingSystem:
         """Every AS's selected route toward ``dest`` (absent = no route)."""
         cached = self._trees.get(dest)
         if cached is not None:
+            self._cache_hits.inc()
+            self._trees.move_to_end(dest)
             return cached
+        self._cache_misses.inc()
         tree = self._compute_tree(dest)
         self._trees[dest] = tree
-        self._tree_order.append(dest)
-        if len(self._tree_order) > self._cache_size:
-            evicted = self._tree_order.popleft()
-            self._trees.pop(evicted, None)
+        if len(self._trees) > self._cache_size:
+            self._trees.popitem(last=False)
+            self._cache_evictions.inc()
         return tree
 
     def _compute_tree(self, dest: int) -> Dict[int, RouteInfo]:
@@ -187,5 +206,5 @@ class RoutingSystem:
         return None if info is None else info.length
 
     def clear_cache(self) -> None:
+        """Drop every cached routing tree (call after graph mutation)."""
         self._trees.clear()
-        self._tree_order.clear()

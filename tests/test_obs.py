@@ -132,6 +132,85 @@ class TestSnapshotAndReset:
         assert get_registry() is REGISTRY
 
 
+class TestMerge:
+    """Registry.merge(): the parallel engine's metrics protocol."""
+
+    def test_counters_sum(self, registry):
+        other = MetricsRegistry()
+        registry.counter("m_total", labelnames=("k",)).labels("a").inc(3)
+        other.counter("m_total", labelnames=("k",)).labels("a").inc(4)
+        other.counter("m_total", labelnames=("k",)).labels("b").inc(1)
+
+        registry.merge(other.snapshot())
+
+        family = registry.get("m_total")
+        assert family.labels("a").value == 7
+        assert family.labels("b").value == 1
+
+    def test_gauges_last_write_wins(self, registry):
+        other = MetricsRegistry()
+        registry.gauge("depth").set(10)
+        other.gauge("depth").set(3)
+        registry.merge(other.snapshot())
+        assert registry.get("depth").labels().value == 3
+
+    def test_histograms_sum_buckets(self, registry):
+        bounds = (0.1, 1.0)
+        mine = registry.histogram("h_seconds", buckets=bounds).labels()
+        other = MetricsRegistry()
+        theirs = other.histogram("h_seconds", buckets=bounds).labels()
+        mine.observe(0.05)
+        mine.observe(5.0)
+        theirs.observe(0.5)
+        theirs.observe(0.5)
+        theirs.observe(50.0)
+
+        registry.merge(other.snapshot())
+
+        assert mine.count == 5
+        assert mine.sum == pytest.approx(56.05)
+        cumulative = dict(mine.cumulative())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 3
+        assert cumulative[float("inf")] == 5
+
+    def test_histogram_bucket_mismatch_rejected(self, registry):
+        registry.histogram("hm_seconds", buckets=(1.0,)).labels().observe(
+            0.5
+        )
+        other = MetricsRegistry()
+        other.histogram("hm_seconds", buckets=(2.0,)).labels().observe(0.5)
+        with pytest.raises(ValueError):
+            registry.merge(other.snapshot())
+
+    def test_merge_into_fresh_registry_reconstructs(self, registry):
+        registry.counter("c_total").inc(2)
+        registry.gauge("g").set(4)
+        registry.histogram("h_seconds", buckets=(1.0,)).labels().observe(
+            0.5
+        )
+        fresh = MetricsRegistry()
+        fresh.merge(registry.snapshot())
+        assert fresh.snapshot() == registry.snapshot()
+
+    def test_merge_is_associative_for_counters(self, registry):
+        """Folding worker snapshots one-by-one equals a serial run."""
+        workers = []
+        for value in (1, 2, 3):
+            worker = MetricsRegistry()
+            worker.counter("probes_total").inc(value)
+            workers.append(worker.snapshot())
+        for snap in workers:
+            registry.merge(snap)
+        assert registry.get("probes_total").labels().value == 6
+
+    def test_empty_histogram_family_skipped(self, registry):
+        other = MetricsRegistry()
+        other.histogram("lonely_seconds", buckets=(1.0,))
+        registry.merge(other.snapshot())  # no series: bounds unknown
+        assert registry.get("lonely_seconds") is None
+
+
 class TestTracer:
     def test_ring_buffer_truncates_oldest(self):
         tracer = PacketTracer(capacity=3)
