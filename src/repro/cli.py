@@ -11,8 +11,13 @@ Commands:
   stamps, filter/rate-limit drops, TTL expiries, the verdict);
 * ``stats`` — run a study, then print the process-wide metrics
   registry (dataplane counters by drop cause, rate-limiter decisions
-  by router class, per-probe-type counters, phase timings) as a
-  table, Prometheus text, or JSONL;
+  by router class, per-probe-type counters, fault-injection and
+  campaign-resilience counters, phase timings) as a table, Prometheus
+  text, or JSONL;
+* ``chaos`` — run the RR campaign under a named fault plan with the
+  resilient (retrying, checkpointing, resumable) campaign driver and
+  print its manifest; exit code 3 means the run was deliberately
+  killed (``--kill-after-vps``) and can be ``--resume``\\ d;
 * ``export`` — write the scenario's synthetic datasets (RouteViews-
   style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory.
 """
@@ -20,6 +25,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional
@@ -33,7 +39,8 @@ from repro.core.reachability import build_figure1
 from repro.core.reclassify import run_reclassification
 from repro.core.report import banner
 from repro.core.stamping_audit import run_stamping_study
-from repro.core.study import StudyData, get_study
+from repro.core.study import StudyData, get_study, run_resilient_study
+from repro.core.survey import save_survey
 from repro.core.table1 import build_table1
 from repro.core.temporal import build_figure2
 from repro.core.ttl import run_ttl_study
@@ -41,7 +48,12 @@ from repro.net.addr import addr_to_int, int_to_addr
 from repro.obs.export import to_jsonl, to_prometheus
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import PacketTracer
+from repro.scenarios.faults import FAULT_PRESETS, build_fault_plan
 from repro.scenarios.presets import PRESETS, get_preset
+
+#: Exit code for a campaign deliberately killed by ``--kill-after-vps``
+#: (the CI chaos-smoke job expects exactly this code, then resumes).
+EXIT_INTERRUPTED = 3
 
 __all__ = ["main", "build_parser"]
 
@@ -158,6 +170,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="survey fan-out: worker processes (1 = serial; "
              "results are identical for any value)",
     )
+    study.add_argument(
+        "--faults", default="none", choices=sorted(FAULT_PRESETS),
+        help="run the RR campaign under this fault plan, using the "
+             "resilient campaign driver",
+    )
+    study.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault plan seed (default: derived from the scenario seed)",
+    )
+    study.add_argument(
+        "--max-retries", type=int, default=3,
+        help="retry rounds per failed VP (resilient driver only)",
+    )
+    study.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="campaign checkpoint file (enables the resilient driver)",
+    )
+    study.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting fresh",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the RR campaign under a fault plan, resiliently",
+    )
+    chaos.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    chaos.add_argument("--seed", type=int, default=2016)
+    chaos.add_argument(
+        "--faults", default="chaos", choices=sorted(FAULT_PRESETS)
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault plan seed (default: derived from the scenario seed)",
+    )
+    chaos.add_argument("--jobs", type=int, default=1)
+    chaos.add_argument("--max-retries", type=int, default=3)
+    chaos.add_argument(
+        "--budget", type=float, default=None,
+        help="campaign budget in seconds (wall + simulated backoff)",
+    )
+    chaos.add_argument("--checkpoint", type=Path, default=None)
+    chaos.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting fresh",
+    )
+    chaos.add_argument(
+        "--kill-after-vps", type=int, default=None,
+        help="simulate a crash after N newly-completed VPs "
+             f"(exit code {EXIT_INTERRUPTED})",
+    )
+    chaos.add_argument(
+        "--save-survey", type=Path, default=None,
+        help="write the merged RR survey JSON here (byte-stable)",
+    )
+    chaos.add_argument(
+        "--dests", type=int, default=None,
+        help="probe only the first N hitlist destinations",
+    )
 
     probe = sub.add_parser("probe", help="issue a single measurement")
     probe.add_argument(
@@ -206,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="survey fan-out: worker processes (1 = serial)",
     )
+    stats.add_argument(
+        "--faults", default="none", choices=sorted(FAULT_PRESETS),
+        help="run the study under this fault plan first, so the "
+             "fault-injection and campaign counters are populated",
+    )
 
     export = sub.add_parser(
         "export", help="write synthetic datasets to a directory"
@@ -227,9 +305,36 @@ def _cmd_presets(_args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    study = get_study(
-        args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1)
-    )
+    faults = getattr(args, "faults", "none")
+    checkpoint = getattr(args, "checkpoint", None)
+    if faults != "none" or checkpoint is not None:
+        # Chaos and/or checkpointing requested: run through the
+        # resilient campaign driver (uncached — fault plans are not
+        # part of the study-cache key by design).
+        scenario = get_preset(args.preset, seed=args.seed)
+        plan = build_fault_plan(
+            faults,
+            scenario_seed=args.seed,
+            seed=getattr(args, "fault_seed", None),
+        )
+        study, result = run_resilient_study(
+            scenario,
+            plan=plan,
+            jobs=getattr(args, "jobs", 1),
+            max_retries=getattr(args, "max_retries", 3),
+            checkpoint_path=checkpoint,
+            resume=getattr(args, "resume", False),
+        )
+        if result.partial:
+            print(
+                "warning: partial campaign — failed VPs: "
+                + ", ".join(result.failed_vps),
+                file=sys.stderr,
+            )
+    else:
+        study = get_study(
+            args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1)
+        )
     names = (
         sorted(EXPERIMENTS)
         if args.experiment == "all"
@@ -243,6 +348,38 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(report)
     if args.output is not None:
         args.output.write_text(report + "\n", "utf-8")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import CampaignInterrupted, CampaignRunner
+
+    scenario = get_preset(args.preset, seed=args.seed)
+    plan = build_fault_plan(
+        args.faults, scenario_seed=args.seed, seed=args.fault_seed
+    )
+    runner = CampaignRunner(
+        scenario,
+        plan=plan,
+        jobs=args.jobs,
+        max_retries=args.max_retries,
+        budget_seconds=args.budget,
+        checkpoint_path=args.checkpoint,
+        kill_after_vps=args.kill_after_vps,
+    )
+    targets = None
+    if args.dests is not None:
+        targets = list(scenario.hitlist)[: args.dests]
+    print(f"{plan.describe()} on preset {args.preset}", file=sys.stderr)
+    try:
+        result = runner.run(targets=targets, resume=args.resume)
+    except CampaignInterrupted as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    print(json.dumps(result.manifest(), indent=2, sort_keys=True))
+    if args.save_survey is not None:
+        save_survey(result.survey, args.save_survey)
+        print(f"wrote {args.save_survey}", file=sys.stderr)
     return 0
 
 
@@ -338,6 +475,35 @@ def _render_stats_table(snapshot: dict) -> str:
                 f"timeouts={timeouts.get(ptype, 0):<10} reply_rate={rate}"
             )
 
+    injected = _sum_series(snapshot, "faults_injected_total", by="kind")
+    fault_drops = _sum_series(snapshot, "fault_drops_total", by="kind")
+    if injected or fault_drops:
+        lines.append("fault injection (by kind)")
+        for kind in sorted(set(injected) | set(fault_drops)):
+            lines.append(
+                f"  {kind:<16} events={injected.get(kind, 0):<8} "
+                f"drops={fault_drops.get(kind, 0)}"
+            )
+
+    campaign = _sum_series(
+        snapshot, "campaign_vp_attempts_total", by="outcome"
+    )
+    if campaign:
+        retries = _sum_series(snapshot, "campaign_retries_total").get(
+            "", 0
+        )
+        resumed = _sum_series(
+            snapshot, "campaign_resumed_vps_total"
+        ).get("", 0)
+        lines.append("campaign resilience")
+        for outcome in sorted(campaign):
+            lines.append(
+                f"  {'attempts[' + outcome + ']':<18} "
+                f"{campaign[outcome]:>8}"
+            )
+        lines.append(f"  {'retry_rounds':<18} {retries:>8}")
+        lines.append(f"  {'resumed_vps':<18} {resumed:>8}")
+
     phases = snapshot.get("phase_seconds")
     if phases and phases["series"]:
         lines.append("phase timings (wall clock)")
@@ -382,7 +548,17 @@ def _render_stats_table(snapshot: dict) -> str:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    get_study(args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1))
+    faults = getattr(args, "faults", "none")
+    if faults != "none":
+        scenario = get_preset(args.preset, seed=args.seed)
+        plan = build_fault_plan(faults, scenario_seed=args.seed)
+        run_resilient_study(
+            scenario, plan=plan, jobs=getattr(args, "jobs", 1)
+        )
+    else:
+        get_study(
+            args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1)
+        )
     snapshot = REGISTRY.snapshot()
     if args.stats_format == "prom":
         rendered = to_prometheus(snapshot)
@@ -417,6 +593,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "presets": _cmd_presets,
     "study": _cmd_study,
+    "chaos": _cmd_chaos,
     "probe": _cmd_probe,
     "stats": _cmd_stats,
     "export": _cmd_export,

@@ -53,10 +53,12 @@ from repro.core.study import (
     clear_study_cache,
     get_study,
     run_full_study,
+    run_resilient_study,
 )
 from repro.core.survey import (
     PingSurvey,
     RRSurvey,
+    SurveyFormatError,
     load_survey,
     run_ping_survey,
     run_rr_survey,
@@ -120,8 +122,10 @@ __all__ = [
     "run_full_study",
     "PingSurvey",
     "RRSurvey",
+    "SurveyFormatError",
     "load_survey",
     "run_ping_survey",
+    "run_resilient_study",
     "run_rr_survey",
     "save_survey",
     "Table1",

@@ -36,9 +36,10 @@ the parent folds snapshots back with
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import REGISTRY
 from repro.probing.prober import DEFAULT_PPS
@@ -47,7 +48,43 @@ from repro.probing.vantage import VantagePoint
 from repro.scenarios.internet import Scenario, build_scenario
 from repro.topology.hitlist import Destination
 
-__all__ = ["ParallelSurveyRunner", "default_jobs"]
+__all__ = [
+    "ParallelSurveyRunner",
+    "SurveyWorkerError",
+    "default_jobs",
+    "parent_scenario",
+]
+
+
+class SurveyWorkerError(RuntimeError):
+    """A worker task failed, attributed to the unit of work that owned it.
+
+    Raw exceptions crossing a :mod:`multiprocessing` pool arrive in the
+    parent stripped of any clue *which* task died — useless for a
+    campaign that needs to retry (or report) the right vantage point.
+    Worker task bodies therefore wrap failures in this error, which
+    names the task kind (``"rr"`` / ``"ping"``), the task index, and
+    the owning VP (or shard) before the traceback ships home.
+
+    All constructor arguments are forwarded to ``RuntimeError`` so the
+    exception round-trips through pickle (``BaseException`` pickles by
+    re-calling ``__init__(*args)``).
+    """
+
+    def __init__(
+        self, task_kind: str, index: int, name: str, message: str
+    ) -> None:
+        super().__init__(task_kind, index, name, message)
+        self.task_kind = task_kind
+        self.index = index
+        self.name = name
+        self.message = message
+
+    def __str__(self) -> str:
+        return (
+            f"{self.task_kind} worker task {self.index} "
+            f"({self.name}) failed: {self.message}"
+        )
 
 
 def default_jobs() -> int:
@@ -66,6 +103,22 @@ def default_jobs() -> int:
 
 _PARENT_SCENARIO: Optional[Scenario] = None
 _WORKER: Optional[dict] = None
+
+
+@contextlib.contextmanager
+def parent_scenario(scenario: Scenario) -> Iterator[None]:
+    """Expose ``scenario`` to forked workers for the ``with`` body.
+
+    Factored out of :meth:`ParallelSurveyRunner._run_pool` so the
+    campaign runner (``repro.faults.campaign``) can drive its own pool
+    with the same fork-inheritance handoff.
+    """
+    global _PARENT_SCENARIO
+    _PARENT_SCENARIO = scenario
+    try:
+        yield
+    finally:
+        _PARENT_SCENARIO = None
 
 
 def _init_worker(payload: dict) -> None:
@@ -112,15 +165,20 @@ def _rr_task(vp_index: int) -> tuple:
     targets: List[Destination] = state["targets"]
     position: Dict[int, int] = state["position"]
     vp: VantagePoint = state["vps"][vp_index]
-    rows = probe_vp_rr(
-        scenario,
-        vp,
-        targets,
-        position,
-        order=state["order"],
-        slots=state["slots"],
-        pps=state["pps"],
-    )
+    try:
+        rows = probe_vp_rr(
+            scenario,
+            vp,
+            targets,
+            position,
+            order=state["order"],
+            slots=state["slots"],
+            pps=state["pps"],
+        )
+    except Exception as exc:  # noqa: BLE001 — attribute, then re-raise
+        raise SurveyWorkerError(
+            "rr", vp_index, vp.name, f"{type(exc).__name__}: {exc}"
+        ) from exc
     return (
         vp_index,
         rows,
@@ -139,13 +197,21 @@ def _ping_task(shard_index: int) -> tuple:
     REGISTRY.reset()
     scenario.network.options_load.clear()
     shard: List[Destination] = state["shards"][shard_index]
-    rows = probe_ping_shard(
-        scenario,
-        shard_index,
-        shard,
-        count=state["count"],
-        pps=state["pps"],
-    )
+    try:
+        rows = probe_ping_shard(
+            scenario,
+            shard_index,
+            shard,
+            count=state["count"],
+            pps=state["pps"],
+        )
+    except Exception as exc:  # noqa: BLE001 — attribute, then re-raise
+        raise SurveyWorkerError(
+            "ping",
+            shard_index,
+            f"shard-{shard_index}",
+            f"{type(exc).__name__}: {exc}",
+        ) from exc
     return (
         shard_index,
         rows,
@@ -190,17 +256,13 @@ class ParallelSurveyRunner:
         Results are re-ordered by task index before metric merging so
         parent-side totals are independent of completion order.
         """
-        global _PARENT_SCENARIO
-        _PARENT_SCENARIO = self.scenario
-        try:
+        with parent_scenario(self.scenario):
             with self._ctx.Pool(
                 processes=max(1, min(workers, task_count)),
                 initializer=_init_worker,
                 initargs=(payload,),
             ) as pool:
                 results = pool.map(task, range(task_count), chunksize=1)
-        finally:
-            _PARENT_SCENARIO = None
         results.sort(key=lambda item: item[0])
         options_load = self.scenario.network.options_load
         for _index, _rows, snapshot, load_delta in results:

@@ -23,7 +23,13 @@ from repro.obs.timing import timed
 from repro.scenarios.internet import Scenario
 from repro.scenarios.presets import get_preset
 
-__all__ = ["StudyData", "run_full_study", "get_study", "clear_study_cache"]
+__all__ = [
+    "StudyData",
+    "run_full_study",
+    "run_resilient_study",
+    "get_study",
+    "clear_study_cache",
+]
 
 _CACHE_LOOKUPS = REGISTRY.counter(
     "study_cache_lookups_total",
@@ -65,6 +71,46 @@ def run_full_study(scenario: Scenario, jobs: int = 1) -> StudyData:
     return StudyData(
         scenario=scenario, ping_survey=ping_survey, rr_survey=rr_survey
     )
+
+
+def run_resilient_study(
+    scenario: Scenario,
+    plan=None,
+    jobs: int = 1,
+    max_retries: int = 3,
+    budget_seconds=None,
+    checkpoint_path=None,
+    resume: bool = False,
+    kill_after_vps=None,
+):
+    """Run both §3.1 studies with the fault-tolerant campaign driver.
+
+    The RR survey runs under :class:`repro.faults.CampaignRunner`
+    (retries, backoff budget, checkpoint/resume, graceful partial
+    results); the plain-ping study runs unfaulted — the chaos model
+    targets the RR slow path, and the ping survey is cheap enough to
+    simply rerun. Returns ``(StudyData, CampaignResult)``.
+    """
+    from repro.faults.campaign import CampaignRunner
+
+    runner = CampaignRunner(
+        scenario,
+        plan=plan,
+        jobs=jobs,
+        max_retries=max_retries,
+        budget_seconds=budget_seconds,
+        checkpoint_path=checkpoint_path,
+        kill_after_vps=kill_after_vps,
+    )
+    with timed("full_study"):
+        result = runner.run(resume=resume)
+        ping_survey = run_ping_survey(scenario, jobs=jobs)
+    data = StudyData(
+        scenario=scenario,
+        ping_survey=ping_survey,
+        rr_survey=result.survey,
+    )
+    return data, result
 
 
 _CACHE: Dict[Tuple[str, int], StudyData] = {}

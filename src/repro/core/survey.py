@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -45,12 +46,31 @@ from repro.topology.hitlist import Destination
 __all__ = [
     "PingSurvey",
     "RRSurvey",
+    "SurveyFormatError",
     "run_ping_survey",
     "run_rr_survey",
     "save_survey",
     "load_survey",
     "PING_SHARDS",
 ]
+
+
+class SurveyFormatError(ValueError):
+    """A survey (or checkpoint) artifact on disk is unreadable.
+
+    Raised with the offending path and a human-readable reason instead
+    of leaking ``json.JSONDecodeError`` / ``EOFError`` / gzip internals
+    to the caller — load-bearing once ``--resume`` reads checkpoints
+    written by possibly-killed campaigns.
+    """
+
+    def __init__(self, path: Union[str, Path], reason: str) -> None:
+        super().__init__(str(path), reason)
+        self.path = str(path)
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.reason}"
 
 #: Fixed shard count for the parallel ping survey. Destinations are
 #: dealt round-robin into this many shards regardless of ``jobs``, so
@@ -244,45 +264,96 @@ def save_survey(survey: RRSurvey, path: Union[str, Path]) -> None:
         Path(path).write_bytes(data)
 
 
-def load_survey(path: Union[str, Path]) -> RRSurvey:
-    """Load a survey written by :func:`save_survey` (``.gz`` aware)."""
+def load_json_artifact(path: Union[str, Path]) -> dict:
+    """Read + parse a (possibly gzipped) JSON artifact, or raise
+    :class:`SurveyFormatError` with the path and a clear reason.
+
+    Shared by :func:`load_survey` and the campaign checkpoint loader:
+    truncated gzip streams (``EOFError``), corrupt gzip headers
+    (``gzip.BadGzipFile``), truncated/garbage JSON
+    (``json.JSONDecodeError``), and non-UTF-8 bytes all surface as the
+    same well-labelled error. A missing file stays a
+    ``FileNotFoundError`` — absence and corruption are different
+    failures.
+    """
     raw = Path(path).read_bytes()
     if _is_gzip_path(path):
-        raw = gzip.decompress(raw)
-    record = json.loads(raw.decode("utf-8"))
+        try:
+            raw = gzip.decompress(raw)
+        except EOFError:
+            raise SurveyFormatError(
+                path, "truncated gzip stream (file cut short?)"
+            ) from None
+        except (gzip.BadGzipFile, zlib.error, OSError) as exc:
+            raise SurveyFormatError(
+                path, f"corrupt gzip data: {exc}"
+            ) from None
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SurveyFormatError(path, f"not UTF-8: {exc}") from None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        reason = "truncated JSON" if not text.strip() else f"invalid JSON: {exc}"
+        raise SurveyFormatError(path, reason) from None
+    if not isinstance(record, dict):
+        raise SurveyFormatError(
+            path, f"expected a JSON object, got {type(record).__name__}"
+        )
+    return record
+
+
+def load_survey(path: Union[str, Path]) -> RRSurvey:
+    """Load a survey written by :func:`save_survey` (``.gz`` aware).
+
+    Raises :class:`SurveyFormatError` (with path + reason) on
+    truncated, corrupt, or wrong-version artifacts.
+    """
+    record = load_json_artifact(path)
     if record.get("version") != 1:
-        raise ValueError(
-            f"unsupported survey file version {record.get('version')!r}"
+        raise SurveyFormatError(
+            path,
+            f"unsupported survey file version {record.get('version')!r}",
         )
-    vps = [
-        VantagePoint(
-            name=vp["name"],
-            site=vp["site"],
-            platform=Platform(vp["platform"]),
-            asn=vp["asn"],
-            addr=vp["addr"],
-            local_filtered=vp["local_filtered"],
+    try:
+        vps = [
+            VantagePoint(
+                name=vp["name"],
+                site=vp["site"],
+                platform=Platform(vp["platform"]),
+                asn=vp["asn"],
+                addr=vp["addr"],
+                local_filtered=vp["local_filtered"],
+            )
+            for vp in record["vps"]
+        ]
+        dests = [
+            Destination(
+                addr=dest["addr"],
+                prefix=parse_prefix(dest["prefix"]),
+                asn=dest["asn"],
+            )
+            for dest in record["dests"]
+        ]
+        return RRSurvey(
+            vps=vps,
+            dests=dests,
+            responses=[
+                {int(vp_index): slot for vp_index, slot in observed.items()}
+                for observed in record["responses"]
+            ],
+            inprefix_addrs=[
+                set(addrs) for addrs in record["inprefix_addrs"]
+            ],
+            rr_slots=record["rr_slots"],
         )
-        for vp in record["vps"]
-    ]
-    dests = [
-        Destination(
-            addr=dest["addr"],
-            prefix=parse_prefix(dest["prefix"]),
-            asn=dest["asn"],
-        )
-        for dest in record["dests"]
-    ]
-    return RRSurvey(
-        vps=vps,
-        dests=dests,
-        responses=[
-            {int(vp_index): slot for vp_index, slot in observed.items()}
-            for observed in record["responses"]
-        ],
-        inprefix_addrs=[set(addrs) for addrs in record["inprefix_addrs"]],
-        rr_slots=record["rr_slots"],
-    )
+    except (KeyError, TypeError, AttributeError, ValueError) as exc:
+        if isinstance(exc, SurveyFormatError):
+            raise
+        raise SurveyFormatError(
+            path, f"malformed survey record: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def probe_vp_rr(

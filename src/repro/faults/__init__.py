@@ -1,0 +1,47 @@
+"""Fault injection and resilient campaigns (``repro.faults``).
+
+Two halves, mirroring how real measurement studies meet adversity:
+
+* :mod:`repro.faults.specs` / :mod:`repro.faults.injector` — seeded,
+  deterministic chaos: composable fault specifications compiled into a
+  :class:`FaultInjector` the dataplane consults through narrow hooks.
+* :mod:`repro.faults.campaign` — the survivor: a retrying, budgeted,
+  checkpoint/resume campaign driver over the parallel survey engine.
+
+Everything is keyed so that fault decisions depend only on
+``(plan seed, vp name, session-relative time)`` — the same contract
+that makes the parallel engine's output byte-identical across worker
+counts extends to chaos runs, kill points, and resumes.
+"""
+
+from repro.faults.campaign import (
+    CampaignInterrupted,
+    CampaignResult,
+    CampaignRunner,
+    load_checkpoint,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.specs import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    LinkFlap,
+    LossBurst,
+    RateLimitStorm,
+    VpChurn,
+)
+
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignResult",
+    "CampaignRunner",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkFlap",
+    "LossBurst",
+    "RateLimitStorm",
+    "VpChurn",
+    "load_checkpoint",
+]

@@ -1,0 +1,646 @@
+"""Resilient, resumable survey campaigns over the parallel engine.
+
+The paper's campaigns ran for days against real infrastructure, which
+means they survived (or died to) exactly the adversity
+:mod:`repro.faults.specs` models: vantage points that vanish
+mid-survey, probing sessions that silently rot, and operators killing
+the driver script halfway through. :class:`CampaignRunner` is the
+driver that survives it:
+
+* **per-VP unit of work** — the same sharding the parallel engine
+  uses; a VP either contributes its complete row set or is retried
+  whole, so partial sessions never leak into the merged survey;
+* **bounded retries with simulated backoff** — failed VPs are retried
+  in rounds, with exponential backoff accounted in *simulated*
+  seconds (no real sleeping: the simulator's clock is free);
+* **a campaign budget** — wall-clock elapsed plus simulated backoff is
+  charged against ``budget_seconds``; when it runs out, the campaign
+  degrades gracefully instead of spinning;
+* **graceful degradation** — VPs that exhaust their retries are listed
+  in the result manifest (``partial=True``) rather than raised;
+* **checkpoint/resume** — every completed VP is appended to an atomic
+  JSON checkpoint; a killed campaign restarted with ``resume=True``
+  skips completed VPs and produces **byte-identical** merged output
+  (per-VP sessions are self-contained, so partial execution order
+  cannot leak into the rows).
+
+The checkpoint is guarded by a fingerprint over everything that shapes
+the campaign's bytes (scenario, targets, VPs, pacing, probe order,
+slot count, fault plan); resuming against a mismatched checkpoint
+raises :class:`~repro.core.survey.SurveyFormatError` rather than
+silently merging apples into oranges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.parallel import (
+    _compact_snapshot,
+    _init_worker,
+    parent_scenario,
+)
+from repro.core.survey import (
+    RRSurvey,
+    SurveyFormatError,
+    VPRows,
+    load_json_artifact,
+    probe_vp_rr,
+)
+from repro.faults.injector import FaultInjector, fault_event_counter
+from repro.faults.specs import FaultPlan, VpChurn
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.probing.prober import DEFAULT_PPS
+from repro.probing.scheduler import ProbeOrder
+from repro.probing.vantage import VantagePoint
+from repro.rng import stable_u64
+from repro.scenarios.internet import Scenario
+from repro.topology.hitlist import Destination
+
+__all__ = [
+    "CampaignInterrupted",
+    "CampaignResult",
+    "CampaignRunner",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+class CampaignInterrupted(RuntimeError):
+    """The campaign was deliberately killed mid-run (``kill_after_vps``).
+
+    Raised *after* the checkpoint for the final completed VP has been
+    flushed, so a subsequent ``resume=True`` run picks up cleanly.
+    The CI chaos-smoke job uses this to simulate an operator's ^C.
+    """
+
+    def __init__(self, completed: int, checkpoint_path: str) -> None:
+        super().__init__(completed, checkpoint_path)
+        self.completed = completed
+        self.checkpoint_path = checkpoint_path
+
+    def __str__(self) -> str:
+        return (
+            f"campaign interrupted after {self.completed} completed "
+            f"VP(s); checkpoint at {self.checkpoint_path}"
+        )
+
+
+def campaign_attempt_counter(registry: MetricsRegistry):
+    """``campaign_vp_attempts_total{net, outcome}`` — ok/failed/dark."""
+    return registry.counter(
+        "campaign_vp_attempts_total",
+        "Per-VP campaign attempts, by outcome "
+        "(ok, failed, dark = VP churned away).",
+        ("net", "outcome"),
+    )
+
+
+def campaign_retry_counter(registry: MetricsRegistry):
+    return registry.counter(
+        "campaign_retries_total",
+        "Retry rounds the campaign runner scheduled.",
+        ("net",),
+    )
+
+
+def campaign_resume_counter(registry: MetricsRegistry):
+    return registry.counter(
+        "campaign_resumed_vps_total",
+        "VPs restored from a checkpoint instead of re-probed.",
+        ("net",),
+    )
+
+
+@dataclass
+class CampaignResult:
+    """Manifest of one resilient campaign run."""
+
+    survey: RRSurvey
+    partial: bool
+    failed_vps: List[str] = field(default_factory=list)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    retry_rounds: int = 0
+    backoff_sim_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    resumed_vps: int = 0
+    probed_vps: int = 0
+    checkpoint_path: Optional[str] = None
+
+    def manifest(self) -> dict:
+        """Plain-data summary (what ``repro chaos`` prints as JSON)."""
+        return {
+            "partial": self.partial,
+            "vps": len(self.survey.vps),
+            "probed_vps": self.probed_vps,
+            "resumed_vps": self.resumed_vps,
+            "failed_vps": sorted(self.failed_vps),
+            "attempts": dict(sorted(self.attempts.items())),
+            "retry_rounds": self.retry_rounds,
+            "backoff_sim_seconds": round(self.backoff_sim_seconds, 6),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "checkpoint": self.checkpoint_path,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker task (module-level so it pickles by reference).
+# ---------------------------------------------------------------------------
+
+
+def _campaign_rr_task(vp_index: int) -> tuple:
+    """One VP's faulted probe sequence; failures return, never raise.
+
+    Returns ``(vp_index, rows_or_None, snapshot, options_load, error)``
+    — a failed VP must not poison the whole pool ``map``, so the
+    exception is stringified and shipped home for the retry loop.
+    """
+    from repro.core.parallel import _WORKER
+
+    state = _WORKER
+    assert state is not None, "worker initialized without state"
+    scenario: Scenario = state["scenario"]
+    REGISTRY.reset()
+    scenario.network.options_load.clear()
+    vp: VantagePoint = state["vps"][vp_index]
+    plan: FaultPlan = state["plan"]
+    injector: Optional[FaultInjector] = None
+    if not plan.is_empty:
+        injector = FaultInjector(
+            scenario.network, plan, horizon=state["horizon"]
+        )
+        scenario.network.attach_injector(injector)
+    error: Optional[str] = None
+    rows: Optional[VPRows] = None
+    try:
+        rows = probe_vp_rr(
+            scenario,
+            vp,
+            state["targets"],
+            state["position"],
+            order=state["order"],
+            slots=state["slots"],
+            pps=state["pps"],
+        )
+    except Exception as exc:  # noqa: BLE001 — shipped to the retry loop
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if injector is not None:
+            scenario.network.detach_injector()
+    return (
+        vp_index,
+        rows,
+        _compact_snapshot(REGISTRY.snapshot()),
+        dict(scenario.network.options_load),
+        error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint I/O.
+# ---------------------------------------------------------------------------
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict:
+    """Load + structurally validate a campaign checkpoint.
+
+    Reuses :func:`~repro.core.survey.load_json_artifact`, so truncated
+    or corrupt files (a crash mid-``os.replace`` is impossible, but a
+    crash mid-copy of the file elsewhere is not) surface as
+    :class:`SurveyFormatError` with the path and reason.
+    """
+    data = load_json_artifact(path)
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise SurveyFormatError(
+            path,
+            f"unsupported checkpoint version: {data.get('version')!r}",
+        )
+    for key in ("fingerprint", "completed", "attempts"):
+        if key not in data:
+            raise SurveyFormatError(
+                path, f"checkpoint missing {key!r} field"
+            )
+    if not isinstance(data["completed"], dict):
+        raise SurveyFormatError(path, "checkpoint 'completed' not a map")
+    return data
+
+
+class CampaignRunner:
+    """Drives a fault-tolerant, resumable all-VPs RR campaign.
+
+    Wraps the same per-VP unit of work as
+    :class:`~repro.core.parallel.ParallelSurveyRunner` (and reuses its
+    fork-inheritance plumbing), adding the retry/backoff/budget/
+    checkpoint machinery described in the module docstring.
+
+    Determinism: because each VP session is self-contained and every
+    fault decision keys off ``(plan seed, vp name, session time)``,
+    the merged survey bytes are invariant under ``jobs``, retry
+    schedules, kill points, and resume — the property
+    ``tests/test_faults.py`` and the CI chaos-smoke job pin down.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        plan: Optional[FaultPlan] = None,
+        jobs: int = 1,
+        pps: float = DEFAULT_PPS,
+        order: ProbeOrder = ProbeOrder.RANDOM,
+        slots: int = 9,
+        max_retries: int = 3,
+        backoff_base: float = 0.5,
+        backoff_factor: float = 2.0,
+        budget_seconds: Optional[float] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        kill_after_vps: Optional[int] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {max_retries}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive: {jobs}")
+        self.scenario = scenario
+        self.plan = plan if plan is not None else FaultPlan(seed=0)
+        self.jobs = int(jobs)
+        self.pps = float(pps)
+        self.order = order
+        self.slots = int(slots)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.budget_seconds = budget_seconds
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.kill_after_vps = kill_after_vps
+        net_id = scenario.network.net_id
+        self._attempts_ok = campaign_attempt_counter(REGISTRY).labels(
+            net_id, "ok"
+        )
+        self._attempts_failed = campaign_attempt_counter(REGISTRY).labels(
+            net_id, "failed"
+        )
+        self._attempts_dark = campaign_attempt_counter(REGISTRY).labels(
+            net_id, "dark"
+        )
+        self._retries = campaign_retry_counter(REGISTRY).labels(net_id)
+        self._resumed = campaign_resume_counter(REGISTRY).labels(net_id)
+        self._ev_churn = fault_event_counter(REGISTRY).labels(
+            net_id, VpChurn.KIND
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(
+        self,
+        targets: Sequence[Destination],
+        vps: Sequence[VantagePoint],
+    ) -> str:
+        """Digest of everything that shapes the campaign's bytes."""
+        return "{:016x}".format(
+            stable_u64(
+                "campaign",
+                self.scenario.name,
+                self.scenario.seed,
+                tuple(dest.addr for dest in targets),
+                tuple(vp.name for vp in vps),
+                self.pps,
+                self.order.value,
+                self.slots,
+                self.plan.fingerprint(),
+            )
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _write_checkpoint(
+        self,
+        fingerprint: str,
+        completed: Dict[str, VPRows],
+        attempts: Dict[str, int],
+    ) -> None:
+        path = self.checkpoint_path
+        if path is None:
+            return
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "completed": {
+                name: {
+                    "rows": [list(row) for row in rows],
+                    "inprefix": [
+                        [dest_index, list(addrs)]
+                        for dest_index, addrs in inprefix
+                    ],
+                }
+                for name, (rows, inprefix) in completed.items()
+            },
+            "attempts": attempts,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")),
+            "utf-8",
+        )
+        os.replace(tmp, path)
+
+    def _load_resume_state(
+        self, fingerprint: str
+    ) -> Tuple[Dict[str, VPRows], Dict[str, int]]:
+        path = self.checkpoint_path
+        assert path is not None
+        data = load_checkpoint(path)
+        if data["fingerprint"] != fingerprint:
+            raise SurveyFormatError(
+                path,
+                "checkpoint fingerprint mismatch: it records a different "
+                "campaign (scenario/targets/VPs/pacing/fault plan) "
+                f"[{data['fingerprint']} != {fingerprint}]",
+            )
+        completed: Dict[str, VPRows] = {}
+        try:
+            for name, entry in data["completed"].items():
+                rows = [
+                    (int(dest_index), None if slot is None else int(slot))
+                    for dest_index, slot in entry["rows"]
+                ]
+                inprefix = [
+                    (int(dest_index), tuple(int(a) for a in addrs))
+                    for dest_index, addrs in entry["inprefix"]
+                ]
+                completed[name] = (rows, inprefix)
+            attempts = {
+                str(name): int(count)
+                for name, count in data["attempts"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SurveyFormatError(
+                path,
+                f"malformed checkpoint record: {type(exc).__name__}: {exc}",
+            ) from exc
+        return completed, attempts
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        targets: Optional[Sequence[Destination]] = None,
+        vps: Optional[Sequence[VantagePoint]] = None,
+        resume: bool = False,
+    ) -> CampaignResult:
+        scenario = self.scenario
+        target_list = (
+            list(scenario.hitlist) if targets is None else list(targets)
+        )
+        vp_list = list(scenario.vps) if vps is None else list(vps)
+        position = {
+            dest.addr: index for index, dest in enumerate(target_list)
+        }
+        horizon = max(len(target_list) / self.pps, 1e-9)
+        fingerprint = self.fingerprint(target_list, vp_list)
+
+        completed: Dict[str, VPRows] = {}
+        attempts: Dict[str, int] = {}
+        resumed = 0
+        if resume:
+            if self.checkpoint_path is None:
+                raise ValueError("resume=True requires a checkpoint path")
+            if self.checkpoint_path.exists():
+                completed, attempts = self._load_resume_state(fingerprint)
+                known = {vp.name for vp in vp_list}
+                stray = set(completed) - known
+                if stray:
+                    raise SurveyFormatError(
+                        self.checkpoint_path,
+                        "checkpoint names unknown VPs: "
+                        + ", ".join(sorted(stray)),
+                    )
+                resumed = len(completed)
+                if resumed:
+                    self._resumed.inc(resumed)
+
+        dark = self.plan.churned_vps([vp.name for vp in vp_list])
+        pending: List[int] = [
+            index
+            for index, vp in enumerate(vp_list)
+            if vp.name not in completed
+        ]
+        failed: Set[str] = set()
+        start = time.monotonic()
+        sim_backoff = 0.0
+        retry_rounds = 0
+        completed_this_run = 0
+        killed: Optional[CampaignInterrupted] = None
+
+        round_index = 0
+        while pending:
+            if round_index > self.max_retries:
+                break
+            if round_index > 0:
+                # Exponential backoff, charged in simulated seconds —
+                # the scenario clock is free, so we account rather
+                # than sleep. The budget is checked *before* the round
+                # commits: a retry that would blow it never starts.
+                backoff = self.backoff_base * (
+                    self.backoff_factor ** (round_index - 1)
+                )
+                if (
+                    self.budget_seconds is not None
+                    and (time.monotonic() - start) + sim_backoff + backoff
+                    > self.budget_seconds
+                ):
+                    break
+                sim_backoff += backoff
+                retry_rounds += 1
+                self._retries.inc()
+            elif (
+                self.budget_seconds is not None
+                and time.monotonic() - start > self.budget_seconds
+            ):
+                break
+
+            # VpChurn: dark VPs fail fast in the parent — the unit of
+            # work never probes, exactly like a disconnected Atlas
+            # probe timing out at the controller.
+            runnable: List[int] = []
+            for index in pending:
+                name = vp_list[index].name
+                if attempts.get(name, 0) < dark.get(name, 0):
+                    attempts[name] = attempts.get(name, 0) + 1
+                    self._attempts_dark.inc()
+                    self._ev_churn.inc()
+                else:
+                    runnable.append(index)
+
+            outcomes = self._run_round(
+                runnable, target_list, position, vp_list, horizon
+            )
+            still_pending: List[int] = []
+            for index in pending:
+                name = vp_list[index].name
+                if index not in runnable:
+                    still_pending.append(index)  # was dark this round
+                    continue
+                attempts[name] = attempts.get(name, 0) + 1
+                rows, error = outcomes[index]
+                if error is None:
+                    assert rows is not None
+                    completed[name] = rows
+                    self._attempts_ok.inc()
+                    self._write_checkpoint(fingerprint, completed,
+                                           attempts)
+                    completed_this_run += 1
+                    if (
+                        self.kill_after_vps is not None
+                        and completed_this_run >= self.kill_after_vps
+                    ):
+                        # Simulated ^C: later results from this round
+                        # are discarded, exactly as a real kill would.
+                        killed = CampaignInterrupted(
+                            completed_this_run,
+                            str(self.checkpoint_path),
+                        )
+                        break
+                else:
+                    self._attempts_failed.inc()
+                    still_pending.append(index)
+            if killed is not None:
+                raise killed
+            pending = still_pending
+            round_index += 1
+
+        failed = {vp_list[index].name for index in pending}
+        survey = RRSurvey(
+            vps=vp_list,
+            dests=target_list,
+            responses=[{} for _ in target_list],
+            inprefix_addrs=[set() for _ in target_list],
+            rr_slots=self.slots,
+        )
+        # Merge in VP order — identical to run_rr_survey's merge, so a
+        # fully-recovered churn-only campaign is byte-identical to an
+        # unfaulted run.
+        for vp_index, vp in enumerate(vp_list):
+            entry = completed.get(vp.name)
+            if entry is None:
+                continue
+            rows, inprefix = entry
+            for dest_index, slot in rows:
+                survey.responses[dest_index][vp_index] = slot
+            for dest_index, addrs in inprefix:
+                survey.inprefix_addrs[dest_index].update(addrs)
+        return CampaignResult(
+            survey=survey,
+            partial=bool(failed),
+            failed_vps=sorted(failed),
+            attempts=attempts,
+            retry_rounds=retry_rounds,
+            backoff_sim_seconds=sim_backoff,
+            elapsed_seconds=time.monotonic() - start,
+            resumed_vps=resumed,
+            probed_vps=completed_this_run,
+            checkpoint_path=(
+                None
+                if self.checkpoint_path is None
+                else str(self.checkpoint_path)
+            ),
+        )
+
+    # -- round execution ---------------------------------------------------
+
+    def _run_round(
+        self,
+        runnable: List[int],
+        targets: List[Destination],
+        position: Dict[int, int],
+        vp_list: List[VantagePoint],
+        horizon: float,
+    ) -> Dict[int, Tuple[Optional[VPRows], Optional[str]]]:
+        """Probe ``runnable`` VP indices once; never raises per-VP."""
+        outcomes: Dict[int, Tuple[Optional[VPRows], Optional[str]]] = {}
+        if not runnable:
+            return outcomes
+        if self.jobs >= 2 and len(runnable) > 1:
+            return self._run_round_pool(
+                runnable, targets, position, vp_list, horizon
+            )
+        # Serial path: attach the injector to the live network; the
+        # parent registry counts events directly.
+        network = self.scenario.network
+        injector: Optional[FaultInjector] = None
+        if not self.plan.is_empty:
+            injector = FaultInjector(network, self.plan, horizon=horizon)
+            network.attach_injector(injector)
+        try:
+            for index in runnable:
+                try:
+                    rows = probe_vp_rr(
+                        self.scenario,
+                        vp_list[index],
+                        targets,
+                        position,
+                        order=self.order,
+                        slots=self.slots,
+                        pps=self.pps,
+                    )
+                    outcomes[index] = (rows, None)
+                except Exception as exc:  # noqa: BLE001 — retried
+                    outcomes[index] = (
+                        None,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+        finally:
+            if injector is not None:
+                network.detach_injector()
+        return outcomes
+
+    def _run_round_pool(
+        self,
+        runnable: List[int],
+        targets: List[Destination],
+        position: Dict[int, int],
+        vp_list: List[VantagePoint],
+        horizon: float,
+    ) -> Dict[int, Tuple[Optional[VPRows], Optional[str]]]:
+        import multiprocessing
+
+        payload = {
+            "params": self.scenario.params,
+            "targets": targets,
+            "position": position,
+            "vps": vp_list,
+            "order": self.order,
+            "slots": self.slots,
+            "pps": self.pps,
+            "plan": self.plan,
+            "horizon": horizon,
+        }
+        ctx = multiprocessing.get_context()
+        outcomes: Dict[int, Tuple[Optional[VPRows], Optional[str]]] = {}
+        results = []
+        with parent_scenario(self.scenario):
+            with ctx.Pool(
+                processes=max(1, min(self.jobs, len(runnable))),
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                for item in pool.imap_unordered(
+                    _campaign_rr_task, runnable, chunksize=1
+                ):
+                    results.append(item)
+        # Merge telemetry in VP order so parent totals are independent
+        # of completion order (same rule as ParallelSurveyRunner).
+        results.sort(key=lambda item: item[0])
+        options_load = self.scenario.network.options_load
+        for vp_index, rows, snapshot, load_delta, error in results:
+            REGISTRY.merge(snapshot)
+            for asn, count in load_delta.items():
+                options_load[asn] = options_load.get(asn, 0) + count
+            outcomes[vp_index] = (rows, error)
+        return outcomes

@@ -1,0 +1,263 @@
+"""The fault injector: a :class:`FaultPlan` compiled against one network.
+
+The dataplane stays fault-agnostic: :class:`~repro.sim.network.Network`
+exposes three narrow hooks (session begin/end, a per-walk flap lookup,
+a loss-overlay draw) plus a token-bucket refill scale, and everything
+chaotic lives here. Attach with ``network.attach_injector(injector)``;
+detach restores the placid world.
+
+Determinism contract (the same one the parallel engine enforces):
+every decision the injector makes is a function of ``(plan seed,
+session name, session-relative time)`` — flap windows and storm
+windows are positions on the session clock (which
+``begin_vp_session`` rebases to 0), and the Gilbert–Elliott loss
+chain is re-seeded per session from ``(plan seed, vp name)``. Warm
+caches, worker counts, and resume points therefore change speed,
+never bytes.
+
+Every injected event is counted in the process-wide metrics registry
+(``faults_injected_total`` by kind, ``fault_drops_total`` for
+per-packet kills) and surfaces in ``repro stats``; worker processes
+ship their counts home through the usual snapshot merge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.faults.specs import (
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    RateLimitStorm,
+)
+from repro.obs.metrics import CounterFamily, MetricsRegistry
+from repro.rng import stable_rng, stable_u64
+
+__all__ = ["FaultInjector", "fault_event_counter", "fault_drop_counter"]
+
+
+def fault_event_counter(registry: MetricsRegistry) -> CounterFamily:
+    """The (idempotently registered) injected-event counter family.
+
+    Shared by the injector and the campaign runner so the schema can
+    never drift between the two writers.
+    """
+    return registry.counter(
+        "faults_injected_total",
+        "Fault events injected by the chaos subsystem, by kind.",
+        ("net", "kind"),
+    )
+
+
+def fault_drop_counter(registry: MetricsRegistry) -> CounterFamily:
+    return registry.counter(
+        "fault_drops_total",
+        "Packets killed by an injected fault, by kind.",
+        ("net", "kind"),
+    )
+
+
+class _GilbertElliott:
+    """One session's correlated-loss chain (Good/Bad two-state)."""
+
+    __slots__ = ("rng", "bad", "p_enter", "p_exit", "drop_prob", "events")
+
+    def __init__(
+        self, spec: LossBurst, rng: random.Random, events
+    ) -> None:
+        self.rng = rng
+        self.bad = False
+        self.p_enter = spec.p_enter
+        self.p_exit = spec.p_exit
+        self.drop_prob = spec.drop_prob
+        self.events = events
+
+    def step(self) -> bool:
+        """Advance one draw; True = this chain kills the packet."""
+        rng = self.rng
+        if self.bad:
+            if rng.random() < self.p_exit:
+                self.bad = False
+        elif rng.random() < self.p_enter:
+            self.bad = True
+            self.events.inc()  # one event per burst entered
+        if self.bad and rng.random() < self.drop_prob:
+            return True
+        return False
+
+
+class FaultInjector:
+    """A compiled fault plan, ready to be attached to a ``Network``.
+
+    ``horizon`` is the session horizon in simulated seconds — the
+    expected duration of one VP's probe sequence
+    (``len(targets) / pps``) — against which the fractional
+    ``start``/``duration`` windows of :class:`LinkFlap` and
+    :class:`RateLimitStorm` specs are resolved. It must be the same
+    for every worker of a campaign (it is: the campaign computes it
+    once from the target list and ships it in the worker payload).
+    """
+
+    def __init__(
+        self,
+        network,
+        plan: FaultPlan,
+        horizon: float = 1.0,
+    ) -> None:
+        self.network = network
+        self.plan = plan
+        self.horizon = max(float(horizon), 1e-9)
+        registry = network.registry
+        net_id = network.net_id
+        events = fault_event_counter(registry)
+        drops = fault_drop_counter(registry)
+        self._ev_flap = events.labels(net_id, LinkFlap.KIND)
+        self._ev_burst = events.labels(net_id, LossBurst.KIND)
+        self._ev_storm = events.labels(net_id, RateLimitStorm.KIND)
+        self.drops_flap = drops.labels(net_id, LinkFlap.KIND)
+        self.drops_burst = drops.labels(net_id, LossBurst.KIND)
+
+        #: (t0, t1, frozenset of flapped (a, b) AS adjacencies, a < b).
+        self._flap_windows: List[Tuple[float, float, FrozenSet]] = []
+        self._compile_flaps()
+        #: Memoised union of currently-active flap edge sets, keyed by
+        #: the active-window bitmask (walks are hot; unions are not).
+        self._flap_union: Dict[int, Optional[FrozenSet]] = {}
+
+        self._loss_specs = plan.by_kind(LossBurst)
+        self._loss_spec_indices = [
+            index
+            for index, spec in enumerate(plan.specs)
+            if isinstance(spec, LossBurst)
+        ]
+        self._storm_specs = [
+            (index, spec)
+            for index, spec in enumerate(plan.specs)
+            if isinstance(spec, RateLimitStorm)
+        ]
+
+        # Per-session state.
+        self.session_name: Optional[str] = None
+        self._chains: List[_GilbertElliott] = []
+        self._storm_windows: List[Tuple[float, float, float]] = []
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile_flaps(self) -> None:
+        """Pick the flapped adjacencies deterministically from the graph."""
+        flap_specs = [
+            (index, spec)
+            for index, spec in enumerate(self.plan.specs)
+            if isinstance(spec, LinkFlap)
+        ]
+        if not flap_specs:
+            return
+        edges = sorted(
+            (min(a, b), max(a, b))
+            for a, b, _rel in self.network.graph.edges()
+        )
+        if not edges:
+            return
+        for index, spec in flap_specs:
+            rng = stable_rng(self.plan.seed, "link-flap", index)
+            chosen = frozenset(
+                rng.sample(edges, min(spec.count, len(edges)))
+            )
+            t0 = spec.start * self.horizon
+            t1 = t0 + spec.duration * self.horizon
+            self._flap_windows.append((t0, t1, chosen))
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def begin_session(self, name: str) -> None:
+        """Called by ``Network.begin_vp_session`` (session clock = 0)."""
+        self.session_name = name
+        # Correlated-loss chains: one per LossBurst spec, re-seeded
+        # from (plan seed, spec index, vp name).
+        self._chains = [
+            _GilbertElliott(
+                spec,
+                random.Random(
+                    stable_u64(self.plan.seed, "loss-burst", index, name)
+                ),
+                self._ev_burst,
+            )
+            for index, spec in zip(self._loss_spec_indices, self._loss_specs)
+        ]
+        # Rate-limit storms: resolve this session's active windows and
+        # install the refill scale on the network's token buckets.
+        self._storm_windows = []
+        for index, spec in self._storm_specs:
+            if spec.applies_to(self.plan.spec_seed(index), name):
+                t0 = spec.start * self.horizon
+                t1 = t0 + spec.duration * self.horizon
+                self._storm_windows.append((t0, t1, spec.scale))
+                self._ev_storm.inc()
+        self.network._set_rate_scale(
+            self._storm_scale if self._storm_windows else None
+        )
+        # Link flaps: the route churn invalidates the forward-path
+        # cache (value-deterministic — affects speed, never results).
+        if self._flap_windows:
+            self.network.invalidate_forward_paths()
+            self._ev_flap.inc(len(self._flap_windows))
+
+    def end_session(self) -> None:
+        self.session_name = None
+        self._chains = []
+        self._storm_windows = []
+        self.network._set_rate_scale(None)
+
+    # -- dataplane hooks ---------------------------------------------------
+
+    def active_flap_edges(self, now: float) -> Optional[FrozenSet]:
+        """Flapped adjacencies live at session time ``now`` (or None)."""
+        windows = self._flap_windows
+        if not windows:
+            return None
+        mask = 0
+        for bit, (t0, t1, _edges) in enumerate(windows):
+            if t0 <= now < t1:
+                mask |= 1 << bit
+        if not mask:
+            return None
+        union = self._flap_union.get(mask)
+        if union is None:
+            merged = frozenset().union(
+                *(
+                    edges
+                    for bit, (_t0, _t1, edges) in enumerate(windows)
+                    if mask & (1 << bit)
+                )
+            )
+            self._flap_union[mask] = merged
+            union = merged
+        return union
+
+    def burst_lost(self) -> bool:
+        """Advance every loss chain one draw; True = packet killed.
+
+        All chains advance on every call (no short-circuit) so the
+        draw streams stay aligned regardless of outcomes.
+        """
+        lost = False
+        for chain in self._chains:
+            if chain.step():
+                lost = True
+        return lost
+
+    def _storm_scale(self, now: float) -> float:
+        """Token-bucket refill multiplier at session time ``now``."""
+        scale = 1.0
+        for t0, t1, collapse in self._storm_windows:
+            if t0 <= now < t1 and collapse < scale:
+                scale = collapse
+        return scale
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self.plan.describe()}, "
+            f"horizon={self.horizon:.3g}s)"
+        )

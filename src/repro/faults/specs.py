@@ -1,0 +1,249 @@
+"""Composable, seeded fault specifications.
+
+The paper's operational story (§4.1, Fig. 4) is that RR measurement
+happens in a hostile environment: slow-path policers whose behaviour
+fluctuates on short timescales, silent drops, and vantage points that
+come and go. A :class:`FaultPlan` reproduces that adversity
+*deterministically*: every fault decision is derived from the plan's
+seed plus the identity of the entity it perturbs (a VP name, a link,
+an attempt number), never from wall-clock time or iteration order.
+
+That derivation rule is what lets the chaos machinery coexist with the
+parallel survey engine's byte-parity contract: a faulted campaign run
+at ``jobs ∈ {1, 2, 4}``, or killed and resumed from a checkpoint,
+produces byte-identical merged output, because each VP session draws
+its faults from ``(plan seed, vp name, session-relative time)`` alone.
+
+Four fault families, each a frozen (picklable) dataclass:
+
+* :class:`VpChurn` — vantage points go dark and return mid-campaign
+  (RIPE Atlas probe connect/disconnect churn): a VP's first *k*
+  campaign attempts fail outright; the retry that lands after the VP
+  "returns" runs a clean, complete session.
+* :class:`LinkFlap` — an adjacent router pair blackholes traffic for a
+  window of each probe session, invalidating the forward-path cache.
+* :class:`LossBurst` — a Gilbert–Elliott two-state chain overlays
+  *correlated* loss on the per-VP loss stream (bursty last-mile loss,
+  not the i.i.d. ``loss_prob`` the base simulation models).
+* :class:`RateLimitStorm` — token-bucket refill collapses by a factor
+  for a window ("Your Router is My Prober": rate-limiting state itself
+  fluctuates), starving the slow path mid-survey.
+
+Window positions (``start``/``duration``) are expressed as *fractions
+of the session horizon* — the expected duration of one VP's probe
+sequence — so the same spec scales from a 40-destination test world to
+a full campaign without re-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Tuple, Union
+
+from repro.rng import stable_randint, stable_u64, stable_uniform
+
+__all__ = [
+    "VpChurn",
+    "LinkFlap",
+    "LossBurst",
+    "RateLimitStorm",
+    "FaultSpec",
+    "FaultPlan",
+]
+
+
+def _require_unit(name: str, value: float, allow_zero: bool = True) -> None:
+    low_ok = value >= 0 if allow_zero else value > 0
+    if not (low_ok and value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class VpChurn:
+    """VPs go dark and return mid-campaign (attempt-level failures).
+
+    Per vantage point, the plan deterministically decides whether the
+    VP churns (probability ``prob``) and, if so, for how many initial
+    campaign attempts it stays dark (uniform in
+    ``[1, max_dark_attempts]``). Dark attempts fail fast — the unit of
+    work never probes — and the first attempt after the VP returns
+    runs a complete, unperturbed session. A campaign with enough
+    retries therefore recovers *byte-identical* output to an unfaulted
+    run, which is exactly the resilience bar the runner is tested
+    against.
+    """
+
+    KIND: ClassVar[str] = "vp_churn"
+
+    prob: float = 0.35
+    max_dark_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        _require_unit("prob", self.prob)
+        if self.max_dark_attempts < 1:
+            raise ValueError(
+                f"max_dark_attempts must be >= 1: {self.max_dark_attempts}"
+            )
+
+    def dark_attempts(self, seed: int, vp_name: str) -> int:
+        """How many initial attempts ``vp_name`` is dark for (0 = none)."""
+        if stable_uniform(seed, "vp-churn", vp_name) >= self.prob:
+            return 0
+        return stable_randint(
+            1, self.max_dark_attempts, seed, "vp-churn-n", vp_name
+        )
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """An adjacent router pair blackholes traffic for a window.
+
+    ``count`` AS adjacencies are chosen deterministically from the
+    topology; during ``[start, start + duration)`` (fractions of the
+    session horizon) any packet whose hop-by-hop walk crosses a
+    flapped adjacency — in either direction — is silently dropped.
+    The injector also invalidates the forward-path cache at session
+    start, modelling the route churn a real flap causes (and
+    exercising the cache-invalidation machinery; paths are
+    value-deterministic, so this changes speed, never results).
+    """
+
+    KIND: ClassVar[str] = "link_flap"
+
+    count: int = 2
+    start: float = 0.25
+    duration: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1: {self.count}")
+        _require_unit("start", self.start)
+        _require_unit("duration", self.duration, allow_zero=False)
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Gilbert–Elliott correlated loss overlaying the per-VP stream.
+
+    A two-state chain per VP session: in the Good state each loss
+    check enters Bad with probability ``p_enter``; in Bad it returns
+    to Good with probability ``p_exit`` and drops the packet with
+    probability ``drop_prob``. The chain's RNG is seeded from
+    ``(plan seed, vp name)``, so the k-th draw of a VP's session is
+    identical for any worker count.
+    """
+
+    KIND: ClassVar[str] = "loss_burst"
+
+    p_enter: float = 0.03
+    p_exit: float = 0.25
+    drop_prob: float = 0.85
+
+    def __post_init__(self) -> None:
+        _require_unit("p_enter", self.p_enter)
+        _require_unit("p_exit", self.p_exit, allow_zero=False)
+        _require_unit("drop_prob", self.drop_prob)
+
+
+@dataclass(frozen=True)
+class RateLimitStorm:
+    """Temporary token-bucket refill collapse on the slow path.
+
+    During ``[start, start + duration)`` of a session (fractions of
+    the horizon), every router token bucket refills at
+    ``scale × rate`` — Cisco's ~10 pps CoPP policers collapsing to
+    ``scale`` of their budget. Applies to a VP's session with
+    probability ``prob`` (decided per session from the plan seed).
+    """
+
+    KIND: ClassVar[str] = "rate_limit_storm"
+
+    scale: float = 0.1
+    start: float = 0.2
+    duration: float = 0.6
+    prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_unit("scale", self.scale)
+        _require_unit("start", self.start)
+        _require_unit("duration", self.duration, allow_zero=False)
+        _require_unit("prob", self.prob)
+
+    def applies_to(self, seed: int, vp_name: str) -> bool:
+        if self.prob >= 1.0:
+            return True
+        return stable_uniform(seed, "storm", vp_name) < self.prob
+
+
+FaultSpec = Union[VpChurn, LinkFlap, LossBurst, RateLimitStorm]
+
+#: Every fault kind label the metrics registry may see.
+FAULT_KINDS: Tuple[str, ...] = (
+    VpChurn.KIND,
+    LinkFlap.KIND,
+    LossBurst.KIND,
+    RateLimitStorm.KIND,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded bundle of fault specs — the unit chaos runs are keyed by.
+
+    The plan is pure data (frozen dataclasses all the way down), so it
+    pickles across the worker pool and reprs stably into the campaign
+    fingerprint that guards checkpoint/resume.
+    """
+
+    seed: int
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    # -- selection ---------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.specs
+
+    def by_kind(self, cls) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs if isinstance(spec, cls))
+
+    def spec_seed(self, index: int) -> int:
+        """An independent child seed for the ``index``-th spec."""
+        return stable_u64(self.seed, "spec", index)
+
+    # -- campaign-level decisions -----------------------------------------
+
+    def churn_attempts(self, vp_name: str) -> int:
+        """Initial dark attempts for ``vp_name`` (max across churn specs)."""
+        dark = 0
+        for index, spec in enumerate(self.specs):
+            if isinstance(spec, VpChurn):
+                dark = max(
+                    dark, spec.dark_attempts(self.spec_seed(index), vp_name)
+                )
+        return dark
+
+    def churned_vps(self, vp_names) -> dict:
+        """``{vp_name: dark_attempts}`` for every churned VP in the list."""
+        out = {}
+        for name in vp_names:
+            attempts = self.churn_attempts(name)
+            if attempts:
+                out[name] = attempts
+        return out
+
+    # -- identity ---------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable hex digest of the plan (guards checkpoint reuse)."""
+        parts = tuple(repr(spec) for spec in self.specs)
+        return f"{stable_u64('fault-plan', self.seed, parts):016x}"
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return f"fault plan (seed {self.seed}): no faults"
+        kinds = ", ".join(type(spec).KIND for spec in self.specs)
+        return f"fault plan (seed {self.seed}): {kinds}"

@@ -1,0 +1,67 @@
+"""Named fault-plan presets (the ``--faults`` vocabulary).
+
+Mirrors :mod:`repro.scenarios.presets` for chaos: a small dictionary
+of named plans tuned so that a tiny test world already exhibits each
+fault's signature (dark VPs, flap-window unreachability, bursty loss,
+starved slow paths), plus ``chaos`` combining all four.
+
+Plans are seeded from the scenario seed by default
+(``derive_seed(seed, "faults")``), so ``--preset tiny --seed 7
+--faults chaos`` names one reproducible adversarial world.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.specs import (
+    FaultPlan,
+    LinkFlap,
+    LossBurst,
+    RateLimitStorm,
+    VpChurn,
+)
+from repro.rng import derive_seed
+
+__all__ = ["FAULT_PRESETS", "build_fault_plan"]
+
+#: name -> tuple of fault specs (seed applied at build time).
+FAULT_PRESETS = {
+    "none": (),
+    "vp-churn": (VpChurn(prob=0.5, max_dark_attempts=2),),
+    "link-flap": (LinkFlap(count=3, start=0.2, duration=0.6),),
+    "loss-burst": (
+        LossBurst(p_enter=0.05, p_exit=0.2, drop_prob=0.9),
+    ),
+    "rate-storm": (
+        RateLimitStorm(scale=0.05, start=0.1, duration=0.8),
+    ),
+    "chaos": (
+        VpChurn(prob=0.4, max_dark_attempts=2),
+        LinkFlap(count=2, start=0.25, duration=0.5),
+        LossBurst(p_enter=0.03, p_exit=0.25, drop_prob=0.85),
+        RateLimitStorm(scale=0.1, start=0.2, duration=0.6, prob=0.75),
+    ),
+}
+
+
+def build_fault_plan(
+    name: str,
+    scenario_seed: int = 2016,
+    seed: Optional[int] = None,
+) -> FaultPlan:
+    """Resolve a preset name to a seeded :class:`FaultPlan`.
+
+    ``seed`` overrides the default derivation from the scenario seed
+    (useful for sweeping chaos realisations over one fixed Internet).
+    """
+    try:
+        specs = FAULT_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PRESETS))
+        raise ValueError(
+            f"unknown fault preset {name!r} (known: {known})"
+        ) from None
+    if seed is None:
+        seed = derive_seed(scenario_seed, "faults")
+    return FaultPlan(seed=seed, specs=specs)

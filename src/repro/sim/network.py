@@ -87,6 +87,7 @@ class NetworkStats:
         "dropped_ttl",
         "dropped_host",
         "dropped_loss",
+        "dropped_fault",
         "ttl_exceeded_sent",
         "port_unreach_sent",
     )
@@ -174,6 +175,7 @@ class _NetMetrics:
         self.dropped_ttl = dropped.labels(net_id, "ttl")
         self.dropped_host = dropped.labels(net_id, "host")
         self.dropped_loss = dropped.labels(net_id, "loss")
+        self.dropped_fault = dropped.labels(net_id, "fault")
         self.ttl_exceeded_sent = icmp.labels(net_id, "ttl_exceeded")
         self.port_unreach_sent = icmp.labels(net_id, "port_unreach")
 
@@ -215,6 +217,12 @@ class Network:
         self.stats = NetworkStats(self._mx.as_children())
         #: Opt-in per-hop tracer; ``None`` keeps the walk allocation-free.
         self._tracer: Optional[PacketTracer] = None
+        #: Opt-in fault injector (``repro.faults``); ``None`` keeps the
+        #: dataplane fault-agnostic at the cost of one check per walk.
+        self._injector = None
+        #: Current token-bucket refill scale (RateLimitStorm hook);
+        #: installed on every live limiter and on new ones at creation.
+        self._rate_scale = None
         self._bucket_metrics: Dict[str, BucketMetrics] = {}
         self._policies: Dict[Tuple, RouterPolicy] = {}
         self._limiters: Dict[Tuple, TokenBucket] = {}
@@ -273,6 +281,45 @@ class Network:
         """Disable tracing; returns the tracer that was attached."""
         tracer, self._tracer = self._tracer, None
         return tracer
+
+    # -- fault injection ---------------------------------------------------
+
+    @property
+    def injector(self):
+        return self._injector
+
+    def attach_injector(self, injector) -> None:
+        """Enable fault injection (a ``repro.faults.FaultInjector``).
+
+        The dataplane stays fault-agnostic: the injector is consulted
+        through three narrow hooks (session begin/end, the per-walk
+        flap lookup, the loss-overlay draw) plus the token-bucket
+        refill scale. Detaching restores the placid world exactly.
+        """
+        self._injector = injector
+
+    def detach_injector(self):
+        """Disable fault injection; returns the detached injector."""
+        injector, self._injector = self._injector, None
+        self._set_rate_scale(None)
+        return injector
+
+    def _set_rate_scale(self, scale_fn) -> None:
+        """Install (or clear) the refill-rate multiplier on every
+        token bucket — live ones now, future ones at creation."""
+        self._rate_scale = scale_fn
+        for limiter in self._limiters.values():
+            limiter.rate_scale = scale_fn
+
+    def invalidate_forward_paths(self) -> None:
+        """Drop only the forward-path cache (link-flap route churn).
+
+        Narrower than :meth:`invalidate_routes`: trunk/tail expansions
+        and routing trees survive, so the next probe re-memoises from
+        warm lower layers. Counted with the other invalidations.
+        """
+        self._path_invalidations.inc()
+        self._fwd_paths.clear()
 
     # -- entity resolution ---------------------------------------------------
 
@@ -346,6 +393,7 @@ class Network:
                 start=self.clock.now,
                 metrics=self._bucket_metrics_for(router.key[1]),
             )
+            limiter.rate_scale = self._rate_scale
             self._limiters[router.key] = limiter
         return limiter
 
@@ -470,6 +518,8 @@ class Network:
         self._loss_rng = random.Random(
             stable_u64(self.params.seed, "vp-loss", name)
         )
+        if self._injector is not None:
+            self._injector.begin_session(name)
 
     def end_vp_session(self) -> None:
         """Leave the per-VP context, restoring shared network state.
@@ -477,6 +527,8 @@ class Network:
         The clock resumes at ``outer + elapsed`` so simulated time
         still adds up across sessions from the outside.
         """
+        if self._injector is not None:
+            self._injector.end_session()
         elapsed = self.clock.now
         self.clock.rebase(self._session_outer + elapsed)
         self._session_outer = 0.0
@@ -504,8 +556,41 @@ class Network:
         has_options = pkt.has_options
         mx = self._mx
         tracer = self._tracer
+        injector = self._injector
+        # Flapped adjacencies live at this instant (clock is constant
+        # for the duration of a walk); None keeps the loop lean.
+        flapped = (
+            injector.active_flap_edges(now) if injector is not None else None
+        )
+        prev_asn: Optional[int] = None
         for segment in segments:
             for hop in segment:
+                if flapped is not None:
+                    asn = hop.router.asn
+                    if prev_asn is not None and prev_asn != asn:
+                        edge = (
+                            (prev_asn, asn)
+                            if prev_asn < asn
+                            else (asn, prev_asn)
+                        )
+                        if edge in flapped:
+                            mx.dropped_fault.inc()
+                            injector.drops_flap.inc()
+                            if tracer is not None:
+                                tracer.emit(
+                                    "drop",
+                                    now,
+                                    direction=direction,
+                                    addr=hop.icmp_addr,
+                                    asn=asn,
+                                    role=hop.router.key[1],
+                                    detail=(
+                                        f"fault link_flap {edge[0]}-"
+                                        f"{edge[1]}"
+                                    ),
+                                )
+                            return _DROPPED, None
+                    prev_asn = asn
                 policy = self.policy_of(hop.router)
                 if tracer is not None:
                     tracer.emit(
@@ -640,6 +725,18 @@ class Network:
         )
 
     def _lost(self) -> bool:
+        injector = self._injector
+        if injector is not None and injector.burst_lost():
+            # Correlated (Gilbert–Elliott) loss overlay: drawn from the
+            # injector's own per-session chain, so the base loss stream
+            # below stays untouched by the overlay's existence.
+            self._mx.dropped_fault.inc()
+            injector.drops_burst.inc()
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "drop", self.clock.now, detail="fault loss_burst"
+                )
+            return True
         if self.params.loss_prob <= 0:
             return False
         if self._loss_rng.random() < self.params.loss_prob:

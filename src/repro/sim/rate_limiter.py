@@ -9,7 +9,7 @@ steady-state limit and the burst tolerance those policers have.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = ["TokenBucket", "BucketMetrics"]
 
@@ -51,11 +51,24 @@ class TokenBucket:
         self._tokens = float(burst)
         self._last = float(start)
         self.metrics = metrics
+        #: Optional refill-rate multiplier ``f(now) -> scale`` — the
+        #: fault subsystem's RateLimitStorm hook. ``None`` (the normal
+        #: case) costs one identity check per refill. The scale is a
+        #: pure function of the (session-rebased) clock, so the
+        #: parallel engine's determinism contract survives storms.
+        self.rate_scale: Optional[Callable[[float], float]] = None
+
+    def _effective_rate(self, now: float) -> float:
+        scale = self.rate_scale
+        if scale is None:
+            return self.rate
+        return self.rate * scale(now)
 
     def _refill(self, now: float) -> None:
         if now > self._last:
             self._tokens = min(
-                self.burst, self._tokens + (now - self._last) * self.rate
+                self.burst,
+                self._tokens + (now - self._last) * self._effective_rate(now),
             )
             self._last = now
             if self.metrics is not None:
@@ -78,7 +91,10 @@ class TokenBucket:
         """Tokens that would be available at ``now`` (no consumption)."""
         if now <= self._last:
             return self._tokens
-        return min(self.burst, self._tokens + (now - self._last) * self.rate)
+        return min(
+            self.burst,
+            self._tokens + (now - self._last) * self._effective_rate(now),
+        )
 
     def reset(self, now: float = 0.0) -> None:
         """Refill completely, e.g. between independent probing runs."""

@@ -83,6 +83,100 @@ class TestByteParity:
         assert sum(loads[0].values()) > 0
 
 
+def _faulted_campaign_bytes(seed: int, jobs: int) -> bytes:
+    """One *faulted* RR campaign on a fresh tiny world, as JSON.
+
+    Uses a packet-perturbing plan (flap + burst + storm — every family
+    except churn, which is attempt-level and tested separately in
+    ``test_faults.py``) so the parity bar covers the injector's
+    dataplane hooks, not just the happy path.
+    """
+    from pathlib import Path
+    import tempfile
+
+    from repro.faults import (
+        CampaignRunner,
+        FaultPlan,
+        LinkFlap,
+        LossBurst,
+        RateLimitStorm,
+    )
+
+    scenario = get_preset("tiny", seed)
+    targets = list(scenario.hitlist)[:N_DESTS]
+    vps = list(scenario.vps)[:N_VPS]
+    plan = FaultPlan(
+        seed=4242,
+        specs=(
+            LinkFlap(count=2, start=0.25, duration=0.5),
+            LossBurst(p_enter=0.05, p_exit=0.2, drop_prob=0.9),
+            RateLimitStorm(scale=0.1, start=0.2, duration=0.6),
+        ),
+    )
+    result = CampaignRunner(scenario, plan=plan, jobs=jobs).run(
+        targets=targets, vps=vps
+    )
+    assert not result.partial
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "survey.json"
+        save_survey(result.survey, out)
+        return out.read_bytes()
+
+
+class TestFaultedByteParity:
+    """The injector must not break the engine's determinism contract:
+    fault decisions key off (plan seed, vp name, session time) only,
+    so a faulted campaign's bytes are invariant under worker count
+    and under kill-at-checkpoint + resume."""
+
+    def test_faulted_campaign_invariant_under_jobs(self):
+        serial = _faulted_campaign_bytes(2016, jobs=1)
+        for jobs in (2, 4):
+            assert _faulted_campaign_bytes(2016, jobs=jobs) == serial, (
+                f"faulted campaign diverged at jobs={jobs}"
+            )
+
+    def test_faulted_differs_from_unfaulted(self):
+        """The plan above actually perturbs packets (otherwise the
+        parity assertions would be vacuous)."""
+        assert _faulted_campaign_bytes(2016, jobs=1) != _campaign_bytes(
+            2016, jobs=1
+        )
+
+    def test_kill_resume_matches_uninterrupted(self, tmp_path):
+        from repro.faults import CampaignInterrupted, CampaignRunner
+        from repro.scenarios.faults import build_fault_plan
+
+        def fresh_runner(**kwargs):
+            scenario = get_preset("tiny", 2016)
+            plan = build_fault_plan("chaos", scenario_seed=2016)
+            return scenario, CampaignRunner(
+                scenario, plan=plan, jobs=2, max_retries=4, **kwargs
+            )
+
+        scenario, runner = fresh_runner()
+        targets = list(scenario.hitlist)[:N_DESTS]
+        full = runner.run(targets=targets)
+        a = tmp_path / "full.json"
+        save_survey(full.survey, a)
+
+        ck = tmp_path / "ck.json"
+        scenario, runner = fresh_runner(
+            checkpoint_path=ck, kill_after_vps=2
+        )
+        targets = list(scenario.hitlist)[:N_DESTS]
+        with pytest.raises(CampaignInterrupted):
+            runner.run(targets=targets)
+
+        scenario, runner = fresh_runner(checkpoint_path=ck)
+        targets = list(scenario.hitlist)[:N_DESTS]
+        resumed = runner.run(targets=targets, resume=True)
+        assert resumed.resumed_vps >= 2
+        b = tmp_path / "resumed.json"
+        save_survey(resumed.survey, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
 class TestRunner:
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
