@@ -15,6 +15,11 @@ Three questions, answered with wall-clock numbers and a parity bar:
   and the chaos campaign must be byte-identical across serial and
   pooled execution. The script exits non-zero if either parity bar
   fails — that is the gating part; timings are trajectory capture.
+* **supervision tax** — the watchdog pool (per-destination
+  heartbeats, pipe multiplexing, hang scans) versus the plain pool on
+  an identical empty-plan campaign at ``--jobs`` workers. The target
+  is < 5% overhead (recorded as ``supervision_overhead``; the *gated*
+  part is that supervised bytes equal the unsupervised ones).
 
 Run it directly (no pytest harness)::
 
@@ -34,7 +39,12 @@ from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 from repro.core.survey import run_rr_survey, save_survey
-from repro.faults import CampaignRunner, FaultPlan, VpChurn
+from repro.faults import (
+    CampaignRunner,
+    FaultPlan,
+    SupervisionConfig,
+    VpChurn,
+)
 from repro.obs.metrics import REGISTRY
 from repro.scenarios.faults import build_fault_plan
 from repro.scenarios.internet import Scenario
@@ -74,12 +84,14 @@ def _run_campaign(
     jobs: int,
     plan: Optional[FaultPlan],
     max_retries: int = 4,
+    supervision: Optional[SupervisionConfig] = None,
 ):
     """(seconds, CampaignResult) for one fresh-world campaign."""
     scenario = _fresh(preset, seed)
     targets, vps = _subset(scenario, quick)
     runner = CampaignRunner(
-        scenario, plan=plan, jobs=jobs, max_retries=max_retries
+        scenario, plan=plan, jobs=jobs, max_retries=max_retries,
+        supervision=supervision,
     )
     start = time.perf_counter()
     result = runner.run(targets=targets, vps=vps)
@@ -188,6 +200,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"  chaos overhead vs unfaulted: {overhead:+.1%}", flush=True)
 
+    # Supervision tax: identical empty-plan campaigns at --jobs, plain
+    # pool versus watchdog pool (heartbeats + hang scans). Target
+    # < 5%; the number is recorded, the byte parity is gated.
+    secs, plain_pooled = _run_campaign(
+        args.preset, args.seed, args.quick, jobs=args.jobs, plan=None
+    )
+    timings[f"campaign_empty_jobs{args.jobs}"] = secs
+    secs, supervised = _run_campaign(
+        args.preset, args.seed, args.quick, jobs=args.jobs, plan=None,
+        supervision=SupervisionConfig(),
+    )
+    timings[f"campaign_supervised_jobs{args.jobs}"] = secs
+    supervision_overhead = (
+        timings[f"campaign_supervised_jobs{args.jobs}"]
+        / timings[f"campaign_empty_jobs{args.jobs}"]
+        - 1.0
+        if timings[f"campaign_empty_jobs{args.jobs}"]
+        else 0.0
+    )
+    supervised_ok = _survey_bytes(
+        supervised.survey, "sup", out_dir
+    ) == _survey_bytes(plain_pooled.survey, "plain", out_dir)
+    print(
+        f"  supervised jobs={args.jobs}     : "
+        f"{timings[f'campaign_supervised_jobs{args.jobs}']:.3f}s "
+        f"(overhead {supervision_overhead:+.1%}, target <5%; "
+        f"parity {'ok' if supervised_ok else 'MISMATCH'})",
+        flush=True,
+    )
+
     record = {
         "benchmark": "faults",
         "preset": args.preset,
@@ -199,6 +241,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cpu_count": os.cpu_count(),
         "timings_seconds": timings,
         "chaos_overhead_vs_unfaulted": overhead,
+        "supervision_overhead": supervision_overhead,
+        "supervision_overhead_target": 0.05,
         "churn_retry_rounds": churn_result.retry_rounds,
         "churn_backoff_sim_seconds": churn_result.backoff_sim_seconds,
         "chaos_retry_rounds": chaos_serial.retry_rounds,
@@ -208,13 +252,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "driver_empty_plan": driver_ok,
             "churn_recovers_unfaulted": recovery_ok,
             "chaos_serial_vs_pool": chaos_ok,
+            "supervised_vs_plain_pool": supervised_ok,
         },
     }
     args.output.write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n", "utf-8"
     )
     print(f"  wrote {args.output}", flush=True)
-    return 0 if (driver_ok and recovery_ok and chaos_ok) else 1
+    return (
+        0
+        if (driver_ok and recovery_ok and chaos_ok and supervised_ok)
+        else 1
+    )
 
 
 if __name__ == "__main__":

@@ -16,8 +16,10 @@ Commands:
   text, or JSONL;
 * ``chaos`` — run the RR campaign under a named fault plan with the
   resilient (retrying, checkpointing, resumable) campaign driver and
-  print its manifest; exit code 3 means the run was deliberately
-  killed (``--kill-after-vps``) and can be ``--resume``\\ d;
+  print its manifest; ``--supervise`` adds the watchdog/quarantine
+  layer. Exit codes: 0 = completed; 3 = deliberately killed
+  (``--kill-after-vps``, can be ``--resume``\\ d); 4 = completed but
+  one or more VPs were quarantined as poison;
 * ``export`` — write the scenario's synthetic datasets (RouteViews-
   style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory.
 """
@@ -54,6 +56,10 @@ from repro.scenarios.presets import PRESETS, get_preset
 #: Exit code for a campaign deliberately killed by ``--kill-after-vps``
 #: (the CI chaos-smoke job expects exactly this code, then resumes).
 EXIT_INTERRUPTED = 3
+
+#: Exit code for a campaign that completed but quarantined one or more
+#: poison VPs (the CI watchdog-smoke job expects exactly this code).
+EXIT_QUARANTINED = 4
 
 __all__ = ["main", "build_parser"]
 
@@ -231,6 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--dests", type=int, default=None,
         help="probe only the first N hitlist destinations",
     )
+    chaos.add_argument(
+        "--supervise", action="store_true",
+        help="run under the worker watchdog: heartbeat monitoring, "
+             "kill/respawn of hung workers, per-VP circuit breakers, "
+             f"poison-VP quarantine (exit code {EXIT_QUARANTINED} if "
+             "any VP is quarantined)",
+    )
+    chaos.add_argument(
+        "--hang-timeout", type=float, default=30.0,
+        help="no-heartbeat deadline (seconds) before a worker is "
+             "presumed hung and respawned (with --supervise)",
+    )
+    chaos.add_argument(
+        "--quarantine-after", type=int, default=3,
+        help="quarantine a VP after this many hang/crash attempts "
+             "(with --supervise)",
+    )
+    chaos.add_argument(
+        "--hang-vp", action="append", default=[], metavar="VP",
+        help="inject a permanent mid-session hang for this VP "
+             "(repeatable; composes with --faults)",
+    )
+    chaos.add_argument(
+        "--crash-vp", action="append", default=[], metavar="VP",
+        help="inject a permanent mid-session crash loop for this VP "
+             "(repeatable; composes with --faults)",
+    )
+    chaos.add_argument(
+        "--stats-output", type=Path, default=None,
+        help="write the campaign manifest + supervision health "
+             "summary as JSON here (CI artifact)",
+    )
 
     probe = sub.add_parser("probe", help="issue a single measurement")
     probe.add_argument(
@@ -283,6 +321,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default="none", choices=sorted(FAULT_PRESETS),
         help="run the study under this fault plan first, so the "
              "fault-injection and campaign counters are populated",
+    )
+    stats.add_argument(
+        "--health", action="store_true",
+        help="append the supervision-health section (heartbeat ages, "
+             "hangs, respawns, quarantines, breaker states, artifact "
+             "checksums, checkpoint repairs); with --faults, the "
+             "campaign runs supervised so the counters are live",
     )
 
     export = sub.add_parser(
@@ -353,11 +398,34 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.campaign import CampaignInterrupted, CampaignRunner
+    from repro.faults.specs import FaultPlan, VpCrash, VpHang
+    from repro.faults.supervisor import SupervisionConfig
 
     scenario = get_preset(args.preset, seed=args.seed)
     plan = build_fault_plan(
         args.faults, scenario_seed=args.seed, seed=args.fault_seed
     )
+    extra = []
+    try:
+        for name in args.hang_vp:
+            scenario.vp_by_name(name)  # fail fast on typos
+            extra.append(
+                VpHang(vps=(name,), after_targets=3, hang_seconds=60.0)
+            )
+        for name in args.crash_vp:
+            scenario.vp_by_name(name)
+            extra.append(VpCrash(vps=(name,), after_targets=2))
+    except KeyError as exc:
+        print(f"chaos: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if extra:
+        plan = FaultPlan(seed=plan.seed, specs=plan.specs + tuple(extra))
+    supervision = None
+    if args.supervise:
+        supervision = SupervisionConfig(
+            hang_timeout=args.hang_timeout,
+            quarantine_after=args.quarantine_after,
+        )
     runner = CampaignRunner(
         scenario,
         plan=plan,
@@ -366,6 +434,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         budget_seconds=args.budget,
         checkpoint_path=args.checkpoint,
         kill_after_vps=args.kill_after_vps,
+        supervision=supervision,
     )
     targets = None
     if args.dests is not None:
@@ -380,6 +449,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.save_survey is not None:
         save_survey(result.survey, args.save_survey)
         print(f"wrote {args.save_survey}", file=sys.stderr)
+    if args.stats_output is not None:
+        payload = {
+            "manifest": result.manifest(),
+            "health": _health_summary(REGISTRY.snapshot()),
+        }
+        args.stats_output.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8"
+        )
+        print(f"wrote {args.stats_output}", file=sys.stderr)
+    if result.quarantined:
+        return EXIT_QUARANTINED
     return 0
 
 
@@ -433,6 +513,107 @@ def _sum_series(
         key = series["labels"].get(by, "") if by else ""
         totals[key] = totals.get(key, 0) + series["value"]
     return totals
+
+
+def _health_summary(snapshot: dict) -> dict:
+    """Supervision/integrity health as plain data (JSON-safe).
+
+    Shared by ``repro stats --health`` and ``repro chaos
+    --stats-output`` so the CI artifact and the rendered table can
+    never disagree on what "healthy" means.
+    """
+    heartbeat = snapshot.get("supervisor_heartbeat_age_seconds")
+    beat_count = 0
+    beat_sum = 0.0
+    if heartbeat:
+        for series in heartbeat["series"]:
+            beat_count += series["count"]
+            beat_sum += series["sum"]
+    return {
+        "hangs_detected": _sum_series(
+            snapshot, "supervisor_hangs_total"
+        ).get("", 0),
+        "worker_crashes": _sum_series(
+            snapshot, "supervisor_worker_crashes_total"
+        ).get("", 0),
+        "workers_respawned": _sum_series(
+            snapshot, "supervisor_respawns_total"
+        ).get("", 0),
+        "quarantines": _sum_series(
+            snapshot, "supervisor_quarantines_total", by="kind"
+        ),
+        "breaker_transitions": _sum_series(
+            snapshot, "supervisor_breaker_transitions_total", by="to"
+        ),
+        "breaker_skips": _sum_series(
+            snapshot, "supervisor_breaker_skips_total"
+        ).get("", 0),
+        "checkpoint_repairs": _sum_series(
+            snapshot, "campaign_checkpoint_repairs_total"
+        ).get("", 0),
+        "checksums_verified": _sum_series(
+            snapshot, "artifact_checksum_verified_total", by="kind"
+        ),
+        "checksum_failures": _sum_series(
+            snapshot, "artifact_checksum_failures_total", by="kind"
+        ),
+        "heartbeats_observed": beat_count,
+        "heartbeat_age_mean_seconds": (
+            round(beat_sum / beat_count, 6) if beat_count else None
+        ),
+    }
+
+
+def _render_health_section(snapshot: dict) -> str:
+    health = _health_summary(snapshot)
+    lines = ["supervision health"]
+    lines.append(
+        f"  {'hangs_detected':<22} {health['hangs_detected']:>10}"
+    )
+    lines.append(
+        f"  {'worker_crashes':<22} {health['worker_crashes']:>10}"
+    )
+    lines.append(
+        f"  {'workers_respawned':<22} {health['workers_respawned']:>10}"
+    )
+    quarantines = health["quarantines"]
+    if quarantines:
+        for kind in sorted(quarantines):
+            lines.append(
+                f"  {'quarantined[' + kind + ']':<22} "
+                f"{quarantines[kind]:>10}"
+            )
+    else:
+        lines.append(f"  {'quarantined':<22} {0:>10}")
+    for state in sorted(health["breaker_transitions"]):
+        lines.append(
+            f"  {'breaker→' + state:<22} "
+            f"{health['breaker_transitions'][state]:>10}"
+        )
+    lines.append(
+        f"  {'breaker_skips':<22} {health['breaker_skips']:>10}"
+    )
+    if health["heartbeats_observed"]:
+        mean = health["heartbeat_age_mean_seconds"]
+        lines.append(
+            f"  {'heartbeat_age_mean':<22} {mean:>10.4f}s "
+            f"({health['heartbeats_observed']} observed)"
+        )
+    lines.append("artifact integrity")
+    verified = health["checksums_verified"]
+    failures = health["checksum_failures"]
+    for kind in sorted(set(verified) | set(failures)) or [""]:
+        label = kind or "artifact"
+        lines.append(
+            f"  {'checksum[' + label + ']':<22} "
+            f"ok={verified.get(kind, 0):<8} "
+            f"bad={failures.get(kind, 0)}"
+        )
+    lines.append(
+        f"  {'checkpoint_repairs':<22} "
+        f"{health['checkpoint_repairs']:>10}"
+    )
+    return "\n".join(lines)
 
 
 def _render_stats_table(snapshot: dict) -> str:
@@ -549,11 +730,24 @@ def _render_stats_table(snapshot: dict) -> str:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     faults = getattr(args, "faults", "none")
+    health = getattr(args, "health", False)
     if faults != "none":
+        supervision = None
+        if health:
+            # --health implies the campaign should exercise the
+            # supervision layer so its counters are live.
+            from repro.faults.supervisor import SupervisionConfig
+
+            supervision = SupervisionConfig(
+                hang_timeout=10.0, quarantine_after=2
+            )
         scenario = get_preset(args.preset, seed=args.seed)
         plan = build_fault_plan(faults, scenario_seed=args.seed)
         run_resilient_study(
-            scenario, plan=plan, jobs=getattr(args, "jobs", 1)
+            scenario,
+            plan=plan,
+            jobs=getattr(args, "jobs", 1),
+            supervision=supervision,
         )
     else:
         get_study(
@@ -566,6 +760,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         rendered = to_jsonl(snapshot)
     else:
         rendered = _render_stats_table(snapshot)
+        if health:
+            rendered += "\n" + _render_health_section(snapshot)
     print(rendered)
     if args.output is not None:
         args.output.write_text(rendered.rstrip("\n") + "\n", "utf-8")

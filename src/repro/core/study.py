@@ -82,6 +82,7 @@ def run_resilient_study(
     checkpoint_path=None,
     resume: bool = False,
     kill_after_vps=None,
+    supervision=None,
 ):
     """Run both §3.1 studies with the fault-tolerant campaign driver.
 
@@ -89,7 +90,10 @@ def run_resilient_study(
     (retries, backoff budget, checkpoint/resume, graceful partial
     results); the plain-ping study runs unfaulted — the chaos model
     targets the RR slow path, and the ping survey is cheap enough to
-    simply rerun. Returns ``(StudyData, CampaignResult)``.
+    simply rerun. ``supervision`` (a
+    :class:`repro.faults.SupervisionConfig`) opts the RR campaign into
+    the watchdog/quarantine/breaker layer. Returns
+    ``(StudyData, CampaignResult)``.
     """
     from repro.faults.campaign import CampaignRunner
 
@@ -101,6 +105,7 @@ def run_resilient_study(
         budget_seconds=budget_seconds,
         checkpoint_path=checkpoint_path,
         kill_after_vps=kill_after_vps,
+        supervision=supervision,
     )
     with timed("full_study"):
         result = runner.run(resume=resume)

@@ -25,6 +25,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    Callable,
     Dict,
     Iterable,
     List,
@@ -36,6 +37,12 @@ from typing import (
 )
 
 from repro.net.addr import parse_prefix, same_slash24
+from repro.probing.artifacts import (
+    atomic_write_bytes,
+    canonical_json_bytes,
+    embed_checksum,
+    verify_embedded_checksum,
+)
 from repro.obs.timing import timed
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder, order_destinations
@@ -224,6 +231,11 @@ def save_survey(survey: RRSurvey, path: Union[str, Path]) -> None:
     A ``.json.gz`` (or any ``.gz``) path writes a deterministic gzip
     stream (``mtime=0``), so large campaign artifacts stay small and
     byte-comparable across runs.
+
+    Integrity: the record carries an embedded sha256 over its
+    canonical JSON bytes (verified by :func:`load_survey`), and the
+    file lands through the shared atomic write-rename helper, so a
+    crashed save can never leave a torn artifact behind.
     """
     record = {
         "version": 1,
@@ -255,16 +267,18 @@ def save_survey(survey: RRSurvey, path: Union[str, Path]) -> None:
             sorted(addrs) for addrs in survey.inprefix_addrs
         ],
     }
-    data = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    data = canonical_json_bytes(embed_checksum(record))
     if _is_gzip_path(path):
         # mtime=0 keeps the compressed bytes deterministic, so the
         # parallel-vs-serial parity bar applies to .json.gz too.
-        Path(path).write_bytes(gzip.compress(data, mtime=0))
+        atomic_write_bytes(path, gzip.compress(data, mtime=0))
     else:
-        Path(path).write_bytes(data)
+        atomic_write_bytes(path, data)
 
 
-def load_json_artifact(path: Union[str, Path]) -> dict:
+def load_json_artifact(
+    path: Union[str, Path], kind: str = "artifact"
+) -> dict:
     """Read + parse a (possibly gzipped) JSON artifact, or raise
     :class:`SurveyFormatError` with the path and a clear reason.
 
@@ -275,6 +289,13 @@ def load_json_artifact(path: Union[str, Path]) -> dict:
     same well-labelled error. A missing file stays a
     ``FileNotFoundError`` — absence and corruption are different
     failures.
+
+    If the record carries an embedded content checksum (every artifact
+    written since checksums existed does), it is recomputed over the
+    parsed record's canonical bytes and compared; a mismatch raises
+    :class:`SurveyFormatError` and is counted in
+    ``artifact_checksum_failures_total{kind}``. The checksum field is
+    stripped from the returned record.
     """
     raw = Path(path).read_bytes()
     if _is_gzip_path(path):
@@ -301,16 +322,20 @@ def load_json_artifact(path: Union[str, Path]) -> dict:
         raise SurveyFormatError(
             path, f"expected a JSON object, got {type(record).__name__}"
         )
-    return record
+    body, checksum_error = verify_embedded_checksum(record, kind=kind)
+    if checksum_error is not None:
+        raise SurveyFormatError(path, checksum_error)
+    return body
 
 
 def load_survey(path: Union[str, Path]) -> RRSurvey:
     """Load a survey written by :func:`save_survey` (``.gz`` aware).
 
     Raises :class:`SurveyFormatError` (with path + reason) on
-    truncated, corrupt, or wrong-version artifacts.
+    truncated, corrupt, checksum-mismatched, or wrong-version
+    artifacts.
     """
-    record = load_json_artifact(path)
+    record = load_json_artifact(path, kind="survey")
     if record.get("version") != 1:
         raise SurveyFormatError(
             path,
@@ -364,6 +389,7 @@ def probe_vp_rr(
     order: ProbeOrder = ProbeOrder.RANDOM,
     slots: int = 9,
     pps: float = DEFAULT_PPS,
+    heartbeat: Optional[Callable[[], None]] = None,
 ) -> VPRows:
     """One vantage point's complete ping-RR probe sequence.
 
@@ -373,6 +399,12 @@ def probe_vp_rr(
     ``(seed, vp.name)``), so the result rows are byte-identical whether
     this executes in the serial loop or in a worker process — the
     engine's determinism contract (see DESIGN.md).
+
+    ``heartbeat``, if given, is invoked once per destination *before*
+    the probe is issued — the supervision layer's per-task progress
+    ping (see :mod:`repro.faults.supervisor`). It must not touch
+    network state; the default ``None`` keeps the hot loop free of
+    even the call overhead.
     """
     network = scenario.network
     network.begin_vp_session(vp.name)
@@ -384,6 +416,8 @@ def probe_vp_rr(
             rows: List[Tuple[int, Optional[int]]] = []
             inprefix: Dict[int, Set[int]] = {}
             for dest in ordered:
+                if heartbeat is not None:
+                    heartbeat()
                 result = scenario.prober.ping_rr(
                     vp, dest.addr, slots=slots, pps=pps
                 )

@@ -7,18 +7,25 @@ Two halves, mirroring how real measurement studies meet adversity:
   :class:`FaultInjector` the dataplane consults through narrow hooks.
 * :mod:`repro.faults.campaign` — the survivor: a retrying, budgeted,
   checkpoint/resume campaign driver over the parallel survey engine.
+* :mod:`repro.faults.supervisor` — the supervisor: worker heartbeats
+  and a watchdog that kills/respawns hung workers, per-VP circuit
+  breakers, and poison-VP quarantine, so a campaign with pathological
+  vantage points terminates without human intervention.
 
 Everything is keyed so that fault decisions depend only on
 ``(plan seed, vp name, session-relative time)`` — the same contract
 that makes the parallel engine's output byte-identical across worker
-counts extends to chaos runs, kill points, and resumes.
+counts extends to chaos runs, kill points, resumes, and supervised
+recoveries.
 """
 
 from repro.faults.campaign import (
     CampaignInterrupted,
     CampaignResult,
     CampaignRunner,
+    checkpoint_generation_path,
     load_checkpoint,
+    load_checkpoint_with_fallback,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.specs import (
@@ -29,12 +36,21 @@ from repro.faults.specs import (
     LossBurst,
     RateLimitStorm,
     VpChurn,
+    VpCrash,
+    VpHang,
+)
+from repro.faults.supervisor import (
+    CircuitBreaker,
+    SupervisionConfig,
+    VpHealthTracker,
+    WorkerWatchdog,
 )
 
 __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CampaignRunner",
+    "CircuitBreaker",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
@@ -42,6 +58,13 @@ __all__ = [
     "LinkFlap",
     "LossBurst",
     "RateLimitStorm",
+    "SupervisionConfig",
     "VpChurn",
+    "VpCrash",
+    "VpHang",
+    "VpHealthTracker",
+    "WorkerWatchdog",
+    "checkpoint_generation_path",
     "load_checkpoint",
+    "load_checkpoint_with_fallback",
 ]

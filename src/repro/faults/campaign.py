@@ -50,11 +50,17 @@ from repro.core.survey import (
     SurveyFormatError,
     VPRows,
     load_json_artifact,
-    probe_vp_rr,
 )
-from repro.faults.injector import FaultInjector, fault_event_counter
+from repro.faults.injector import fault_event_counter
 from repro.faults.specs import FaultPlan, VpChurn
+from repro.faults.supervisor import (
+    SupervisionConfig,
+    VpHealthTracker,
+    WorkerWatchdog,
+    run_vp_attempt,
+)
 from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.probing.artifacts import atomic_write_text, embed_checksum
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder
 from repro.probing.vantage import VantagePoint
@@ -66,7 +72,9 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignResult",
     "CampaignRunner",
+    "checkpoint_generation_path",
     "load_checkpoint",
+    "load_checkpoint_with_fallback",
 ]
 
 CHECKPOINT_VERSION = 1
@@ -118,6 +126,16 @@ def campaign_resume_counter(registry: MetricsRegistry):
     )
 
 
+def checkpoint_repair_counter(registry: MetricsRegistry):
+    """``campaign_checkpoint_repairs_total{net}`` — corrupt newest
+    checkpoints recovered from the previous generation."""
+    return registry.counter(
+        "campaign_checkpoint_repairs_total",
+        "Corrupt checkpoints auto-repaired from the previous generation.",
+        ("net",),
+    )
+
+
 @dataclass
 class CampaignResult:
     """Manifest of one resilient campaign run."""
@@ -132,6 +150,12 @@ class CampaignResult:
     resumed_vps: int = 0
     probed_vps: int = 0
     checkpoint_path: Optional[str] = None
+    supervised: bool = False
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+    breaker_states: Dict[str, str] = field(default_factory=dict)
+    hangs_detected: int = 0
+    workers_respawned: int = 0
+    checkpoint_repairs: int = 0
 
     def manifest(self) -> dict:
         """Plain-data summary (what ``repro chaos`` prints as JSON)."""
@@ -146,6 +170,15 @@ class CampaignResult:
             "backoff_sim_seconds": round(self.backoff_sim_seconds, 6),
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "checkpoint": self.checkpoint_path,
+            "supervised": self.supervised,
+            "quarantined_vps": {
+                name: self.quarantined[name]
+                for name in sorted(self.quarantined)
+            },
+            "breaker_states": dict(sorted(self.breaker_states.items())),
+            "hangs_detected": self.hangs_detected,
+            "workers_respawned": self.workers_respawned,
+            "checkpoint_repairs": self.checkpoint_repairs,
         }
 
 
@@ -154,8 +187,14 @@ class CampaignResult:
 # ---------------------------------------------------------------------------
 
 
-def _campaign_rr_task(vp_index: int) -> tuple:
-    """One VP's faulted probe sequence; failures return, never raise.
+def _campaign_rr_task(task: Tuple[int, int]) -> tuple:
+    """One VP's faulted probe attempt; failures return, never raise.
+
+    ``task`` is ``(vp_index, attempt)`` — the attempt number lets the
+    fault plan arm attempt-scoped pathologies (``VpHang``/``VpCrash``)
+    deterministically. In this *unsupervised* pool there is no
+    watchdog to recover a wedged worker, so injected hangs degrade to
+    immediate failures (``allow_hang=False``).
 
     Returns ``(vp_index, rows_or_None, snapshot, options_load, error)``
     — a failed VP must not poison the whole pool ``map``, so the
@@ -163,6 +202,7 @@ def _campaign_rr_task(vp_index: int) -> tuple:
     """
     from repro.core.parallel import _WORKER
 
+    vp_index, attempt = task
     state = _WORKER
     assert state is not None, "worker initialized without state"
     scenario: Scenario = state["scenario"]
@@ -170,29 +210,24 @@ def _campaign_rr_task(vp_index: int) -> tuple:
     scenario.network.options_load.clear()
     vp: VantagePoint = state["vps"][vp_index]
     plan: FaultPlan = state["plan"]
-    injector: Optional[FaultInjector] = None
-    if not plan.is_empty:
-        injector = FaultInjector(
-            scenario.network, plan, horizon=state["horizon"]
-        )
-        scenario.network.attach_injector(injector)
     error: Optional[str] = None
     rows: Optional[VPRows] = None
     try:
-        rows = probe_vp_rr(
+        rows = run_vp_attempt(
             scenario,
             vp,
+            attempt,
+            plan,
             state["targets"],
             state["position"],
-            order=state["order"],
-            slots=state["slots"],
-            pps=state["pps"],
+            state["order"],
+            state["slots"],
+            state["pps"],
+            state["horizon"],
+            allow_hang=False,
         )
     except Exception as exc:  # noqa: BLE001 — shipped to the retry loop
         error = f"{type(exc).__name__}: {exc}"
-    finally:
-        if injector is not None:
-            scenario.network.detach_injector()
     return (
         vp_index,
         rows,
@@ -207,15 +242,24 @@ def _campaign_rr_task(vp_index: int) -> tuple:
 # ---------------------------------------------------------------------------
 
 
+def checkpoint_generation_path(path: Union[str, Path]) -> Path:
+    """The previous-generation sibling of a checkpoint (``*.ckpt.1``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".1")
+
+
 def load_checkpoint(path: Union[str, Path]) -> dict:
     """Load + structurally validate a campaign checkpoint.
 
     Reuses :func:`~repro.core.survey.load_json_artifact`, so truncated
-    or corrupt files (a crash mid-``os.replace`` is impossible, but a
-    crash mid-copy of the file elsewhere is not) surface as
-    :class:`SurveyFormatError` with the path and reason.
+    or corrupt files, non-UTF-8 bytes, and embedded-checksum
+    mismatches all surface as :class:`SurveyFormatError` with the path
+    and reason. On top of that the checkpoint *schema* is validated —
+    required keys present with the right shapes — so drift (a hand-
+    edited file, a record from a future version) fails loudly instead
+    of exploding deep inside the resume path.
     """
-    data = load_json_artifact(path)
+    data = load_json_artifact(path, kind="checkpoint")
     if data.get("version") != CHECKPOINT_VERSION:
         raise SurveyFormatError(
             path,
@@ -226,9 +270,66 @@ def load_checkpoint(path: Union[str, Path]) -> dict:
             raise SurveyFormatError(
                 path, f"checkpoint missing {key!r} field"
             )
+    if not isinstance(data["fingerprint"], str):
+        raise SurveyFormatError(
+            path,
+            "checkpoint 'fingerprint' must be a string, got "
+            f"{type(data['fingerprint']).__name__}",
+        )
     if not isinstance(data["completed"], dict):
         raise SurveyFormatError(path, "checkpoint 'completed' not a map")
+    for name, entry in data["completed"].items():
+        if not isinstance(entry, dict):
+            raise SurveyFormatError(
+                path, f"checkpoint completed[{name!r}] not a map"
+            )
+        for key in ("rows", "inprefix"):
+            if key not in entry:
+                raise SurveyFormatError(
+                    path,
+                    f"checkpoint completed[{name!r}] missing {key!r}",
+                )
+            if not isinstance(entry[key], list):
+                raise SurveyFormatError(
+                    path,
+                    f"checkpoint completed[{name!r}].{key} must be a "
+                    f"list, got {type(entry[key]).__name__}",
+                )
+    if not isinstance(data["attempts"], dict):
+        raise SurveyFormatError(path, "checkpoint 'attempts' not a map")
+    for name, count in data["attempts"].items():
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise SurveyFormatError(
+                path,
+                f"checkpoint attempts[{name!r}] must be an integer, "
+                f"got {type(count).__name__}",
+            )
     return data
+
+
+def load_checkpoint_with_fallback(
+    path: Union[str, Path]
+) -> Tuple[dict, bool]:
+    """Load the newest checkpoint, falling back one generation on
+    corruption.
+
+    Returns ``(data, repaired)``: ``repaired`` is True when the newest
+    file was corrupt (or missing while a previous generation exists)
+    and the previous generation loaded cleanly. If both generations
+    are bad, the *newest* file's error propagates — it is the one the
+    operator should inspect first.
+    """
+    path = Path(path)
+    previous = checkpoint_generation_path(path)
+    try:
+        return load_checkpoint(path), False
+    except (SurveyFormatError, FileNotFoundError) as newest_error:
+        if not previous.exists():
+            raise
+        try:
+            return load_checkpoint(previous), True
+        except (SurveyFormatError, FileNotFoundError):
+            raise newest_error from None
 
 
 class CampaignRunner:
@@ -260,6 +361,7 @@ class CampaignRunner:
         budget_seconds: Optional[float] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         kill_after_vps: Optional[int] = None,
+        supervision: Optional[SupervisionConfig] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0: {max_retries}")
@@ -279,6 +381,7 @@ class CampaignRunner:
             None if checkpoint_path is None else Path(checkpoint_path)
         )
         self.kill_after_vps = kill_after_vps
+        self.supervision = supervision
         net_id = scenario.network.net_id
         self._attempts_ok = campaign_attempt_counter(REGISTRY).labels(
             net_id, "ok"
@@ -289,8 +392,15 @@ class CampaignRunner:
         self._attempts_dark = campaign_attempt_counter(REGISTRY).labels(
             net_id, "dark"
         )
+        self._attempts_hung = campaign_attempt_counter(REGISTRY).labels(
+            net_id, "hung"
+        )
+        self._attempts_crashed = campaign_attempt_counter(REGISTRY).labels(
+            net_id, "crashed"
+        )
         self._retries = campaign_retry_counter(REGISTRY).labels(net_id)
         self._resumed = campaign_resume_counter(REGISTRY).labels(net_id)
+        self._repairs = checkpoint_repair_counter(REGISTRY).labels(net_id)
         self._ev_churn = fault_event_counter(REGISTRY).labels(
             net_id, VpChurn.KIND
         )
@@ -343,19 +453,39 @@ class CampaignRunner:
             },
             "attempts": attempts,
         }
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(payload, sort_keys=True, separators=(",", ":")),
-            "utf-8",
+        # Generation rotation: the current newest becomes ``.1`` so a
+        # corrupt write (or a corrupted-at-rest newest file) can be
+        # repaired from the previous complete state at load time.
+        if path.exists():
+            os.replace(path, checkpoint_generation_path(path))
+        atomic_write_text(
+            path,
+            json.dumps(
+                embed_checksum(payload),
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
         )
-        os.replace(tmp, path)
 
     def _load_resume_state(
         self, fingerprint: str
-    ) -> Tuple[Dict[str, VPRows], Dict[str, int]]:
+    ) -> Tuple[Dict[str, VPRows], Dict[str, int], bool]:
         path = self.checkpoint_path
         assert path is not None
-        data = load_checkpoint(path)
+        data, repaired = load_checkpoint_with_fallback(path)
+        if repaired:
+            # Re-materialise the newest generation from the recovered
+            # state so subsequent writes rotate a *good* file into
+            # ``.1`` and the corrupt one stops masquerading as data.
+            self._repairs.inc()
+            atomic_write_text(
+                path,
+                json.dumps(
+                    embed_checksum(data),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                ),
+            )
         if data["fingerprint"] != fingerprint:
             raise SurveyFormatError(
                 path,
@@ -384,7 +514,7 @@ class CampaignRunner:
                 path,
                 f"malformed checkpoint record: {type(exc).__name__}: {exc}",
             ) from exc
-        return completed, attempts
+        return completed, attempts, repaired
 
     # -- execution ---------------------------------------------------------
 
@@ -408,11 +538,19 @@ class CampaignRunner:
         completed: Dict[str, VPRows] = {}
         attempts: Dict[str, int] = {}
         resumed = 0
+        checkpoint_repairs = 0
         if resume:
             if self.checkpoint_path is None:
                 raise ValueError("resume=True requires a checkpoint path")
-            if self.checkpoint_path.exists():
-                completed, attempts = self._load_resume_state(fingerprint)
+            if (
+                self.checkpoint_path.exists()
+                or checkpoint_generation_path(self.checkpoint_path).exists()
+            ):
+                completed, attempts, repaired = self._load_resume_state(
+                    fingerprint
+                )
+                if repaired:
+                    checkpoint_repairs += 1
                 known = {vp.name for vp in vp_list}
                 stray = set(completed) - known
                 if stray:
@@ -438,82 +576,150 @@ class CampaignRunner:
         completed_this_run = 0
         killed: Optional[CampaignInterrupted] = None
 
-        round_index = 0
-        while pending:
-            if round_index > self.max_retries:
-                break
-            if round_index > 0:
-                # Exponential backoff, charged in simulated seconds —
-                # the scenario clock is free, so we account rather
-                # than sleep. The budget is checked *before* the round
-                # commits: a retry that would blow it never starts.
-                backoff = self.backoff_base * (
-                    self.backoff_factor ** (round_index - 1)
-                )
-                if (
+        # Supervision (opt-in): a health tracker making quarantine and
+        # breaker decisions in the parent, plus a persistent watchdog
+        # pool replacing the plain Pool for round execution.
+        tracker: Optional[VpHealthTracker] = None
+        watchdog: Optional[WorkerWatchdog] = None
+        if self.supervision is not None:
+            tracker = VpHealthTracker(
+                self.supervision, scenario.network.net_id
+            )
+            watchdog = WorkerWatchdog(
+                scenario,
+                {
+                    "params": scenario.params,
+                    "targets": target_list,
+                    "position": position,
+                    "vps": vp_list,
+                    "order": self.order,
+                    "slots": self.slots,
+                    "pps": self.pps,
+                    "plan": self.plan,
+                    "horizon": horizon,
+                },
+                self.jobs,
+                self.supervision,
+            )
+
+        _OUTCOME_COUNTERS = {
+            "failed": self._attempts_failed,
+            "hang": self._attempts_hung,
+            "crash": self._attempts_crashed,
+        }
+
+        try:
+            round_index = 0
+            while pending:
+                if round_index > self.max_retries:
+                    break
+                if round_index > 0:
+                    # Exponential backoff, charged in simulated
+                    # seconds — the scenario clock is free, so we
+                    # account rather than sleep. The budget is checked
+                    # *before* the round commits: a retry that would
+                    # blow it never starts.
+                    backoff = self.backoff_base * (
+                        self.backoff_factor ** (round_index - 1)
+                    )
+                    if (
+                        self.budget_seconds is not None
+                        and (time.monotonic() - start)
+                        + sim_backoff
+                        + backoff
+                        > self.budget_seconds
+                    ):
+                        break
+                    sim_backoff += backoff
+                    retry_rounds += 1
+                    self._retries.inc()
+                    if tracker is not None:
+                        tracker.start_round()
+                elif (
                     self.budget_seconds is not None
-                    and (time.monotonic() - start) + sim_backoff + backoff
-                    > self.budget_seconds
+                    and time.monotonic() - start > self.budget_seconds
                 ):
                     break
-                sim_backoff += backoff
-                retry_rounds += 1
-                self._retries.inc()
-            elif (
-                self.budget_seconds is not None
-                and time.monotonic() - start > self.budget_seconds
-            ):
-                break
 
-            # VpChurn: dark VPs fail fast in the parent — the unit of
-            # work never probes, exactly like a disconnected Atlas
-            # probe timing out at the controller.
-            runnable: List[int] = []
-            for index in pending:
-                name = vp_list[index].name
-                if attempts.get(name, 0) < dark.get(name, 0):
+                # VpChurn: dark VPs fail fast in the parent — the unit
+                # of work never probes, exactly like a disconnected
+                # Atlas probe timing out at the controller. Open
+                # circuit breakers likewise hold their VP back without
+                # consuming an attempt.
+                runnable: List[int] = []
+                for index in pending:
+                    name = vp_list[index].name
+                    if attempts.get(name, 0) < dark.get(name, 0):
+                        attempts[name] = attempts.get(name, 0) + 1
+                        self._attempts_dark.inc()
+                        self._ev_churn.inc()
+                    elif tracker is not None and not tracker.allows(name):
+                        continue  # breaker open — stays pending
+                    else:
+                        runnable.append(index)
+
+                tasks = [
+                    (
+                        index,
+                        attempts.get(vp_list[index].name, 0) + 1,
+                    )
+                    for index in runnable
+                ]
+                if watchdog is not None:
+                    outcomes = watchdog.run_tasks(tasks)
+                else:
+                    outcomes = self._run_round(
+                        tasks, target_list, position, vp_list, horizon
+                    )
+                still_pending: List[int] = []
+                for index in pending:
+                    name = vp_list[index].name
+                    if index not in outcomes:
+                        # Dark or breaker-deferred this round.
+                        still_pending.append(index)
+                        continue
                     attempts[name] = attempts.get(name, 0) + 1
-                    self._attempts_dark.inc()
-                    self._ev_churn.inc()
-                else:
-                    runnable.append(index)
-
-            outcomes = self._run_round(
-                runnable, target_list, position, vp_list, horizon
-            )
-            still_pending: List[int] = []
-            for index in pending:
-                name = vp_list[index].name
-                if index not in runnable:
-                    still_pending.append(index)  # was dark this round
-                    continue
-                attempts[name] = attempts.get(name, 0) + 1
-                rows, error = outcomes[index]
-                if error is None:
-                    assert rows is not None
-                    completed[name] = rows
-                    self._attempts_ok.inc()
-                    self._write_checkpoint(fingerprint, completed,
-                                           attempts)
-                    completed_this_run += 1
-                    if (
-                        self.kill_after_vps is not None
-                        and completed_this_run >= self.kill_after_vps
-                    ):
-                        # Simulated ^C: later results from this round
-                        # are discarded, exactly as a real kill would.
-                        killed = CampaignInterrupted(
-                            completed_this_run,
-                            str(self.checkpoint_path),
+                    rows, kind, _error = outcomes[index]
+                    if kind == "ok":
+                        assert rows is not None
+                        completed[name] = rows
+                        self._attempts_ok.inc()
+                        if tracker is not None:
+                            tracker.record(name, "ok")
+                        self._write_checkpoint(
+                            fingerprint, completed, attempts
                         )
-                        break
-                else:
-                    self._attempts_failed.inc()
-                    still_pending.append(index)
-            if killed is not None:
-                raise killed
-            pending = still_pending
-            round_index += 1
+                        completed_this_run += 1
+                        if (
+                            self.kill_after_vps is not None
+                            and completed_this_run >= self.kill_after_vps
+                        ):
+                            # Simulated ^C: later results from this
+                            # round are discarded, exactly as a real
+                            # kill would.
+                            killed = CampaignInterrupted(
+                                completed_this_run,
+                                str(self.checkpoint_path),
+                            )
+                            break
+                    else:
+                        _OUTCOME_COUNTERS.get(
+                            kind, self._attempts_failed
+                        ).inc()
+                        reason = None
+                        if tracker is not None:
+                            reason = tracker.record(name, kind)
+                        if reason is None:
+                            still_pending.append(index)
+                        # else: quarantined — drops out of pending; the
+                        # reason is already recorded in the tracker.
+                if killed is not None:
+                    raise killed
+                pending = still_pending
+                round_index += 1
+        finally:
+            if watchdog is not None:
+                watchdog.close()
 
         failed = {vp_list[index].name for index in pending}
         survey = RRSurvey(
@@ -535,9 +741,10 @@ class CampaignRunner:
                 survey.responses[dest_index][vp_index] = slot
             for dest_index, addrs in inprefix:
                 survey.inprefix_addrs[dest_index].update(addrs)
+        quarantined = {} if tracker is None else dict(tracker.quarantined)
         return CampaignResult(
             survey=survey,
-            partial=bool(failed),
+            partial=bool(failed or quarantined),
             failed_vps=sorted(failed),
             attempts=attempts,
             retry_rounds=retry_rounds,
@@ -550,64 +757,80 @@ class CampaignRunner:
                 if self.checkpoint_path is None
                 else str(self.checkpoint_path)
             ),
+            supervised=self.supervision is not None,
+            quarantined=quarantined,
+            breaker_states=(
+                {} if tracker is None else tracker.breaker_states()
+            ),
+            hangs_detected=(
+                0 if watchdog is None else watchdog.hangs_detected
+            ),
+            workers_respawned=(
+                0 if watchdog is None else watchdog.workers_respawned
+            ),
+            checkpoint_repairs=checkpoint_repairs,
         )
 
     # -- round execution ---------------------------------------------------
 
     def _run_round(
         self,
-        runnable: List[int],
+        tasks: List[Tuple[int, int]],
         targets: List[Destination],
         position: Dict[int, int],
         vp_list: List[VantagePoint],
         horizon: float,
-    ) -> Dict[int, Tuple[Optional[VPRows], Optional[str]]]:
-        """Probe ``runnable`` VP indices once; never raises per-VP."""
-        outcomes: Dict[int, Tuple[Optional[VPRows], Optional[str]]] = {}
-        if not runnable:
+    ) -> Dict[int, Tuple[Optional[VPRows], str, Optional[str]]]:
+        """Probe ``(vp_index, attempt)`` tasks once; never raises per-VP.
+
+        Returns ``{vp_index: (rows_or_None, kind, error_or_None)}``
+        with ``kind`` in ``{"ok", "failed"}`` — the unsupervised paths
+        cannot observe hangs or worker deaths as such (injected hangs
+        degrade to failures via ``allow_hang=False``).
+        """
+        outcomes: Dict[
+            int, Tuple[Optional[VPRows], str, Optional[str]]
+        ] = {}
+        if not tasks:
             return outcomes
-        if self.jobs >= 2 and len(runnable) > 1:
+        if self.jobs >= 2 and len(tasks) > 1:
             return self._run_round_pool(
-                runnable, targets, position, vp_list, horizon
+                tasks, targets, position, vp_list, horizon
             )
-        # Serial path: attach the injector to the live network; the
-        # parent registry counts events directly.
-        network = self.scenario.network
-        injector: Optional[FaultInjector] = None
-        if not self.plan.is_empty:
-            injector = FaultInjector(network, self.plan, horizon=horizon)
-            network.attach_injector(injector)
-        try:
-            for index in runnable:
-                try:
-                    rows = probe_vp_rr(
-                        self.scenario,
-                        vp_list[index],
-                        targets,
-                        position,
-                        order=self.order,
-                        slots=self.slots,
-                        pps=self.pps,
-                    )
-                    outcomes[index] = (rows, None)
-                except Exception as exc:  # noqa: BLE001 — retried
-                    outcomes[index] = (
-                        None,
-                        f"{type(exc).__name__}: {exc}",
-                    )
-        finally:
-            if injector is not None:
-                network.detach_injector()
+        # Serial path: the shared task body runs against the live
+        # network; the parent registry counts events directly.
+        for vp_index, attempt in tasks:
+            try:
+                rows = run_vp_attempt(
+                    self.scenario,
+                    vp_list[vp_index],
+                    attempt,
+                    self.plan,
+                    targets,
+                    position,
+                    self.order,
+                    self.slots,
+                    self.pps,
+                    horizon,
+                    allow_hang=False,
+                )
+                outcomes[vp_index] = (rows, "ok", None)
+            except Exception as exc:  # noqa: BLE001 — retried
+                outcomes[vp_index] = (
+                    None,
+                    "failed",
+                    f"{type(exc).__name__}: {exc}",
+                )
         return outcomes
 
     def _run_round_pool(
         self,
-        runnable: List[int],
+        tasks: List[Tuple[int, int]],
         targets: List[Destination],
         position: Dict[int, int],
         vp_list: List[VantagePoint],
         horizon: float,
-    ) -> Dict[int, Tuple[Optional[VPRows], Optional[str]]]:
+    ) -> Dict[int, Tuple[Optional[VPRows], str, Optional[str]]]:
         import multiprocessing
 
         payload = {
@@ -622,16 +845,18 @@ class CampaignRunner:
             "horizon": horizon,
         }
         ctx = multiprocessing.get_context()
-        outcomes: Dict[int, Tuple[Optional[VPRows], Optional[str]]] = {}
+        outcomes: Dict[
+            int, Tuple[Optional[VPRows], str, Optional[str]]
+        ] = {}
         results = []
         with parent_scenario(self.scenario):
             with ctx.Pool(
-                processes=max(1, min(self.jobs, len(runnable))),
+                processes=max(1, min(self.jobs, len(tasks))),
                 initializer=_init_worker,
                 initargs=(payload,),
             ) as pool:
                 for item in pool.imap_unordered(
-                    _campaign_rr_task, runnable, chunksize=1
+                    _campaign_rr_task, tasks, chunksize=1
                 ):
                     results.append(item)
         # Merge telemetry in VP order so parent totals are independent
@@ -642,5 +867,9 @@ class CampaignRunner:
             REGISTRY.merge(snapshot)
             for asn, count in load_delta.items():
                 options_load[asn] = options_load.get(asn, 0) + count
-            outcomes[vp_index] = (rows, error)
+            outcomes[vp_index] = (
+                rows,
+                "ok" if error is None else "failed",
+                error,
+            )
         return outcomes

@@ -38,7 +38,7 @@ a full campaign without re-tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Tuple, Union
+from typing import ClassVar, Optional, Tuple, Union
 
 from repro.rng import stable_randint, stable_u64, stable_uniform
 
@@ -47,6 +47,8 @@ __all__ = [
     "LinkFlap",
     "LossBurst",
     "RateLimitStorm",
+    "VpHang",
+    "VpCrash",
     "FaultSpec",
     "FaultPlan",
 ]
@@ -175,7 +177,106 @@ class RateLimitStorm:
         return stable_uniform(seed, "storm", vp_name) < self.prob
 
 
-FaultSpec = Union[VpChurn, LinkFlap, LossBurst, RateLimitStorm]
+@dataclass(frozen=True)
+class VpHang:
+    """A vantage point's worker task wedges mid-probe (stops making
+    progress without failing).
+
+    The pathology RIPE Atlas operators know well: a probe that is
+    still "connected" but whose measurements never return. Under the
+    supervised runner (:mod:`repro.faults.supervisor`) a hanging task
+    stops emitting heartbeats, the watchdog kills and respawns the
+    worker, and the VP's health record accrues a hang; in
+    *unsupervised* contexts the hang is converted to an immediate
+    task failure (an honest stand-in for "the operator would have
+    been stuck forever").
+
+    Selection is deterministic per ``(plan seed, vp name)``: either
+    the VP is named explicitly in ``vps`` or it is drawn with
+    probability ``prob``. ``attempts`` bounds which campaign attempts
+    hang (``None`` = every attempt — a permanently wedged VP);
+    ``after_targets`` positions the hang *mid-session*, after that
+    many destinations have been probed (0 = wedge before the first
+    probe). The killed attempt contributes nothing, so retried output
+    stays byte-identical to a first-try run.
+    """
+
+    KIND: ClassVar[str] = "vp_hang"
+
+    vps: Tuple[str, ...] = ()
+    prob: float = 0.0
+    attempts: Optional[int] = None
+    after_targets: int = 0
+    hang_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vps", tuple(self.vps))
+        _require_unit("prob", self.prob)
+        if self.attempts is not None and self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1: {self.attempts}")
+        if self.after_targets < 0:
+            raise ValueError(
+                f"after_targets must be >= 0: {self.after_targets}"
+            )
+        if self.hang_seconds <= 0:
+            raise ValueError(
+                f"hang_seconds must be positive: {self.hang_seconds}"
+            )
+
+    def applies_to(self, seed: int, vp_name: str, attempt: int) -> bool:
+        """Does ``vp_name``'s ``attempt``-th campaign attempt hang?"""
+        if self.attempts is not None and attempt > self.attempts:
+            return False
+        if vp_name in self.vps:
+            return True
+        if self.prob <= 0.0:
+            return False
+        return stable_uniform(seed, "vp-hang", vp_name) < self.prob
+
+
+@dataclass(frozen=True)
+class VpCrash:
+    """A vantage point's worker task raises mid-probe.
+
+    The crash-looping sibling of :class:`VpHang`: the task makes
+    heartbeat progress until ``after_targets`` destinations are done,
+    then dies with an exception. ``attempts=None`` crash-loops
+    forever (the poison VP the quarantine machinery exists for);
+    ``attempts=k`` crashes only the first ``k`` attempts, so a retry
+    heals and the campaign recovers byte-identical output.
+    """
+
+    KIND: ClassVar[str] = "vp_crash"
+
+    vps: Tuple[str, ...] = ()
+    prob: float = 0.0
+    attempts: Optional[int] = None
+    after_targets: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vps", tuple(self.vps))
+        _require_unit("prob", self.prob)
+        if self.attempts is not None and self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1: {self.attempts}")
+        if self.after_targets < 0:
+            raise ValueError(
+                f"after_targets must be >= 0: {self.after_targets}"
+            )
+
+    def applies_to(self, seed: int, vp_name: str, attempt: int) -> bool:
+        """Does ``vp_name``'s ``attempt``-th campaign attempt crash?"""
+        if self.attempts is not None and attempt > self.attempts:
+            return False
+        if vp_name in self.vps:
+            return True
+        if self.prob <= 0.0:
+            return False
+        return stable_uniform(seed, "vp-crash", vp_name) < self.prob
+
+
+FaultSpec = Union[
+    VpChurn, LinkFlap, LossBurst, RateLimitStorm, VpHang, VpCrash
+]
 
 #: Every fault kind label the metrics registry may see.
 FAULT_KINDS: Tuple[str, ...] = (
@@ -183,6 +284,8 @@ FAULT_KINDS: Tuple[str, ...] = (
     LinkFlap.KIND,
     LossBurst.KIND,
     RateLimitStorm.KIND,
+    VpHang.KIND,
+    VpCrash.KIND,
 )
 
 
@@ -234,6 +337,30 @@ class FaultPlan:
             if attempts:
                 out[name] = attempts
         return out
+
+    def hang_profile(self, vp_name: str, attempt: int) -> Optional[VpHang]:
+        """The first hang spec wedging ``vp_name``'s ``attempt`` (or None).
+
+        The parent-side mirror of the worker's own hang decision: the
+        campaign uses it to attribute a watchdog-detected hang to an
+        injected fault (vs. a genuinely wedged worker) and to count it
+        in ``faults_injected_total{vp_hang}``.
+        """
+        for index, spec in enumerate(self.specs):
+            if isinstance(spec, VpHang) and spec.applies_to(
+                self.spec_seed(index), vp_name, attempt
+            ):
+                return spec
+        return None
+
+    def crash_profile(self, vp_name: str, attempt: int) -> Optional[VpCrash]:
+        """The first crash spec killing ``vp_name``'s ``attempt`` (or None)."""
+        for index, spec in enumerate(self.specs):
+            if isinstance(spec, VpCrash) and spec.applies_to(
+                self.spec_seed(index), vp_name, attempt
+            ):
+                return spec
+        return None
 
     # -- identity ---------------------------------------------------------
 

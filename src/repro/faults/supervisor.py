@@ -1,0 +1,866 @@
+"""Supervised execution for the parallel survey engine.
+
+The campaign runner (PR 3) retries *failures* — tasks that die with an
+exception. Real measurement platforms face two nastier pathologies
+("A Day in the Life of RIPE Atlas"): workers that *wedge* — still
+alive, never progressing — and vantage points that fail the same way
+every time, burning the retry budget round after round. This module
+adds the missing supervision:
+
+* **Heartbeats** — :func:`~repro.core.survey.probe_vp_rr` pings a
+  per-worker shared double (``multiprocessing.Value('d')``, the
+  monotonic clock) once per destination. Heartbeats are writes to an
+  8-byte aligned slot; the hot loop pays one attribute store per
+  destination, nothing more.
+* **:class:`WorkerWatchdog`** — a persistent pool of worker processes,
+  one duplex pipe each. The parent multiplexes results with
+  ``multiprocessing.connection.wait`` and, on every poll, scans
+  heartbeat ages: a busy worker silent for longer than
+  ``hang_timeout`` is killed and respawned, its task re-queued up to a
+  per-task try budget. A worker that dies outright (its pipe hits EOF
+  mid-task) is treated the same way. Either way the doomed attempt
+  contributes *nothing* — no rows, no metrics — so the engine's
+  byte-parity contract survives supervision untouched.
+* **:class:`CircuitBreaker` / :class:`VpHealthTracker`** — per-VP
+  health accounting in the parent. A VP whose recent attempts fail at
+  ``breaker_threshold`` over a full ``breaker_window`` trips its
+  breaker open; open breakers skip ``breaker_cooldown_rounds`` retry
+  rounds, then half-open for one probe attempt (success → closed,
+  failure → open again). A VP that hangs or crashes
+  ``quarantine_after`` times is *quarantined*: dropped from the
+  campaign with a machine-readable reason in the manifest instead of
+  stalling it. All decisions are pure functions of the seed and the
+  event order — rounds process VPs in index order — so
+  ``jobs ∈ {1, 2, 4}`` byte-parity holds for every non-quarantined VP.
+
+Fault injection hooks: :class:`~repro.faults.specs.VpHang` and
+:class:`~repro.faults.specs.VpCrash` specs are realised here —
+:func:`run_vp_attempt` wraps the heartbeat callback so the task
+wedges (stops heartbeating, then sleeps) or raises after the
+configured number of destinations. Unsupervised contexts set
+``allow_hang=False`` and receive an immediate :class:`InjectedHang`
+failure instead of an actual stall.
+
+Everything observable lands in the metrics registry
+(``supervisor_*`` families below) and surfaces in
+``repro stats --health``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _mp_wait
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.parallel import _init_worker, parent_scenario
+from repro.core.survey import VPRows, probe_vp_rr
+from repro.faults.injector import FaultInjector
+from repro.faults.specs import FaultPlan, VpCrash, VpHang
+from repro.obs.metrics import (
+    CounterFamily,
+    HistogramFamily,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+__all__ = [
+    "SupervisionConfig",
+    "CircuitBreaker",
+    "VpHealth",
+    "VpHealthTracker",
+    "WorkerWatchdog",
+    "InjectedHang",
+    "InjectedCrash",
+    "run_vp_attempt",
+    "supervisor_hang_counter",
+    "supervisor_crash_counter",
+    "supervisor_respawn_counter",
+    "supervisor_quarantine_counter",
+    "breaker_transition_counter",
+    "breaker_skip_counter",
+    "heartbeat_age_histogram",
+]
+
+
+# ---------------------------------------------------------------------------
+# Metric families (idempotently registered, shared with the CLI).
+# ---------------------------------------------------------------------------
+
+
+def supervisor_hang_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``supervisor_hangs_total{net}`` — hung tasks the watchdog killed."""
+    return registry.counter(
+        "supervisor_hangs_total",
+        "Worker tasks killed for missing their heartbeat deadline.",
+        ("net",),
+    )
+
+
+def supervisor_crash_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``supervisor_worker_crashes_total{net}`` — workers that died."""
+    return registry.counter(
+        "supervisor_worker_crashes_total",
+        "Worker processes that died mid-task (pipe EOF).",
+        ("net",),
+    )
+
+
+def supervisor_respawn_counter(registry: MetricsRegistry) -> CounterFamily:
+    return registry.counter(
+        "supervisor_respawns_total",
+        "Worker processes respawned by the watchdog.",
+        ("net",),
+    )
+
+
+def supervisor_quarantine_counter(
+    registry: MetricsRegistry,
+) -> CounterFamily:
+    return registry.counter(
+        "supervisor_quarantines_total",
+        "Vantage points quarantined as poison, by failure kind.",
+        ("net", "kind"),
+    )
+
+
+def breaker_transition_counter(registry: MetricsRegistry) -> CounterFamily:
+    return registry.counter(
+        "supervisor_breaker_transitions_total",
+        "Per-VP circuit-breaker state transitions, by destination state.",
+        ("net", "to"),
+    )
+
+
+def breaker_skip_counter(registry: MetricsRegistry) -> CounterFamily:
+    return registry.counter(
+        "supervisor_breaker_skips_total",
+        "Attempts skipped because a VP's circuit breaker was open.",
+        ("net",),
+    )
+
+
+def heartbeat_age_histogram(registry: MetricsRegistry) -> HistogramFamily:
+    """``supervisor_heartbeat_age_seconds{net}`` — observed at each
+    watchdog poll for every busy worker."""
+    return registry.histogram(
+        "supervisor_heartbeat_age_seconds",
+        "Age of busy workers' most recent heartbeat at watchdog polls.",
+        ("net",),
+        buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Configuration.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Tuning knobs for the watchdog, quarantine, and breaker.
+
+    ``hang_timeout`` is the no-heartbeat deadline after which a busy
+    worker is presumed wedged; ``task_tries`` is the per-task budget of
+    watchdog-level tries (kill/respawn/re-queue cycles) before the
+    task is reported hung/crashed for the round; ``quarantine_after``
+    is the K of poison-VP quarantine (total hang+crash attempts).
+    """
+
+    hang_timeout: float = 30.0
+    poll_interval: float = 0.05
+    task_tries: int = 2
+    quarantine_after: int = 3
+    breaker_window: int = 4
+    breaker_threshold: float = 0.75
+    breaker_cooldown_rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hang_timeout <= 0:
+            raise ValueError(
+                f"hang_timeout must be positive: {self.hang_timeout}"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be positive: {self.poll_interval}"
+            )
+        if self.task_tries < 1:
+            raise ValueError(f"task_tries must be >= 1: {self.task_tries}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1: {self.quarantine_after}"
+            )
+        if self.breaker_window < 1:
+            raise ValueError(
+                f"breaker_window must be >= 1: {self.breaker_window}"
+            )
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise ValueError(
+                "breaker_threshold must be in (0, 1]: "
+                f"{self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_rounds < 1:
+            raise ValueError(
+                "breaker_cooldown_rounds must be >= 1: "
+                f"{self.breaker_cooldown_rounds}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Injected pathologies (realised from VpHang / VpCrash specs).
+# ---------------------------------------------------------------------------
+
+
+class InjectedHang(RuntimeError):
+    """An injected hang surfaced as a failure (unsupervised context, or
+    a hang that outlived the watchdog)."""
+
+
+class InjectedCrash(RuntimeError):
+    """An injected worker crash (``VpCrash``): under supervision the
+    worker process dies; unsupervised it is an ordinary task failure."""
+
+
+class _FaultingHeartbeat:
+    """Heartbeat wrapper that realises VpHang/VpCrash mid-session.
+
+    Counts destinations; when the count reaches the spec's
+    ``after_targets`` the task wedges (stops forwarding heartbeats,
+    sleeps) or raises. The wedge happens *before* the inner heartbeat
+    fires, so the watchdog sees the silence immediately.
+    """
+
+    __slots__ = ("inner", "hang", "crash", "allow_hang", "count")
+
+    def __init__(
+        self,
+        inner: Optional[Callable[[], None]],
+        hang: Optional[VpHang],
+        crash: Optional[VpCrash],
+        allow_hang: bool,
+    ) -> None:
+        self.inner = inner
+        self.hang = hang
+        self.crash = crash
+        self.allow_hang = allow_hang
+        self.count = 0
+
+    def __call__(self) -> None:
+        if self.crash is not None and self.count == self.crash.after_targets:
+            raise InjectedCrash(
+                f"injected crash after {self.count} destination(s)"
+            )
+        if self.hang is not None and self.count == self.hang.after_targets:
+            if self.allow_hang:
+                # Wedge: no heartbeat, no progress. The watchdog kills
+                # this process long before the sleep elapses; if no
+                # watchdog is listening the sleep bounds the damage and
+                # the hang degrades into a failure.
+                time.sleep(self.hang.hang_seconds)
+            raise InjectedHang(
+                f"injected hang after {self.count} destination(s)"
+            )
+        self.count += 1
+        if self.inner is not None:
+            self.inner()
+
+
+def run_vp_attempt(
+    scenario,
+    vp,
+    attempt: int,
+    plan: Optional[FaultPlan],
+    targets,
+    position,
+    order,
+    slots: int,
+    pps: float,
+    horizon: float,
+    heartbeat: Optional[Callable[[], None]] = None,
+    allow_hang: bool = True,
+) -> VPRows:
+    """One VP campaign attempt with faults (incl. hang/crash) injected.
+
+    The single task body shared by the serial campaign loop, the
+    unsupervised pool task, and the supervised worker: attaches the
+    fault injector for the session, arms VpHang/VpCrash specs that
+    apply to ``(vp, attempt)``, and runs the full probe sequence.
+    Callers own metrics isolation (registry reset/snapshot).
+
+    ``allow_hang=False`` converts an armed hang into an immediate
+    :class:`InjectedHang` — the honest stand-in for "stuck forever" in
+    contexts with no watchdog to recover the worker.
+    """
+    network = scenario.network
+    injector: Optional[FaultInjector] = None
+    if plan is not None and not plan.is_empty:
+        injector = FaultInjector(network, plan, horizon=horizon)
+        network.attach_injector(injector)
+    beat: Optional[Callable[[], None]] = heartbeat
+    if plan is not None:
+        hang = plan.hang_profile(vp.name, attempt)
+        crash = plan.crash_profile(vp.name, attempt)
+        if hang is not None or crash is not None:
+            beat = _FaultingHeartbeat(heartbeat, hang, crash, allow_hang)
+    try:
+        return probe_vp_rr(
+            scenario,
+            vp,
+            targets,
+            position,
+            order=order,
+            slots=slots,
+            pps=pps,
+            heartbeat=beat,
+        )
+    finally:
+        if injector is not None:
+            network.detach_injector()
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker + per-VP health.
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-VP failure-rate breaker: closed → open → half-open → closed.
+
+    Pure event machine — no clocks, no randomness — so its behaviour
+    is a function of the attempt-outcome sequence alone:
+
+    * **closed**: outcomes feed a sliding window of the last
+      ``window`` attempts; once the window is full and the failure
+      fraction reaches ``threshold``, the breaker opens.
+    * **open**: the VP is skipped; each skipped retry round burns one
+      unit of ``cooldown_rounds``; at zero the breaker half-opens.
+    * **half-open**: exactly one probe attempt is admitted. Success
+      closes the breaker (window cleared — the VP re-earns its
+      history); failure re-opens it with a fresh cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = ("window", "threshold", "cooldown_rounds", "state",
+                 "_events", "_cooldown_left")
+
+    def __init__(
+        self, window: int, threshold: float, cooldown_rounds: int
+    ) -> None:
+        self.window = int(window)
+        self.threshold = float(threshold)
+        self.cooldown_rounds = int(cooldown_rounds)
+        self.state = self.CLOSED
+        self._events: deque = deque(maxlen=self.window)
+        self._cooldown_left = 0
+
+    def allows(self) -> bool:
+        """May the VP attempt this round? (Open breakers say no.)"""
+        return self.state != self.OPEN
+
+    def start_round(self) -> Optional[str]:
+        """Advance cooldown at a retry-round boundary.
+
+        Returns the new state if a transition happened (``half_open``),
+        else ``None``.
+        """
+        if self.state != self.OPEN:
+            return None
+        self._cooldown_left -= 1
+        if self._cooldown_left > 0:
+            return None
+        self.state = self.HALF_OPEN
+        return self.HALF_OPEN
+
+    def record(self, success: bool) -> Optional[str]:
+        """Feed one attempt outcome; returns the new state on
+        transition (``open`` / ``closed``), else ``None``."""
+        if self.state == self.HALF_OPEN:
+            if success:
+                self.state = self.CLOSED
+                self._events.clear()
+                return self.CLOSED
+            self.state = self.OPEN
+            self._cooldown_left = self.cooldown_rounds
+            return self.OPEN
+        self._events.append(bool(success))
+        if self.state == self.CLOSED and len(self._events) == self.window:
+            failures = sum(1 for ok in self._events if not ok)
+            if failures / self.window >= self.threshold:
+                self.state = self.OPEN
+                self._cooldown_left = self.cooldown_rounds
+                return self.OPEN
+        return None
+
+
+@dataclass
+class VpHealth:
+    """One VP's supervision record."""
+
+    ok: int = 0
+    failed: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    breaker: Optional[CircuitBreaker] = None
+
+    @property
+    def poison_events(self) -> int:
+        return self.crashes + self.hangs
+
+
+class VpHealthTracker:
+    """Parent-side per-VP health: quarantine decisions + breakers.
+
+    Deterministic by construction: the campaign feeds outcomes in VP
+    index order and consults the tracker at fixed points (round start,
+    pre-dispatch, post-outcome), so the set of quarantined VPs and
+    every breaker state is a function of the seed and event order —
+    never of worker scheduling.
+    """
+
+    def __init__(
+        self,
+        config: SupervisionConfig,
+        net_id: str,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.net_id = net_id
+        registry = REGISTRY if registry is None else registry
+        self._records: Dict[str, VpHealth] = {}
+        self.quarantined: Dict[str, dict] = {}
+        self._quarantine_counter = supervisor_quarantine_counter(registry)
+        self._transitions = breaker_transition_counter(registry)
+        self._skips = breaker_skip_counter(registry).labels(net_id)
+
+    def health(self, name: str) -> VpHealth:
+        record = self._records.get(name)
+        if record is None:
+            record = VpHealth(
+                breaker=CircuitBreaker(
+                    self.config.breaker_window,
+                    self.config.breaker_threshold,
+                    self.config.breaker_cooldown_rounds,
+                )
+            )
+            self._records[name] = record
+        return record
+
+    # -- round hooks -------------------------------------------------------
+
+    def start_round(self) -> None:
+        """Advance every open breaker's cooldown (retry rounds only)."""
+        for name in sorted(self._records):
+            transition = self._records[name].breaker.start_round()
+            if transition is not None:
+                self._transitions.labels(self.net_id, transition).inc()
+
+    def allows(self, name: str) -> bool:
+        """Gate one attempt; counts a breaker skip when denied."""
+        if name in self.quarantined:
+            return False
+        if not self.health(name).breaker.allows():
+            self._skips.inc()
+            return False
+        return True
+
+    # -- outcomes ----------------------------------------------------------
+
+    def record(self, name: str, kind: str) -> Optional[dict]:
+        """Feed one attempt outcome (``ok``/``failed``/``crash``/
+        ``hang``); returns a quarantine reason dict if this outcome
+        pushed the VP over the threshold, else ``None``."""
+        record = self.health(name)
+        if kind == "ok":
+            record.ok += 1
+        elif kind == "failed":
+            record.failed += 1
+        elif kind == "crash":
+            record.crashes += 1
+        elif kind == "hang":
+            record.hangs += 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown outcome kind: {kind!r}")
+        transition = record.breaker.record(kind == "ok")
+        if transition is not None:
+            self._transitions.labels(self.net_id, transition).inc()
+        if (
+            kind in ("crash", "hang")
+            and name not in self.quarantined
+            and record.poison_events >= self.config.quarantine_after
+        ):
+            return self._quarantine(name, record)
+        return None
+
+    def _quarantine(self, name: str, record: VpHealth) -> dict:
+        if record.hangs and record.crashes:
+            kind = "mixed"
+        elif record.hangs:
+            kind = "hang"
+        else:
+            kind = "crash"
+        reason = {
+            "vp": name,
+            "kind": kind,
+            "hangs": record.hangs,
+            "crashes": record.crashes,
+            "failed": record.failed,
+            "threshold": self.config.quarantine_after,
+            "reason": (
+                f"poison VP: {record.hangs} hang(s) + "
+                f"{record.crashes} crash(es) reached the quarantine "
+                f"threshold of {self.config.quarantine_after}"
+            ),
+        }
+        self.quarantined[name] = reason
+        self._quarantine_counter.labels(self.net_id, kind).inc()
+        return reason
+
+    # -- reporting ---------------------------------------------------------
+
+    def breaker_states(self) -> Dict[str, str]:
+        """``{vp: state}`` for every breaker not in the closed state."""
+        return {
+            name: record.breaker.state
+            for name, record in sorted(self._records.items())
+            if record.breaker.state != CircuitBreaker.CLOSED
+        }
+
+
+# ---------------------------------------------------------------------------
+# The supervised worker pool.
+# ---------------------------------------------------------------------------
+
+#: Exit status a worker uses for an injected crash (distinguishable
+#: from Python tracebacks' status 1 in logs; the parent treats any
+#: death the same).
+_CRASH_EXIT_STATUS = 13
+
+
+def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
+    """Long-lived worker loop: recv task, probe, send result.
+
+    The heartbeat slot is bumped when a task is picked up, once per
+    destination during the probe (via :func:`run_vp_attempt`'s
+    heartbeat hook), and once more just before the (potentially
+    large) result send — so a worker blocked handing bytes to a busy
+    parent is never mistaken for a hung one.
+    """
+    from repro.core import parallel as _parallel
+
+    _init_worker(payload)
+    state = _parallel._WORKER
+    assert state is not None
+    scenario = state["scenario"]
+    plan: FaultPlan = state["plan"]
+
+    def beat() -> None:
+        heartbeat_value.value = time.monotonic()
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            return
+        if message is None:  # orderly shutdown
+            conn.close()
+            return
+        vp_index, attempt = message
+        beat()
+        REGISTRY.reset()
+        scenario.network.options_load.clear()
+        vp = state["vps"][vp_index]
+        error: Optional[str] = None
+        rows: Optional[VPRows] = None
+        try:
+            rows = run_vp_attempt(
+                scenario,
+                vp,
+                attempt,
+                plan,
+                state["targets"],
+                state["position"],
+                state["order"],
+                state["slots"],
+                state["pps"],
+                state["horizon"],
+                heartbeat=beat,
+                allow_hang=True,
+            )
+        except InjectedCrash:
+            # A crashing worker does not get to report its own death:
+            # the pipe EOF *is* the report, exactly as for a real
+            # segfault. (conn closes with the process.)
+            conn.close()
+            os._exit(_CRASH_EXIT_STATUS)
+        except Exception as exc:  # noqa: BLE001 — shipped to the parent
+            error = f"{type(exc).__name__}: {exc}"
+        from repro.core.parallel import _compact_snapshot
+
+        beat()  # about to block in send; still alive
+        conn.send(
+            (
+                vp_index,
+                attempt,
+                rows,
+                _compact_snapshot(REGISTRY.snapshot()),
+                dict(scenario.network.options_load),
+                error,
+            )
+        )
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one supervised worker process."""
+
+    __slots__ = ("process", "conn", "heartbeat", "task", "tries")
+
+    def __init__(self, process, conn, heartbeat) -> None:
+        self.process = process
+        self.conn = conn
+        self.heartbeat = heartbeat
+        self.task: Optional[Tuple[int, int]] = None  # (vp_index, attempt)
+        self.tries = 0  # watchdog-level tries consumed by current task
+
+
+class WorkerWatchdog:
+    """A supervised pool: heartbeat monitoring, kill/respawn, re-queue.
+
+    One instance persists across a campaign's retry rounds (workers
+    stay warm); :meth:`run_tasks` executes one round's worth of
+    ``(vp_index, attempt)`` tasks and reports per-VP outcomes:
+
+    ``{vp_index: (rows_or_None, kind, error_or_None)}`` with ``kind``
+    one of ``ok`` / ``failed`` / ``crash`` / ``hang``.
+
+    Telemetry (metrics snapshots + per-AS options load) from
+    *successful and failed* attempts is merged into the parent in VP
+    index order — independent of completion order, like the
+    unsupervised pool. Killed attempts ship nothing.
+    """
+
+    def __init__(
+        self,
+        scenario,
+        payload: dict,
+        jobs: int,
+        config: SupervisionConfig,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        import multiprocessing
+
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive: {jobs}")
+        self.scenario = scenario
+        self.payload = payload
+        self.jobs = int(jobs)
+        self.config = config
+        self._ctx = multiprocessing.get_context()
+        registry = REGISTRY if registry is None else registry
+        self._registry = registry
+        net_id = scenario.network.net_id
+        self._hangs = supervisor_hang_counter(registry).labels(net_id)
+        self._crashes = supervisor_crash_counter(registry).labels(net_id)
+        self._respawns = supervisor_respawn_counter(registry).labels(net_id)
+        self._hb_ages = heartbeat_age_histogram(registry).labels(net_id)
+        self._workers: List[_WorkerHandle] = []
+        self.hangs_detected = 0
+        self.workers_respawned = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        heartbeat = self._ctx.Value("d", time.monotonic(), lock=False)
+        with parent_scenario(self.scenario):
+            process = self._ctx.Process(
+                target=_supervised_worker_main,
+                args=(self.payload, child_conn, heartbeat),
+                daemon=True,
+            )
+            process.start()
+        child_conn.close()  # our copy; the worker holds the live end
+        return _WorkerHandle(process, parent_conn, heartbeat)
+
+    def _kill_worker(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(timeout=5.0)
+        else:
+            process.join(timeout=5.0)
+
+    def _respawn(self, handle: _WorkerHandle) -> _WorkerHandle:
+        self._kill_worker(handle)
+        fresh = self._spawn_worker()
+        index = self._workers.index(handle)
+        self._workers[index] = fresh
+        self._respawns.inc()
+        self.workers_respawned += 1
+        return fresh
+
+    def close(self) -> None:
+        """Orderly shutdown: ask politely, then terminate stragglers."""
+        for handle in self._workers:
+            try:
+                handle.conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=2.0)
+            self._kill_worker(handle)
+        self._workers = []
+
+    def __enter__(self) -> "WorkerWatchdog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def run_tasks(
+        self, tasks: List[Tuple[int, int]]
+    ) -> Dict[int, Tuple[Optional[VPRows], str, Optional[str]]]:
+        """Execute one round of ``(vp_index, attempt)`` tasks."""
+        outcomes: Dict[
+            int, Tuple[Optional[VPRows], str, Optional[str]]
+        ] = {}
+        if not tasks:
+            return outcomes
+        want = max(1, min(self.jobs, len(tasks)))
+        while len(self._workers) < want:
+            self._workers.append(self._spawn_worker())
+
+        queue: deque = deque(tasks)
+        raw_results: List[tuple] = []
+        in_flight = 0
+
+        def dispatch() -> None:
+            nonlocal in_flight
+            for handle in self._workers:
+                if not queue:
+                    return
+                if handle.task is not None:
+                    continue
+                task = queue.popleft()
+                handle.task = task
+                handle.tries += 1
+                handle.heartbeat.value = time.monotonic()
+                try:
+                    handle.conn.send(task)
+                except (OSError, BrokenPipeError):
+                    # Died between tasks; revive and retry dispatch.
+                    handle.task = None
+                    handle.tries = 0
+                    queue.appendleft(task)
+                    self._respawn(handle)
+                    return
+                in_flight += 1
+
+        def fail_task(
+            handle: _WorkerHandle, kind: str, detail: str
+        ) -> None:
+            """Task's worker hung/died: re-queue within budget, else
+            report the poison outcome for this round."""
+            nonlocal in_flight
+            task = handle.task
+            assert task is not None
+            tries = handle.tries
+            handle.task = None
+            in_flight -= 1
+            fresh = self._respawn(handle)
+            if tries < self.config.task_tries:
+                fresh.tries = tries + 1  # budget follows the task
+                fresh.task = task
+                fresh.heartbeat.value = time.monotonic()
+                try:
+                    fresh.conn.send(task)
+                    in_flight += 1
+                    return
+                except (OSError, BrokenPipeError):  # pragma: no cover
+                    fresh.task = None
+                    fresh.tries = 0
+            vp_index = task[0]
+            outcomes[vp_index] = (None, kind, detail)
+
+        dispatch()
+        while in_flight or queue:
+            if not in_flight:
+                # A worker died at dispatch; the queue still holds its
+                # task and a fresh worker is up — try again.
+                dispatch()
+                continue
+            busy = {
+                handle.conn: handle
+                for handle in self._workers
+                if handle.task is not None
+            }
+            ready = _mp_wait(
+                list(busy), timeout=self.config.poll_interval
+            )
+            now = time.monotonic()
+            for conn in ready:
+                handle = busy[conn]
+                if handle.task is None:  # pragma: no cover - raced
+                    continue
+                try:
+                    message = handle.conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-task: a crash.
+                    self._crashes.inc()
+                    fail_task(
+                        handle,
+                        "crash",
+                        "worker process died mid-task "
+                        f"(exitcode {handle.process.exitcode})",
+                    )
+                    continue
+                raw_results.append(message)
+                vp_index = message[0]
+                outcomes[vp_index] = (
+                    message[2],
+                    "ok" if message[5] is None else "failed",
+                    message[5],
+                )
+                handle.task = None
+                handle.tries = 0
+                in_flight -= 1
+            # Hang scan: every busy worker's heartbeat age.
+            for handle in list(self._workers):
+                if handle.task is None:
+                    continue
+                age = now - handle.heartbeat.value
+                self._hb_ages.observe(max(age, 0.0))
+                if age > self.config.hang_timeout:
+                    self._hangs.inc()
+                    self.hangs_detected += 1
+                    fail_task(
+                        handle,
+                        "hang",
+                        f"no heartbeat for {age:.2f}s "
+                        f"(deadline {self.config.hang_timeout}s)",
+                    )
+            dispatch()
+
+        # Merge telemetry in VP index order so parent totals are
+        # independent of completion order (the unsupervised pool's
+        # rule, preserved).
+        raw_results.sort(key=lambda item: item[0])
+        options_load = self.scenario.network.options_load
+        for (_vp, _attempt, _rows, snapshot, load_delta, _err) in raw_results:
+            self._registry.merge(snapshot)
+            for asn, count in load_delta.items():
+                options_load[asn] = options_load.get(asn, 0) + count
+        return outcomes

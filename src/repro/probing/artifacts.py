@@ -1,0 +1,176 @@
+"""Artifact integrity primitives: atomic writes + content checksums.
+
+Every artifact this repository persists — survey JSON (plain or
+gzipped), campaign checkpoints, JSONL result stores — represents
+hours of (simulated) probing. A half-written or bit-rotted file must
+therefore never masquerade as data. Two primitives, shared by every
+writer:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` — the single
+  write-rename helper. Content lands in a same-directory temp file,
+  is flushed and fsynced, then atomically ``os.replace``d over the
+  destination, so readers (and crashed writers) only ever observe a
+  complete old file or a complete new file, never a torn one.
+* :func:`embed_checksum` / :func:`split_checksum` /
+  :func:`checksum_of` — an embedded sha256 over the *canonical* JSON
+  bytes of the record (sorted keys, compact separators, checksum field
+  excluded). Writers embed it; loaders recompute and compare, so
+  corruption that still parses as JSON (a truncated-then-padded copy,
+  a flipped digit) is caught before it poisons an analysis. Artifacts
+  written before checksums existed simply lack the field and still
+  load.
+
+Verification outcomes are counted in the process-wide metrics
+registry (``artifact_checksum_verified_total`` /
+``artifact_checksum_failures_total`` by artifact kind) and surface in
+``repro stats --health``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.obs.metrics import CounterFamily, MetricsRegistry, REGISTRY
+
+__all__ = [
+    "CHECKSUM_KEY",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "canonical_json_bytes",
+    "checksum_of",
+    "embed_checksum",
+    "split_checksum",
+    "verify_embedded_checksum",
+    "checksum_verified_counter",
+    "checksum_failure_counter",
+]
+
+#: The reserved top-level key carrying the embedded content digest.
+CHECKSUM_KEY = "sha256"
+
+
+def checksum_verified_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``artifact_checksum_verified_total{kind}`` — loads that checked out."""
+    return registry.counter(
+        "artifact_checksum_verified_total",
+        "Artifact loads whose embedded content checksum verified.",
+        ("kind",),
+    )
+
+
+def checksum_failure_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``artifact_checksum_failures_total{kind}`` — corruption caught."""
+    return registry.counter(
+        "artifact_checksum_failures_total",
+        "Artifact loads rejected for an embedded-checksum mismatch.",
+        ("kind",),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The one atomic write-rename helper.
+# ---------------------------------------------------------------------------
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final
+    rename never crosses a filesystem boundary. The file descriptor is
+    fsynced before the rename; a crash at any point leaves either the
+    previous complete file or the new complete file.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        # A crash between write and replace leaves the temp file; a
+        # success leaves nothing. Either way, don't litter.
+        if tmp.exists():  # pragma: no cover - crash-path hygiene
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomic text write (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+# ---------------------------------------------------------------------------
+# Embedded content checksums over canonical JSON bytes.
+# ---------------------------------------------------------------------------
+
+
+def canonical_json_bytes(record: Dict) -> bytes:
+    """The canonical serialisation checksums are computed over.
+
+    Sorted keys + compact separators: any dict that parses back to the
+    same data canonicalises to the same bytes, so a load can recompute
+    the digest of what it parsed and compare against the embedded one.
+    """
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def checksum_of(record: Dict) -> str:
+    """sha256 hex digest of ``record``'s canonical bytes (checksum
+    field excluded, if present)."""
+    body = {k: v for k, v in record.items() if k != CHECKSUM_KEY}
+    return hashlib.sha256(canonical_json_bytes(body)).hexdigest()
+
+
+def embed_checksum(record: Dict) -> Dict:
+    """A copy of ``record`` carrying its own content digest."""
+    body = {k: v for k, v in record.items() if k != CHECKSUM_KEY}
+    out = dict(body)
+    out[CHECKSUM_KEY] = checksum_of(body)
+    return out
+
+
+def split_checksum(record: Dict) -> Tuple[Dict, Optional[str]]:
+    """``(body, stored_digest)`` — digest is ``None`` for legacy
+    artifacts written before checksums existed."""
+    if CHECKSUM_KEY not in record:
+        return record, None
+    body = {k: v for k, v in record.items() if k != CHECKSUM_KEY}
+    return body, record[CHECKSUM_KEY]
+
+
+def verify_embedded_checksum(
+    record: Dict, kind: str = "artifact",
+    registry: Optional[MetricsRegistry] = None,
+) -> Tuple[Dict, Optional[str]]:
+    """Verify ``record``'s embedded digest, if present.
+
+    Returns ``(body, error_reason)``: ``error_reason`` is ``None``
+    when the digest matched (or was absent — legacy artifacts), else a
+    human-readable mismatch description. Outcomes are counted in the
+    metrics registry by ``kind``.
+    """
+    registry = REGISTRY if registry is None else registry
+    body, stored = split_checksum(record)
+    if stored is None:
+        return body, None
+    actual = checksum_of(body)
+    if actual != stored:
+        checksum_failure_counter(registry).labels(kind).inc()
+        return body, (
+            "content checksum mismatch: artifact is corrupt "
+            f"(embedded {str(stored)[:12]}…, computed {actual[:12]}…)"
+        )
+    checksum_verified_counter(registry).labels(kind).inc()
+    return body, None

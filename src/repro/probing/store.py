@@ -9,10 +9,12 @@ and appendable.
 from __future__ import annotations
 
 import dataclasses
+import io
 import json
 from pathlib import Path
 from typing import IO, Iterable, Iterator, List, Type, Union
 
+from repro.probing.artifacts import atomic_write_text
 from repro.probing.results import (
     PingResult,
     RRPingResult,
@@ -84,8 +86,16 @@ class ResultStore:
         self.path = Path(path)
 
     def write(self, results: Iterable[ResultType]) -> int:
-        with self.path.open("w", encoding="utf-8") as fh:
-            return dump_results(results, fh)
+        """Replace the store's contents atomically.
+
+        The encoded stream is staged in memory and lands through the
+        shared write-rename helper, so a crash mid-write leaves the
+        previous complete store rather than a torn JSONL file.
+        """
+        buffer = io.StringIO()
+        count = dump_results(results, buffer)
+        atomic_write_text(self.path, buffer.getvalue())
+        return count
 
     def append(self, results: Iterable[ResultType]) -> int:
         with self.path.open("a", encoding="utf-8") as fh:

@@ -20,6 +20,8 @@ from repro.faults.specs import (
     LossBurst,
     RateLimitStorm,
     VpChurn,
+    VpCrash,
+    VpHang,
 )
 from repro.rng import derive_seed
 
@@ -41,6 +43,21 @@ FAULT_PRESETS = {
         LinkFlap(count=2, start=0.25, duration=0.5),
         LossBurst(p_enter=0.03, p_exit=0.25, drop_prob=0.85),
         RateLimitStorm(scale=0.1, start=0.2, duration=0.6, prob=0.75),
+    ),
+    # Supervision-era pathologies (PR 5): workers that wedge or die.
+    # ``hang`` is transient (first attempt only — a retry heals);
+    # ``crash-loop`` is the poison VP the quarantine machinery exists
+    # for (crashes on *every* attempt).
+    "hang": (
+        VpHang(prob=0.3, attempts=1, after_targets=5, hang_seconds=60.0),
+    ),
+    "crash-loop": (VpCrash(prob=0.3, attempts=None, after_targets=2),),
+    "pathological": (
+        VpChurn(prob=0.3, max_dark_attempts=1),
+        LossBurst(p_enter=0.03, p_exit=0.25, drop_prob=0.85),
+        VpHang(prob=0.2, attempts=None, after_targets=3,
+               hang_seconds=60.0),
+        VpCrash(prob=0.2, attempts=None, after_targets=2),
     ),
 }
 

@@ -481,18 +481,18 @@ class TestSurveyWorkerError:
                                               targets):
         """The campaign driver treats a crashing VP as retryable and
         degrades to partial when it never heals."""
-        import repro.faults.campaign as campaign_mod
+        import repro.faults.supervisor as supervisor_mod
 
         world = get_preset("tiny", 13)
         victim = world.vps[1].name
-        real = campaign_mod.probe_vp_rr
+        real = supervisor_mod.probe_vp_rr
 
         def sabotaged(scenario, vp, *args, **kwargs):
             if vp.name == victim:
                 raise RuntimeError("permanently broken")
             return real(scenario, vp, *args, **kwargs)
 
-        monkeypatch.setattr(campaign_mod, "probe_vp_rr", sabotaged)
+        monkeypatch.setattr(supervisor_mod, "probe_vp_rr", sabotaged)
         result = CampaignRunner(world, max_retries=1).run(
             targets=targets[:5], vps=list(world.vps)[:3]
         )
