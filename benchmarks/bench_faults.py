@@ -20,6 +20,11 @@ Three questions, answered with wall-clock numbers and a parity bar:
   an identical empty-plan campaign at ``--jobs`` workers. The target
   is < 5% overhead (recorded as ``supervision_overhead``; the *gated*
   part is that supervised bytes equal the unsupervised ones).
+* **span tax** — the same supervised campaign with hierarchical span
+  tracing enabled versus off. Spans are phase-granular (per VP /
+  batch), so the target is the same < 5% bar (recorded as
+  ``span_overhead``); the *gated* part is that spans-on bytes equal
+  spans-off bytes.
 
 Run it directly (no pytest harness)::
 
@@ -46,6 +51,7 @@ from repro.faults import (
     VpChurn,
 )
 from repro.obs.metrics import REGISTRY
+from repro.obs.spans import TRACER
 from repro.scenarios.faults import build_fault_plan
 from repro.scenarios.internet import Scenario
 from repro.scenarios.presets import get_preset
@@ -207,10 +213,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.preset, args.seed, args.quick, jobs=args.jobs, plan=None
     )
     timings[f"campaign_empty_jobs{args.jobs}"] = secs
+    # Best-of-two: pool spin-up jitter on small inputs can exceed the
+    # effect being measured, and an outlier here poisons both the
+    # supervision and span overhead ratios.
     secs, supervised = _run_campaign(
         args.preset, args.seed, args.quick, jobs=args.jobs, plan=None,
         supervision=SupervisionConfig(),
     )
+    secs2, _ = _run_campaign(
+        args.preset, args.seed, args.quick, jobs=args.jobs, plan=None,
+        supervision=SupervisionConfig(),
+    )
+    secs = min(secs, secs2)
     timings[f"campaign_supervised_jobs{args.jobs}"] = secs
     supervision_overhead = (
         timings[f"campaign_supervised_jobs{args.jobs}"]
@@ -219,14 +233,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if timings[f"campaign_empty_jobs{args.jobs}"]
         else 0.0
     )
-    supervised_ok = _survey_bytes(
-        supervised.survey, "sup", out_dir
-    ) == _survey_bytes(plain_pooled.survey, "plain", out_dir)
+    sup_bytes = _survey_bytes(supervised.survey, "sup", out_dir)
+    supervised_ok = sup_bytes == _survey_bytes(
+        plain_pooled.survey, "plain", out_dir
+    )
     print(
         f"  supervised jobs={args.jobs}     : "
         f"{timings[f'campaign_supervised_jobs{args.jobs}']:.3f}s "
         f"(overhead {supervision_overhead:+.1%}, target <5%; "
         f"parity {'ok' if supervised_ok else 'MISMATCH'})",
+        flush=True,
+    )
+
+    # Span tax: the same supervised campaign with tracing on. The
+    # tracer records phase spans (campaign/round/attempt/batch) but
+    # must neither slow the run past the supervision bar nor change a
+    # single survey byte.
+    TRACER.configure(True)
+    TRACER.reset()
+    try:
+        secs, spans_run = _run_campaign(
+            args.preset, args.seed, args.quick, jobs=args.jobs,
+            plan=None, supervision=SupervisionConfig(),
+        )
+        TRACER.reset()
+        secs2, _ = _run_campaign(
+            args.preset, args.seed, args.quick, jobs=args.jobs,
+            plan=None, supervision=SupervisionConfig(),
+        )
+        secs = min(secs, secs2)
+    finally:
+        TRACER.configure(False)
+    timings[f"campaign_spans_jobs{args.jobs}"] = secs
+    span_count = len(TRACER)
+    span_overhead = (
+        secs / timings[f"campaign_supervised_jobs{args.jobs}"] - 1.0
+        if timings[f"campaign_supervised_jobs{args.jobs}"]
+        else 0.0
+    )
+    spans_ok = _survey_bytes(spans_run.survey, "spans", out_dir) == sup_bytes
+    print(
+        f"  spans-on jobs={args.jobs}       : {secs:.3f}s "
+        f"({span_count} spans; overhead {span_overhead:+.1%}, "
+        f"target <5%; parity {'ok' if spans_ok else 'MISMATCH'})",
         flush=True,
     )
 
@@ -243,6 +292,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos_overhead_vs_unfaulted": overhead,
         "supervision_overhead": supervision_overhead,
         "supervision_overhead_target": 0.05,
+        "span_overhead": span_overhead,
+        "span_overhead_target": 0.05,
+        "span_count": span_count,
         "churn_retry_rounds": churn_result.retry_rounds,
         "churn_backoff_sim_seconds": churn_result.backoff_sim_seconds,
         "chaos_retry_rounds": chaos_serial.retry_rounds,
@@ -253,6 +305,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "churn_recovers_unfaulted": recovery_ok,
             "chaos_serial_vs_pool": chaos_ok,
             "supervised_vs_plain_pool": supervised_ok,
+            "spans_on_vs_off": spans_ok,
         },
     }
     args.output.write_text(
@@ -261,7 +314,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"  wrote {args.output}", flush=True)
     return (
         0
-        if (driver_ok and recovery_ok and chaos_ok and supervised_ok)
+        if (
+            driver_ok
+            and recovery_ok
+            and chaos_ok
+            and supervised_ok
+            and spans_ok
+        )
         else 1
     )
 

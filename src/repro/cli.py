@@ -17,9 +17,16 @@ Commands:
 * ``chaos`` — run the RR campaign under a named fault plan with the
   resilient (retrying, checkpointing, resumable) campaign driver and
   print its manifest; ``--supervise`` adds the watchdog/quarantine
-  layer. Exit codes: 0 = completed; 3 = deliberately killed
-  (``--kill-after-vps``, can be ``--resume``\\ d); 4 = completed but
-  one or more VPs were quarantined as poison;
+  layer, ``--spans`` hierarchical span tracing, ``--status`` a live
+  status snapshot for ``repro top``. Exit codes: 0 = completed; 3 =
+  deliberately killed (``--kill-after-vps``, can be ``--resume``\\ d);
+  4 = completed but one or more VPs were quarantined as poison;
+* ``top`` — poll a campaign's ``--status`` snapshot file and render a
+  live operator view (progress, retry round, probes/sec, breaker
+  states, heartbeat ages, quarantines);
+* ``trace`` — run a (small) traced campaign and print its span tree;
+  ``--chrome-out`` writes Chrome trace-event JSON for
+  chrome://tracing / Perfetto, ``--jsonl-out`` raw span JSONL;
 * ``export`` — write the scenario's synthetic datasets (RouteViews-
   style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory.
 """
@@ -47,8 +54,17 @@ from repro.core.table1 import build_table1
 from repro.core.temporal import build_figure2
 from repro.core.ttl import run_ttl_study
 from repro.net.addr import addr_to_int, int_to_addr
-from repro.obs.export import to_jsonl, to_prometheus
+from repro.obs.export import (
+    render_span_tree,
+    to_jsonl,
+    to_prometheus,
+    write_chrome_trace,
+    write_spans_jsonl,
+    write_trace_jsonl,
+)
 from repro.obs.metrics import REGISTRY
+from repro.obs.spans import TRACER
+from repro.obs.status import load_status, render_status
 from repro.obs.trace import PacketTracer
 from repro.scenarios.faults import FAULT_PRESETS, build_fault_plan
 from repro.scenarios.presets import PRESETS, get_preset
@@ -269,6 +285,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign manifest + supervision health "
              "summary as JSON here (CI artifact)",
     )
+    chaos.add_argument(
+        "--status", type=Path, default=None, metavar="PATH",
+        help="publish a live campaign status snapshot (atomic JSON) "
+             "here; watch it with `repro top --status PATH`",
+    )
+    chaos.add_argument(
+        "--spans", action="store_true",
+        help="record hierarchical spans (campaign → round → VP "
+             "attempt → probe batch); view with --spans-output / "
+             "`repro trace`",
+    )
+    chaos.add_argument(
+        "--spans-output", type=Path, default=None, metavar="PATH",
+        help="write completed spans as JSONL here (implies --spans)",
+    )
+    chaos.add_argument(
+        "--journal-output", type=Path, default=None, metavar="PATH",
+        help="write per-VP flight-recorder journals as JSON here "
+             "(supervised runs only)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live campaign status view (reads a --status snapshot)",
+    )
+    top.add_argument(
+        "--status", type=Path, required=True, metavar="PATH",
+        help="status snapshot file written by `repro chaos --status`",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="poll interval in seconds",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (CI-friendly)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds without the campaign "
+             "reaching a terminal state",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced campaign and print its span tree",
+    )
+    trace.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    trace.add_argument("--seed", type=int, default=2016)
+    trace.add_argument(
+        "--dests", type=int, default=None,
+        help="probe only the first N hitlist destinations",
+    )
+    trace.add_argument(
+        "--vps", type=int, default=None,
+        help="probe from only the first N vantage points",
+    )
+    trace.add_argument("--jobs", type=int, default=1)
+    trace.add_argument(
+        "--sample", type=int, default=0, metavar="N",
+        help="attach every Nth probe as a span event (0 = off)",
+    )
+    trace.add_argument(
+        "--chrome-out", type=Path, default=None, metavar="PATH",
+        help="write Chrome trace-event JSON (open in chrome://tracing "
+             "or https://ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--jsonl-out", type=Path, default=None, metavar="PATH",
+        help="write completed spans as JSONL",
+    )
 
     probe = sub.add_parser("probe", help="issue a single measurement")
     probe.add_argument(
@@ -293,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="render the per-hop dataplane walk after the result",
+    )
+    probe.add_argument(
+        "--trace-output", type=Path, default=None, metavar="PATH",
+        help="write the hop-by-hop TraceEvents as checksummed JSONL "
+             "(implies --trace)",
     )
 
     stats = sub.add_parser(
@@ -435,24 +529,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         kill_after_vps=args.kill_after_vps,
         supervision=supervision,
+        status_path=args.status,
     )
     targets = None
     if args.dests is not None:
         targets = list(scenario.hitlist)[: args.dests]
+    spans_on = args.spans or args.spans_output is not None
+    if spans_on:
+        TRACER.configure(True)
+        TRACER.reset()
     print(f"{plan.describe()} on preset {args.preset}", file=sys.stderr)
     try:
-        result = runner.run(targets=targets, resume=args.resume)
-    except CampaignInterrupted as exc:
-        print(f"chaos: {exc}", file=sys.stderr)
-        return EXIT_INTERRUPTED
+        try:
+            result = runner.run(targets=targets, resume=args.resume)
+        except CampaignInterrupted as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            if args.spans_output is not None:
+                write_spans_jsonl(args.spans_output, TRACER.snapshot())
+                print(f"wrote {args.spans_output}", file=sys.stderr)
+            return EXIT_INTERRUPTED
+    finally:
+        if spans_on:
+            TRACER.configure(False)
     print(json.dumps(result.manifest(), indent=2, sort_keys=True))
     if args.save_survey is not None:
         save_survey(result.survey, args.save_survey)
         print(f"wrote {args.save_survey}", file=sys.stderr)
+    if args.spans_output is not None:
+        write_spans_jsonl(args.spans_output, TRACER.snapshot())
+        print(f"wrote {args.spans_output}", file=sys.stderr)
+    if args.journal_output is not None:
+        args.journal_output.write_text(
+            json.dumps(result.journals, indent=2, sort_keys=True) + "\n",
+            "utf-8",
+        )
+        print(f"wrote {args.journal_output}", file=sys.stderr)
     if args.stats_output is not None:
         payload = {
             "manifest": result.manifest(),
             "health": _health_summary(REGISTRY.snapshot()),
+            "journals": result.journals,
         }
         args.stats_output.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", "utf-8"
@@ -471,8 +587,9 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         vp = scenario.vp_by_name(args.vp)
     dst = addr_to_int(args.dst)
     prober = scenario.prober
+    trace_output = getattr(args, "trace_output", None)
     tracer: Optional[PacketTracer] = None
-    if getattr(args, "trace", False):
+    if getattr(args, "trace", False) or trace_output is not None:
         tracer = scenario.network.attach_tracer()
     print(f"{args.probe_type} {int_to_addr(dst)} from {vp}")
     if args.probe_type == "ping":
@@ -495,8 +612,12 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         print(result)
     if tracer is not None:
         scenario.network.detach_tracer()
-        print("\n-- hop trace " + "-" * 47)
-        print(tracer.render())
+        if getattr(args, "trace", False):
+            print("\n-- hop trace " + "-" * 47)
+            print(tracer.render())
+        if trace_output is not None:
+            write_trace_jsonl(trace_output, tracer.events)
+            print(f"wrote {trace_output}", file=sys.stderr)
     return 0
 
 
@@ -631,6 +752,11 @@ def _render_stats_table(snapshot: dict) -> str:
     lines.append(f"  {'dropped[total]':<22} {sum(drops.values()):>10}")
     for kind in sorted(icmp):
         lines.append(f"  {'icmp[' + kind + ']':<22} {icmp[kind]:>10}")
+    trace_dropped = _sum_series(
+        snapshot, "trace_dropped_events_total"
+    ).get("", 0)
+    if trace_dropped:
+        lines.append(f"  {'trace_dropped':<22} {trace_dropped:>10}")
 
     accepted = _sum_series(snapshot, "ratelimit_accepted_total", by="role")
     rejected = _sum_series(snapshot, "ratelimit_rejected_total", by="role")
@@ -768,6 +894,74 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    deadline = (
+        None if args.timeout is None else _time.monotonic() + args.timeout
+    )
+    waiting_since: Optional[float] = None
+    while True:
+        try:
+            status = load_status(args.status)
+        except FileNotFoundError:
+            status = None
+        except ValueError as exc:
+            print(f"top: {exc}", file=sys.stderr)
+            return 2
+        if status is None:
+            if args.once:
+                print(f"top: no status snapshot at {args.status}",
+                      file=sys.stderr)
+                return 2
+            if waiting_since is None:
+                waiting_since = _time.monotonic()
+                print(f"top: waiting for {args.status} ...",
+                      file=sys.stderr)
+        else:
+            print(render_status(status))
+            if args.once:
+                return 0
+            if status.get("state") in ("done", "interrupted"):
+                return 0
+            print()
+        if deadline is not None and _time.monotonic() >= deadline:
+            print("top: timed out", file=sys.stderr)
+            return 1
+        _time.sleep(max(args.interval, 0.05))
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import CampaignRunner
+
+    scenario = get_preset(args.preset, seed=args.seed)
+    targets = None
+    if args.dests is not None:
+        targets = list(scenario.hitlist)[: args.dests]
+    vps = None
+    if args.vps is not None:
+        vps = list(scenario.working_vps)[: args.vps]
+    if args.sample:
+        scenario.prober.span_sample = args.sample
+    TRACER.configure(True)
+    TRACER.reset()
+    try:
+        CampaignRunner(scenario, jobs=args.jobs).run(
+            targets=targets, vps=vps
+        )
+    finally:
+        TRACER.configure(False)
+    spans = TRACER.snapshot()
+    print(render_span_tree(spans))
+    if args.chrome_out is not None:
+        write_chrome_trace(args.chrome_out, spans)
+        print(f"wrote {args.chrome_out}", file=sys.stderr)
+    if args.jsonl_out is not None:
+        write_spans_jsonl(args.jsonl_out, spans)
+        print(f"wrote {args.jsonl_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     scenario = get_preset(args.preset, seed=args.seed)
     args.dir.mkdir(parents=True, exist_ok=True)
@@ -790,6 +984,8 @@ _COMMANDS = {
     "presets": _cmd_presets,
     "study": _cmd_study,
     "chaos": _cmd_chaos,
+    "top": _cmd_top,
+    "trace": _cmd_trace,
     "probe": _cmd_probe,
     "stats": _cmd_stats,
     "export": _cmd_export,

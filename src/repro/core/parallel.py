@@ -42,6 +42,7 @@ import os
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import REGISTRY
+from repro.obs.spans import TRACER
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder, split_round_robin
 from repro.probing.vantage import VantagePoint
@@ -127,6 +128,10 @@ def _init_worker(payload: dict) -> None:
     if scenario is None:
         scenario = build_scenario(payload["params"])
     _WORKER = dict(payload, scenario=scenario)
+    # Span tracing follows the parent's setting explicitly: forked
+    # workers inherit the parent tracer's flag, spawned workers start
+    # disabled — the payload key makes both behave the same.
+    TRACER.configure(bool(payload.get("spans", False)))
 
 
 def _compact_snapshot(snapshot: Dict[str, dict]) -> Dict[str, dict]:
@@ -157,10 +162,11 @@ def _rr_task(vp_index: int) -> tuple:
     state = _WORKER
     assert state is not None, "worker initialized without state"
     scenario: Scenario = state["scenario"]
-    # The registry in this process is a private copy (fork) or fresh
-    # (spawn); zeroing it per task makes the closing snapshot exactly
-    # this task's contribution.
+    # The registry (and span buffer) in this process is a private copy
+    # (fork) or fresh (spawn); zeroing both per task makes the closing
+    # snapshots exactly this task's contribution.
     REGISTRY.reset()
+    TRACER.reset()
     scenario.network.options_load.clear()
     targets: List[Destination] = state["targets"]
     position: Dict[int, int] = state["position"]
@@ -184,6 +190,7 @@ def _rr_task(vp_index: int) -> tuple:
         rows,
         _compact_snapshot(REGISTRY.snapshot()),
         dict(scenario.network.options_load),
+        TRACER.snapshot(),
     )
 
 
@@ -195,6 +202,7 @@ def _ping_task(shard_index: int) -> tuple:
     assert state is not None, "worker initialized without state"
     scenario: Scenario = state["scenario"]
     REGISTRY.reset()
+    TRACER.reset()
     scenario.network.options_load.clear()
     shard: List[Destination] = state["shards"][shard_index]
     try:
@@ -217,6 +225,7 @@ def _ping_task(shard_index: int) -> tuple:
         rows,
         _compact_snapshot(REGISTRY.snapshot()),
         dict(scenario.network.options_load),
+        TRACER.snapshot(),
     )
 
 
@@ -265,8 +274,9 @@ class ParallelSurveyRunner:
                 results = pool.map(task, range(task_count), chunksize=1)
         results.sort(key=lambda item: item[0])
         options_load = self.scenario.network.options_load
-        for _index, _rows, snapshot, load_delta in results:
+        for _index, _rows, snapshot, load_delta, spans in results:
             REGISTRY.merge(snapshot)
+            TRACER.merge(spans)
             for asn, count in load_delta.items():
                 options_load[asn] = options_load.get(asn, 0) + count
         return results
@@ -293,10 +303,11 @@ class ParallelSurveyRunner:
             "order": order,
             "slots": slots,
             "pps": pps,
+            "spans": TRACER.enabled,
         }
         results = self._run_pool(payload, _rr_task, len(payload["vps"]),
                                  self.jobs)
-        return [rows for _index, rows, _snap, _load in results]
+        return [rows for _index, rows, _snap, _load, _spans in results]
 
     def run_ping(
         self,
@@ -317,9 +328,10 @@ class ParallelSurveyRunner:
             "shards": shards,
             "count": count,
             "pps": pps,
+            "spans": TRACER.enabled,
         }
         results = self._run_pool(payload, _ping_task, len(shards), self.jobs)
         merged: List[Tuple[int, bool]] = []
-        for _index, rows, _snap, _load in results:
+        for _index, rows, _snap, _load, _spans in results:
             merged.extend(rows)
         return merged

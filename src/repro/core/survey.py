@@ -43,6 +43,7 @@ from repro.probing.artifacts import (
     embed_checksum,
     verify_embedded_checksum,
 )
+from repro.obs.spans import TRACER
 from repro.obs.timing import timed
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder, order_destinations
@@ -84,6 +85,11 @@ class SurveyFormatError(ValueError):
 #: any ``jobs >= 2`` run produces identical results (each shard is one
 #: deterministic loss-stream session; see DESIGN.md).
 PING_SHARDS = 8
+
+#: Destinations per ``probe_batch`` span when tracing is enabled.
+#: With tracing off, a VP's whole walk is one batch, so the loop costs
+#: a single no-op context entry — spans never touch the per-probe path.
+PROBE_BATCH_SPAN = 256
 
 #: One VP's compact survey contribution:
 #: ``(rows, inprefix)`` where rows = [(dest_index, slot-or-None), ...]
@@ -409,25 +415,48 @@ def probe_vp_rr(
     network = scenario.network
     network.begin_vp_session(vp.name)
     try:
-        with timed("rr_survey_vp"):
-            ordered = order_destinations(
-                targets, order, seed=scenario.seed, salt=vp.name
-            )
-            rows: List[Tuple[int, Optional[int]]] = []
-            inprefix: Dict[int, Set[int]] = {}
-            for dest in ordered:
-                if heartbeat is not None:
-                    heartbeat()
-                result = scenario.prober.ping_rr(
-                    vp, dest.addr, slots=slots, pps=pps
+        with TRACER.span(
+            "vp_probe", clock=network.clock,
+            vp=vp.name, targets=len(targets),
+        ):
+            with timed("rr_survey_vp"):
+                ordered = order_destinations(
+                    targets, order, seed=scenario.seed, salt=vp.name
                 )
-                if not result.rr_responsive:
-                    continue
-                dest_index = position[dest.addr]
-                rows.append((dest_index, result.dest_slot()))
-                for addr in result.rr_hops:
-                    if addr != dest.addr and same_slash24(addr, dest.addr):
-                        inprefix.setdefault(dest_index, set()).add(addr)
+                rows: List[Tuple[int, Optional[int]]] = []
+                inprefix: Dict[int, Set[int]] = {}
+                # Identical walk either way: batching only changes how
+                # often the (possibly no-op) span context is entered.
+                step = (
+                    PROBE_BATCH_SPAN
+                    if TRACER.enabled
+                    else max(len(ordered), 1)
+                )
+                for start in range(0, len(ordered), step):
+                    chunk = ordered[start:start + step]
+                    with TRACER.span(
+                        "probe_batch", clock=network.clock,
+                        batch=start // step, size=len(chunk),
+                    ):
+                        for dest in chunk:
+                            if heartbeat is not None:
+                                heartbeat()
+                            result = scenario.prober.ping_rr(
+                                vp, dest.addr, slots=slots, pps=pps
+                            )
+                            if not result.rr_responsive:
+                                continue
+                            dest_index = position[dest.addr]
+                            rows.append(
+                                (dest_index, result.dest_slot())
+                            )
+                            for addr in result.rr_hops:
+                                if addr != dest.addr and same_slash24(
+                                    addr, dest.addr
+                                ):
+                                    inprefix.setdefault(
+                                        dest_index, set()
+                                    ).add(addr)
     finally:
         network.end_vp_session()
     packed = sorted(
@@ -455,12 +484,16 @@ def probe_ping_shard(
     network = scenario.network
     network.begin_vp_session(f"{origin.name}/ping-shard-{shard_index}")
     try:
-        out = []
-        for dest in targets:
-            result = scenario.prober.ping(
-                origin, dest.addr, count=count, pps=pps
-            )
-            out.append((dest.addr, result.responded))
+        with TRACER.span(
+            "ping_shard", clock=network.clock,
+            shard=shard_index, targets=len(targets),
+        ):
+            out = []
+            for dest in targets:
+                result = scenario.prober.ping(
+                    origin, dest.addr, count=count, pps=pps
+                )
+                out.append((dest.addr, result.responded))
     finally:
         network.end_vp_session()
     return out
@@ -483,22 +516,26 @@ def run_ping_survey(
         raise ValueError("scenario has no origin vantage point")
     targets = list(scenario.hitlist) if dests is None else list(dests)
     survey = PingSurvey(origin_name=scenario.origin.name)
-    if jobs is not None and jobs >= 2 and len(targets) > 1:
-        from repro.core.parallel import ParallelSurveyRunner
+    with TRACER.span(
+        "ping_survey", clock=scenario.network.clock,
+        targets=len(targets), jobs=jobs or 1,
+    ):
+        if jobs is not None and jobs >= 2 and len(targets) > 1:
+            from repro.core.parallel import ParallelSurveyRunner
 
-        runner = ParallelSurveyRunner(scenario, jobs=jobs)
+            runner = ParallelSurveyRunner(scenario, jobs=jobs)
+            with timed("ping_survey"):
+                for addr, responded in runner.run_ping(
+                    targets, count=count, pps=pps
+                ):
+                    survey.responsive[addr] = responded
+            return survey
         with timed("ping_survey"):
-            for addr, responded in runner.run_ping(
-                targets, count=count, pps=pps
-            ):
-                survey.responsive[addr] = responded
-        return survey
-    with timed("ping_survey"):
-        for dest in targets:
-            result = scenario.prober.ping(
-                scenario.origin, dest.addr, count=count, pps=pps
-            )
-            survey.responsive[dest.addr] = result.responded
+            for dest in targets:
+                result = scenario.prober.ping(
+                    scenario.origin, dest.addr, count=count, pps=pps
+                )
+                survey.responsive[dest.addr] = result.responded
     return survey
 
 
@@ -535,28 +572,33 @@ def run_rr_survey(
         rr_slots=slots,
     )
     position = {dest.addr: index for index, dest in enumerate(targets)}
-    if jobs is not None and jobs >= 2 and len(vp_list) > 1:
-        from repro.core.parallel import ParallelSurveyRunner
+    with TRACER.span(
+        "rr_survey", clock=scenario.network.clock,
+        vps=len(vp_list), targets=len(targets), jobs=jobs or 1,
+    ):
+        if jobs is not None and jobs >= 2 and len(vp_list) > 1:
+            from repro.core.parallel import ParallelSurveyRunner
 
-        runner = ParallelSurveyRunner(scenario, jobs=jobs)
-        with timed("rr_survey"):
-            per_vp = runner.run_rr(
-                targets, vp_list, pps=pps, order=order, slots=slots
-            )
-    else:
-        with timed("rr_survey"):
-            per_vp = [
-                probe_vp_rr(
-                    scenario, vp, targets, position,
-                    order=order, slots=slots, pps=pps,
+            runner = ParallelSurveyRunner(scenario, jobs=jobs)
+            with timed("rr_survey"):
+                per_vp = runner.run_rr(
+                    targets, vp_list, pps=pps, order=order, slots=slots
                 )
-                for vp in vp_list
-            ]
-    # Merge in VP order so per-destination dict insertion order (and
-    # therefore the persisted JSON) is independent of completion order.
-    for vp_index, (rows, inprefix) in enumerate(per_vp):
-        for dest_index, slot in rows:
-            survey.responses[dest_index][vp_index] = slot
-        for dest_index, addrs in inprefix:
-            survey.inprefix_addrs[dest_index].update(addrs)
+        else:
+            with timed("rr_survey"):
+                per_vp = [
+                    probe_vp_rr(
+                        scenario, vp, targets, position,
+                        order=order, slots=slots, pps=pps,
+                    )
+                    for vp in vp_list
+                ]
+        # Merge in VP order so per-destination dict insertion order (and
+        # therefore the persisted JSON) is independent of completion
+        # order.
+        for vp_index, (rows, inprefix) in enumerate(per_vp):
+            for dest_index, slot in rows:
+                survey.responses[dest_index][vp_index] = slot
+            for dest_index, addrs in inprefix:
+                survey.inprefix_addrs[dest_index].update(addrs)
     return survey

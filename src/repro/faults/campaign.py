@@ -60,6 +60,8 @@ from repro.faults.supervisor import (
     run_vp_attempt,
 )
 from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.spans import TRACER
+from repro.obs.status import CampaignStatusWriter, sum_counter
 from repro.probing.artifacts import atomic_write_text, embed_checksum
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder
@@ -156,6 +158,11 @@ class CampaignResult:
     hangs_detected: int = 0
     workers_respawned: int = 0
     checkpoint_repairs: int = 0
+    #: Per-VP flight-recorder history from the supervised run (empty
+    #: unsupervised). Not part of :meth:`manifest` — quarantine reasons
+    #: embed their own journal tails; the full map is the
+    #: ``--journal-output`` artifact.
+    journals: Dict[str, List[dict]] = field(default_factory=dict)
 
     def manifest(self) -> dict:
         """Plain-data summary (what ``repro chaos`` prints as JSON)."""
@@ -196,9 +203,9 @@ def _campaign_rr_task(task: Tuple[int, int]) -> tuple:
     watchdog to recover a wedged worker, so injected hangs degrade to
     immediate failures (``allow_hang=False``).
 
-    Returns ``(vp_index, rows_or_None, snapshot, options_load, error)``
-    — a failed VP must not poison the whole pool ``map``, so the
-    exception is stringified and shipped home for the retry loop.
+    Returns ``(vp_index, rows_or_None, snapshot, options_load, error,
+    spans)`` — a failed VP must not poison the whole pool ``map``, so
+    the exception is stringified and shipped home for the retry loop.
     """
     from repro.core.parallel import _WORKER
 
@@ -207,6 +214,7 @@ def _campaign_rr_task(task: Tuple[int, int]) -> tuple:
     assert state is not None, "worker initialized without state"
     scenario: Scenario = state["scenario"]
     REGISTRY.reset()
+    TRACER.reset()
     scenario.network.options_load.clear()
     vp: VantagePoint = state["vps"][vp_index]
     plan: FaultPlan = state["plan"]
@@ -234,6 +242,7 @@ def _campaign_rr_task(task: Tuple[int, int]) -> tuple:
         _compact_snapshot(REGISTRY.snapshot()),
         dict(scenario.network.options_load),
         error,
+        TRACER.snapshot(),
     )
 
 
@@ -362,6 +371,8 @@ class CampaignRunner:
         checkpoint_path: Optional[Union[str, Path]] = None,
         kill_after_vps: Optional[int] = None,
         supervision: Optional[SupervisionConfig] = None,
+        status_path: Optional[Union[str, Path]] = None,
+        status_interval: float = 0.2,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0: {max_retries}")
@@ -382,6 +393,10 @@ class CampaignRunner:
         )
         self.kill_after_vps = kill_after_vps
         self.supervision = supervision
+        self.status_path = (
+            None if status_path is None else Path(status_path)
+        )
+        self.status_interval = float(status_interval)
         net_id = scenario.network.net_id
         self._attempts_ok = campaign_attempt_counter(REGISTRY).labels(
             net_id, "ok"
@@ -597,9 +612,60 @@ class CampaignRunner:
                     "pps": self.pps,
                     "plan": self.plan,
                     "horizon": horizon,
+                    "spans": TRACER.enabled,
                 },
                 self.jobs,
                 self.supervision,
+            )
+
+        # Live status: atomically published snapshots any observer
+        # (``repro top``) can poll mid-run. Reads only parent-side
+        # state, so publishing cannot perturb results.
+        status = (
+            None
+            if self.status_path is None
+            else CampaignStatusWriter(
+                self.status_path, min_interval=self.status_interval
+            )
+        )
+
+        def publish(
+            state: str,
+            force: bool = False,
+            heartbeat_ages: Optional[Dict[str, float]] = None,
+        ) -> None:
+            if status is None:
+                return
+            fields: dict = {
+                "scenario": scenario.name,
+                "seed": scenario.seed,
+                "supervised": self.supervision is not None,
+                "total_vps": len(vp_list),
+                "completed_vps": len(completed),
+                "pending_vps": len(pending),
+                "retry_round": retry_rounds,
+                "probes_sent": sum_counter(REGISTRY, "probe_sent_total"),
+                "elapsed_seconds": time.monotonic() - start,
+            }
+            if state != "running":
+                # Mid-run, pending VPs are simply not-yet-probed; only
+                # a terminal snapshot may call them failed.
+                fields["failed_vps"] = sorted(
+                    vp_list[index].name for index in pending
+                )
+            if tracker is not None:
+                fields["quarantined_vps"] = sorted(tracker.quarantined)
+                fields["breaker_states"] = tracker.breaker_states()
+            if heartbeat_ages:
+                fields["heartbeat_ages"] = {
+                    name: round(age, 3)
+                    for name, age in heartbeat_ages.items()
+                }
+            status.update(state, force=force, **fields)
+
+        if watchdog is not None:
+            watchdog.on_poll = lambda wd: publish(
+                "running", heartbeat_ages=wd.heartbeat_ages()
             )
 
         _OUTCOME_COUNTERS = {
@@ -608,6 +674,17 @@ class CampaignRunner:
             "crash": self._attempts_crashed,
         }
 
+        clock = scenario.network.clock
+        campaign_span = TRACER.begin(
+            "campaign",
+            clock=clock,
+            scenario=scenario.name,
+            seed=scenario.seed,
+            vps=len(vp_list),
+            targets=len(target_list),
+            supervised=self.supervision is not None,
+        )
+        publish("running", force=True)
         try:
             round_index = 0
             while pending:
@@ -641,6 +718,10 @@ class CampaignRunner:
                 ):
                     break
 
+                round_span = TRACER.begin(
+                    "round", clock=clock, round=round_index
+                )
+                publish("running", force=True)
                 # VpChurn: dark VPs fail fast in the parent — the unit
                 # of work never probes, exactly like a disconnected
                 # Atlas probe timing out at the controller. Open
@@ -665,61 +746,89 @@ class CampaignRunner:
                     )
                     for index in runnable
                 ]
-                if watchdog is not None:
-                    outcomes = watchdog.run_tasks(tasks)
-                else:
-                    outcomes = self._run_round(
-                        tasks, target_list, position, vp_list, horizon
-                    )
-                still_pending: List[int] = []
-                for index in pending:
-                    name = vp_list[index].name
-                    if index not in outcomes:
-                        # Dark or breaker-deferred this round.
-                        still_pending.append(index)
-                        continue
-                    attempts[name] = attempts.get(name, 0) + 1
-                    rows, kind, _error = outcomes[index]
-                    if kind == "ok":
-                        assert rows is not None
-                        completed[name] = rows
-                        self._attempts_ok.inc()
-                        if tracker is not None:
-                            tracker.record(name, "ok")
-                        self._write_checkpoint(
-                            fingerprint, completed, attempts
-                        )
-                        completed_this_run += 1
-                        if (
-                            self.kill_after_vps is not None
-                            and completed_this_run >= self.kill_after_vps
-                        ):
-                            # Simulated ^C: later results from this
-                            # round are discarded, exactly as a real
-                            # kill would.
-                            killed = CampaignInterrupted(
-                                completed_this_run,
-                                str(self.checkpoint_path),
-                            )
-                            break
+                try:
+                    if watchdog is not None:
+                        outcomes = watchdog.run_tasks(tasks)
                     else:
-                        _OUTCOME_COUNTERS.get(
-                            kind, self._attempts_failed
-                        ).inc()
-                        reason = None
-                        if tracker is not None:
-                            reason = tracker.record(name, kind)
-                        if reason is None:
+                        outcomes = self._run_round(
+                            tasks, target_list, position, vp_list, horizon
+                        )
+                    still_pending: List[int] = []
+                    for index in pending:
+                        name = vp_list[index].name
+                        if index not in outcomes:
+                            # Dark or breaker-deferred this round.
                             still_pending.append(index)
-                        # else: quarantined — drops out of pending; the
-                        # reason is already recorded in the tracker.
-                if killed is not None:
-                    raise killed
+                            continue
+                        attempts[name] = attempts.get(name, 0) + 1
+                        rows, kind, _error = outcomes[index]
+                        if kind == "ok":
+                            assert rows is not None
+                            completed[name] = rows
+                            self._attempts_ok.inc()
+                            if tracker is not None:
+                                tracker.record(name, "ok")
+                            self._write_checkpoint(
+                                fingerprint, completed, attempts
+                            )
+                            completed_this_run += 1
+                            if (
+                                self.kill_after_vps is not None
+                                and completed_this_run
+                                >= self.kill_after_vps
+                            ):
+                                # Simulated ^C: later results from this
+                                # round are discarded, exactly as a
+                                # real kill would.
+                                killed = CampaignInterrupted(
+                                    completed_this_run,
+                                    str(self.checkpoint_path),
+                                )
+                                break
+                        else:
+                            _OUTCOME_COUNTERS.get(
+                                kind, self._attempts_failed
+                            ).inc()
+                            reason = None
+                            if tracker is not None:
+                                reason = tracker.record(name, kind)
+                            if reason is None:
+                                still_pending.append(index)
+                            elif watchdog is not None:
+                                # Quarantined: embed the poisoned VP's
+                                # flight-recorder tail as the
+                                # post-mortem. The reason dict is the
+                                # object the tracker stores, so the
+                                # manifest sees the journal too.
+                                reason["last_journal"] = (
+                                    watchdog.journal_tail(index, 32)
+                                )
+                            # else: quarantined — drops out of pending;
+                            # the reason is recorded in the tracker.
+                    if killed is not None:
+                        raise killed
+                finally:
+                    TRACER.end(
+                        round_span,
+                        status=(
+                            "interrupted" if killed is not None else None
+                        ),
+                        clock=clock,
+                    )
                 pending = still_pending
                 round_index += 1
         finally:
             if watchdog is not None:
                 watchdog.close()
+            TRACER.end(
+                campaign_span,
+                status="interrupted" if killed is not None else None,
+                clock=clock,
+            )
+            publish(
+                "interrupted" if killed is not None else "done",
+                force=True,
+            )
 
         failed = {vp_list[index].name for index in pending}
         survey = RRSurvey(
@@ -769,6 +878,9 @@ class CampaignRunner:
                 0 if watchdog is None else watchdog.workers_respawned
             ),
             checkpoint_repairs=checkpoint_repairs,
+            journals=(
+                {} if watchdog is None else watchdog.journals_by_name()
+            ),
         )
 
     # -- round execution ---------------------------------------------------
@@ -843,6 +955,7 @@ class CampaignRunner:
             "pps": self.pps,
             "plan": self.plan,
             "horizon": horizon,
+            "spans": TRACER.enabled,
         }
         ctx = multiprocessing.get_context()
         outcomes: Dict[
@@ -863,8 +976,9 @@ class CampaignRunner:
         # of completion order (same rule as ParallelSurveyRunner).
         results.sort(key=lambda item: item[0])
         options_load = self.scenario.network.options_load
-        for vp_index, rows, snapshot, load_delta, error in results:
+        for vp_index, rows, snapshot, load_delta, error, spans in results:
             REGISTRY.merge(snapshot)
+            TRACER.merge(spans)
             for asn, count in load_delta.items():
                 options_load[asn] = options_load.get(asn, 0) + count
             outcomes[vp_index] = (

@@ -59,12 +59,18 @@ from repro.core.parallel import _init_worker, parent_scenario
 from repro.core.survey import VPRows, probe_vp_rr
 from repro.faults.injector import FaultInjector
 from repro.faults.specs import FaultPlan, VpCrash, VpHang
+from repro.obs.journal import (
+    DEFAULT_JOURNAL_CAPACITY,
+    JOURNAL_PROGRESS_EVERY,
+    FlightRecorder,
+)
 from repro.obs.metrics import (
     CounterFamily,
     HistogramFamily,
     MetricsRegistry,
     REGISTRY,
 )
+from repro.obs.spans import TRACER
 
 __all__ = [
     "SupervisionConfig",
@@ -294,30 +300,35 @@ def run_vp_attempt(
     contexts with no watchdog to recover the worker.
     """
     network = scenario.network
-    injector: Optional[FaultInjector] = None
-    if plan is not None and not plan.is_empty:
-        injector = FaultInjector(network, plan, horizon=horizon)
-        network.attach_injector(injector)
-    beat: Optional[Callable[[], None]] = heartbeat
-    if plan is not None:
-        hang = plan.hang_profile(vp.name, attempt)
-        crash = plan.crash_profile(vp.name, attempt)
-        if hang is not None or crash is not None:
-            beat = _FaultingHeartbeat(heartbeat, hang, crash, allow_hang)
-    try:
-        return probe_vp_rr(
-            scenario,
-            vp,
-            targets,
-            position,
-            order=order,
-            slots=slots,
-            pps=pps,
-            heartbeat=beat,
-        )
-    finally:
-        if injector is not None:
-            network.detach_injector()
+    with TRACER.span(
+        "vp_attempt", clock=network.clock, vp=vp.name, attempt=attempt
+    ):
+        injector: Optional[FaultInjector] = None
+        if plan is not None and not plan.is_empty:
+            injector = FaultInjector(network, plan, horizon=horizon)
+            network.attach_injector(injector)
+        beat: Optional[Callable[[], None]] = heartbeat
+        if plan is not None:
+            hang = plan.hang_profile(vp.name, attempt)
+            crash = plan.crash_profile(vp.name, attempt)
+            if hang is not None or crash is not None:
+                beat = _FaultingHeartbeat(
+                    heartbeat, hang, crash, allow_hang
+                )
+        try:
+            return probe_vp_rr(
+                scenario,
+                vp,
+                targets,
+                position,
+                order=order,
+                slots=slots,
+                pps=pps,
+                heartbeat=beat,
+            )
+        finally:
+            if injector is not None:
+                network.detach_injector()
 
 
 # ---------------------------------------------------------------------------
@@ -549,6 +560,14 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
     heartbeat hook), and once more just before the (potentially
     large) result send — so a worker blocked handing bytes to a busy
     parent is never mistaken for a hung one.
+
+    Flight recording: every task start, first destination, every
+    :data:`~repro.obs.journal.JOURNAL_PROGRESS_EVERY`-th destination,
+    and every task end is journalled into a :class:`FlightRecorder`
+    and flushed *incrementally* over this same pipe as a tagged
+    ``("journal", vp_index, attempt, events)`` message — so when the
+    watchdog kills this process, the parent already holds its final
+    recorded moments for the quarantine manifest.
     """
     from repro.core import parallel as _parallel
 
@@ -557,9 +576,22 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
     assert state is not None
     scenario = state["scenario"]
     plan: FaultPlan = state["plan"]
+    recorder = FlightRecorder()
+    flushed_seq = 0
 
     def beat() -> None:
         heartbeat_value.value = time.monotonic()
+
+    def flush_journal(vp_index: int, attempt: int) -> None:
+        nonlocal flushed_seq
+        delta = recorder.since(flushed_seq)
+        if not delta:
+            return
+        try:
+            conn.send(("journal", vp_index, attempt, delta))
+        except (OSError, BrokenPipeError):  # pragma: no cover
+            return  # parent gone; the recv below will notice
+        flushed_seq = recorder.last_seq
 
     while True:
         try:
@@ -572,8 +604,37 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
         vp_index, attempt = message
         beat()
         REGISTRY.reset()
+        TRACER.reset()
         scenario.network.options_load.clear()
         vp = state["vps"][vp_index]
+        recorder.record(
+            "task_start",
+            vp=vp.name,
+            vp_index=vp_index,
+            attempt=attempt,
+            targets=len(state["targets"]),
+        )
+        flush_journal(vp_index, attempt)
+        destinations = 0
+
+        def task_beat() -> None:
+            nonlocal destinations
+            beat()
+            destinations += 1
+            if destinations == 1:
+                recorder.record(
+                    "first_destination", vp=vp.name, attempt=attempt
+                )
+                flush_journal(vp_index, attempt)
+            elif destinations % JOURNAL_PROGRESS_EVERY == 0:
+                recorder.record(
+                    "progress",
+                    vp=vp.name,
+                    attempt=attempt,
+                    destinations=destinations,
+                )
+                flush_journal(vp_index, attempt)
+
         error: Optional[str] = None
         rows: Optional[VPRows] = None
         try:
@@ -588,19 +649,28 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
                 state["slots"],
                 state["pps"],
                 state["horizon"],
-                heartbeat=beat,
+                heartbeat=task_beat,
                 allow_hang=True,
             )
         except InjectedCrash:
             # A crashing worker does not get to report its own death:
             # the pipe EOF *is* the report, exactly as for a real
-            # segfault. (conn closes with the process.)
+            # segfault. (conn closes with the process.) The journal
+            # events flushed before the crash are already parent-side.
             conn.close()
             os._exit(_CRASH_EXIT_STATUS)
         except Exception as exc:  # noqa: BLE001 — shipped to the parent
             error = f"{type(exc).__name__}: {exc}"
         from repro.core.parallel import _compact_snapshot
 
+        recorder.record(
+            "task_end",
+            vp=vp.name,
+            attempt=attempt,
+            status="failed" if error else "ok",
+            error=error,
+            destinations=destinations,
+        )
         beat()  # about to block in send; still alive
         conn.send(
             (
@@ -610,8 +680,11 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
                 _compact_snapshot(REGISTRY.snapshot()),
                 dict(scenario.network.options_load),
                 error,
+                TRACER.snapshot(),
+                recorder.since(flushed_seq),
             )
         )
+        flushed_seq = recorder.last_seq
 
 
 class _WorkerHandle:
@@ -670,6 +743,16 @@ class WorkerWatchdog:
         self._workers: List[_WorkerHandle] = []
         self.hangs_detected = 0
         self.workers_respawned = 0
+        #: Per-VP flight-recorder mirror: the last
+        #: :data:`~repro.obs.journal.DEFAULT_JOURNAL_CAPACITY` journal
+        #: events each VP's workers flushed over their pipes, plus
+        #: synthetic ``watchdog_kill`` entries the parent adds when it
+        #: kills a worker. Survives :meth:`close` — quarantine
+        #: manifests read it after the pool is gone.
+        self.journals: Dict[int, deque] = {}
+        #: Optional per-poll observer ``callback(watchdog)`` — the
+        #: campaign's live status publisher hooks in here.
+        self.on_poll: Optional[Callable[["WorkerWatchdog"], None]] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -728,6 +811,48 @@ class WorkerWatchdog:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- flight recorder / liveness views ----------------------------------
+
+    def _store_journal(self, vp_index: int, events: List[dict]) -> None:
+        store = self.journals.get(vp_index)
+        if store is None:
+            store = deque(maxlen=DEFAULT_JOURNAL_CAPACITY)
+            self.journals[vp_index] = store
+        store.extend(events)
+
+    def journal_tail(
+        self, vp_index: int, n: Optional[int] = None
+    ) -> List[dict]:
+        """The last ``n`` (default all kept) journal events for a VP —
+        what the quarantine manifest embeds as the post-mortem."""
+        store = self.journals.get(vp_index)
+        if not store:
+            return []
+        events = list(store)
+        if n is not None:
+            events = events[-n:]
+        return [dict(event) for event in events]
+
+    def journals_by_name(self) -> Dict[str, List[dict]]:
+        """``{vp_name: events}`` for every VP with journal history."""
+        vps = self.payload["vps"]
+        return {
+            vps[vp_index].name: [dict(event) for event in store]
+            for vp_index, store in sorted(self.journals.items())
+            if store
+        }
+
+    def heartbeat_ages(self) -> Dict[str, float]:
+        """``{vp_name: seconds}`` since each busy worker's last beat."""
+        now = time.monotonic()
+        return {
+            self.payload["vps"][handle.task[0]].name: max(
+                now - handle.heartbeat.value, 0.0
+            )
+            for handle in self._workers
+            if handle.task is not None
+        }
+
     # -- execution ---------------------------------------------------------
 
     def run_tasks(
@@ -777,6 +902,21 @@ class WorkerWatchdog:
             nonlocal in_flight
             task = handle.task
             assert task is not None
+            # The kill itself becomes the journal's final entry — the
+            # parent-side epilogue to whatever the worker last flushed.
+            self._store_journal(
+                task[0],
+                [
+                    {
+                        "seq": None,
+                        "wall": time.time(),
+                        "kind": "watchdog_kill",
+                        "reason": kind,
+                        "detail": detail,
+                        "attempt": task[1],
+                    }
+                ],
+            )
             tries = handle.tries
             handle.task = None
             in_flight -= 1
@@ -827,8 +967,15 @@ class WorkerWatchdog:
                         f"(exitcode {handle.process.exitcode})",
                     )
                     continue
+                if message[0] == "journal":
+                    # Incremental flight-recorder flush; not a result.
+                    _tag, journal_vp, _attempt, events = message
+                    self._store_journal(journal_vp, events)
+                    continue
                 raw_results.append(message)
                 vp_index = message[0]
+                if message[7]:
+                    self._store_journal(vp_index, message[7])
                 outcomes[vp_index] = (
                     message[2],
                     "ok" if message[5] is None else "failed",
@@ -852,15 +999,28 @@ class WorkerWatchdog:
                         f"no heartbeat for {age:.2f}s "
                         f"(deadline {self.config.hang_timeout}s)",
                     )
+            if self.on_poll is not None:
+                self.on_poll(self)
             dispatch()
 
         # Merge telemetry in VP index order so parent totals are
         # independent of completion order (the unsupervised pool's
-        # rule, preserved).
+        # rule, preserved). Span buffers merge under the currently
+        # open span (the dispatching round).
         raw_results.sort(key=lambda item: item[0])
         options_load = self.scenario.network.options_load
-        for (_vp, _attempt, _rows, snapshot, load_delta, _err) in raw_results:
+        for (
+            _vp,
+            _attempt,
+            _rows,
+            snapshot,
+            load_delta,
+            _err,
+            spans,
+            _journal,
+        ) in raw_results:
             self._registry.merge(snapshot)
+            TRACER.merge(spans)
             for asn, count in load_delta.items():
                 options_load[asn] = options_load.get(asn, 0) + count
         return outcomes

@@ -1,11 +1,14 @@
-"""Observability: metrics registry, packet tracing, phase timing.
+"""Observability: metrics registry, spans, packet tracing, phase timing.
 
 The measurement platform measuring itself. See DESIGN.md §"Observability"
 for how the dataplane, rate limiters, prober, and campaign layers
 report here, and ``python -m repro stats`` for the operator view.
+
+Import order matters: the leaf modules (``metrics``, ``spans``,
+``journal``, ``timing``, ``trace``) load before ``export`` and
+``status``, which reach back into :mod:`repro.probing.artifacts`.
 """
 
-from repro.obs.export import to_jsonl, to_prometheus, write_jsonl
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -14,8 +17,41 @@ from repro.obs.metrics import (
     REGISTRY,
     get_registry,
 )
+from repro.obs.spans import (
+    DEFAULT_SPAN_CAPACITY,
+    MAX_SPAN_EVENTS,
+    Span,
+    SpanTracer,
+    TRACER,
+    get_tracer,
+)
+from repro.obs.journal import (
+    DEFAULT_JOURNAL_CAPACITY,
+    JOURNAL_PROGRESS_EVERY,
+    FlightRecorder,
+)
 from repro.obs.timing import timed
 from repro.obs.trace import DEFAULT_TRACE_CAPACITY, PacketTracer, TraceEvent
+from repro.obs.export import (
+    load_trace_jsonl,
+    render_span_tree,
+    spans_to_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+    trace_events_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_spans_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.status import (
+    CampaignStatusWriter,
+    STATUS_VERSION,
+    load_status,
+    render_status,
+    sum_counter,
+)
 
 __all__ = [
     "Counter",
@@ -24,6 +60,15 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "get_registry",
+    "Span",
+    "SpanTracer",
+    "TRACER",
+    "get_tracer",
+    "DEFAULT_SPAN_CAPACITY",
+    "MAX_SPAN_EVENTS",
+    "FlightRecorder",
+    "DEFAULT_JOURNAL_CAPACITY",
+    "JOURNAL_PROGRESS_EVERY",
     "PacketTracer",
     "TraceEvent",
     "DEFAULT_TRACE_CAPACITY",
@@ -31,4 +76,17 @@ __all__ = [
     "to_jsonl",
     "to_prometheus",
     "write_jsonl",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_span_tree",
+    "trace_events_to_jsonl",
+    "write_trace_jsonl",
+    "load_trace_jsonl",
+    "CampaignStatusWriter",
+    "STATUS_VERSION",
+    "load_status",
+    "render_status",
+    "sum_counter",
 ]

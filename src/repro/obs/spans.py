@@ -1,0 +1,299 @@
+"""Hierarchical span tracing: campaign → round → VP attempt → batch.
+
+The metrics registry answers *how many*; spans answer *where in the
+execution* — which campaign phase, retry round, VP attempt, or probe
+batch a cost or failure belongs to. One process-wide
+:class:`SpanTracer` (module-level :data:`TRACER`) records completed
+spans as plain data; the exporters in :mod:`repro.obs.export` render
+them as a span tree, span JSONL, or Chrome trace-event JSON.
+
+Design constraints, mirroring :mod:`repro.obs.metrics`:
+
+* **Off by default, off the hot path.** ``TRACER.enabled`` is the
+  single guard; a disabled tracer's :meth:`~SpanTracer.span` yields
+  ``None`` without allocating a span, and callers on per-probe paths
+  pre-check ``enabled`` so the cost is one attribute read. Spans are
+  phase-granular (per VP / per batch of destinations), never
+  per-packet; per-probe *events* exist only behind an explicit
+  sampling knob (``Prober.span_sample``).
+* **Deterministic and inert.** Spans read the sim clock
+  (``clock.now``), never advance it; they touch no RNG stream and no
+  survey data, so jobs ∈ {1, 2, 4} byte-parity holds with tracing on,
+  and a spans-on run produces the same survey bytes as a spans-off
+  run.
+* **Per-worker buffers, merged parent-side.** Worker processes trace
+  into their own (reset-per-task) tracer and ship
+  :meth:`~SpanTracer.snapshot` back with their results; the parent
+  calls :meth:`~SpanTracer.merge` in VP index order — the exact
+  protocol :meth:`repro.obs.metrics.MetricsRegistry.merge` uses — so
+  span IDs are remapped and worker-root spans re-parent under the
+  current open span (the retry round that dispatched them).
+
+Every completed span is a plain dict::
+
+    {"id", "parent", "name", "status", "labels",
+     "wall_start", "wall_end", "sim_start", "sim_end",
+     "events", "events_dropped"}
+
+with wall times in Unix seconds (``time.time``) and sim times in
+simulated seconds (``None`` when no clock was supplied).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "TRACER",
+    "get_tracer",
+    "DEFAULT_SPAN_CAPACITY",
+    "MAX_SPAN_EVENTS",
+]
+
+#: Completed-span buffer bound: far above any realistic campaign (a
+#: tiny-preset chaos run completes in tens of spans), small enough
+#: that a pathological per-probe caller cannot exhaust memory.
+DEFAULT_SPAN_CAPACITY = 65536
+
+#: Per-span bound on attached events (sampled probe annotations).
+MAX_SPAN_EVENTS = 64
+
+
+class Span:
+    """One open span. Completed spans become plain dicts."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "labels",
+        "status",
+        "wall_start",
+        "sim_start",
+        "events",
+        "events_dropped",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        labels: Dict[str, object],
+        wall_start: float,
+        sim_start: Optional[float],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.labels = labels
+        self.status = "ok"
+        self.wall_start = wall_start
+        self.sim_start = sim_start
+        self.events: List[dict] = []
+        self.events_dropped = 0
+
+    def __repr__(self) -> str:
+        return f"Span(id={self.span_id}, name={self.name!r})"
+
+
+class SpanTracer:
+    """A process-wide stack of open spans + buffer of completed ones.
+
+    Disabled by default; :meth:`configure` turns tracing on for a
+    campaign. The open-span *stack* gives automatic parenting for
+    properly nested use (the only kind the codebase does); worker
+    buffers re-parent at merge time.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.enabled = False
+        self.capacity = capacity
+        self.dropped_spans = 0
+        self._spans: List[dict] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def configure(self, enabled: bool) -> None:
+        """Turn tracing on or off (completed spans are kept either way)."""
+        self.enabled = bool(enabled)
+
+    def reset(self) -> None:
+        """Drop all spans, open and completed; restart span IDs."""
+        self._spans = []
+        self._stack = []
+        self._next_id = 1
+        self.dropped_spans = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(
+        self, name: str, clock=None, **labels: object
+    ) -> Optional[Span]:
+        """Open a span (``None`` when disabled — safe to pass to
+        :meth:`end`). ``clock`` is read for ``sim_start``, never
+        advanced."""
+        if not self.enabled:
+            return None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            labels=dict(labels),
+            wall_start=time.time(),
+            sim_start=None if clock is None else clock.now,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end(
+        self,
+        span: Optional[Span],
+        status: Optional[str] = None,
+        clock=None,
+    ) -> None:
+        """Close a span opened by :meth:`begin` (no-op for ``None``)."""
+        if span is None:
+            return
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        record = {
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "status": span.status if status is None else status,
+            "labels": span.labels,
+            "wall_start": span.wall_start,
+            "wall_end": time.time(),
+            "sim_start": span.sim_start,
+            "sim_end": None if clock is None else clock.now,
+            "events": span.events,
+            "events_dropped": span.events_dropped,
+        }
+        self._append(record)
+
+    @contextmanager
+    def span(
+        self, name: str, clock=None, **labels: object
+    ) -> Iterator[Optional[Span]]:
+        """Context manager over :meth:`begin`/:meth:`end`; an escaping
+        exception marks the span ``status="error"`` and re-raises."""
+        if not self.enabled:
+            yield None
+            return
+        span = self.begin(name, clock=clock, **labels)
+        try:
+            yield span
+        except BaseException:
+            self.end(span, status="error", clock=clock)
+            raise
+        self.end(span, clock=clock)
+
+    def event(self, name: str, sim: Optional[float] = None,
+              **fields: object) -> None:
+        """Attach a bounded annotation to the innermost open span.
+
+        The sampled-probe hook: cheap (one dict) and capped at
+        :data:`MAX_SPAN_EVENTS` per span, with overflow counted in the
+        span's ``events_dropped``.
+        """
+        if not self.enabled or not self._stack:
+            return
+        span = self._stack[-1]
+        if len(span.events) >= MAX_SPAN_EVENTS:
+            span.events_dropped += 1
+            return
+        entry: dict = {"name": name, "wall": time.time()}
+        if sim is not None:
+            entry["sim"] = sim
+        entry.update(fields)
+        span.events.append(entry)
+
+    def set_status(self, span: Optional[Span], status: str) -> None:
+        if span is not None:
+            span.status = status
+
+    def _append(self, record: dict) -> None:
+        if len(self._spans) >= self.capacity:
+            self.dropped_spans += 1
+            return
+        self._spans.append(record)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def snapshot(self) -> List[dict]:
+        """Completed spans as plain data, isolated from later appends.
+
+        This is what workers ship home (pickle-friendly dicts) and
+        what the exporters consume.
+        """
+        return [dict(record) for record in self._spans]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(
+        self, spans: List[dict], parent: Optional[Span] = None
+    ) -> None:
+        """Fold a worker tracer's :meth:`snapshot` into this tracer.
+
+        The parent side of the span protocol, mirroring
+        :meth:`repro.obs.metrics.MetricsRegistry.merge`: span IDs are
+        remapped into this tracer's ID space, intra-buffer parent
+        links are preserved, and the buffer's *root* spans (parent
+        ``None`` in the worker) re-parent under ``parent`` — or, by
+        default, under the innermost currently-open span (the round or
+        survey that dispatched the worker). Callers merge in VP index
+        order so the resulting tree is independent of completion
+        order.
+        """
+        if not self.enabled or not spans:
+            return
+        if parent is not None:
+            base = parent.span_id
+        else:
+            base = self._stack[-1].span_id if self._stack else None
+        # Two passes: completed buffers are child-before-parent (a
+        # span completes after its children), so the full ID mapping
+        # must exist before any parent link is rewritten.
+        mapping: Dict[int, int] = {}
+        for record in spans:
+            mapping[record["id"]] = self._next_id
+            self._next_id += 1
+        for record in spans:
+            out = dict(record)
+            out["id"] = mapping[record["id"]]
+            out["parent"] = mapping.get(record.get("parent"), base)
+            self._append(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer(enabled={self.enabled}, "
+            f"spans={len(self._spans)}, open={len(self._stack)})"
+        )
+
+
+#: The process-wide default tracer (one per worker process, too).
+TRACER = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The process-wide tracer (indirection point for tests)."""
+    return TRACER

@@ -1,0 +1,191 @@
+"""Live campaign status: atomic snapshot writer + ``repro top`` view.
+
+The ROADMAP's Atlas-style service needs the obs registry "as a live
+status endpoint"; this is the first slice. A running
+:class:`~repro.faults.campaign.CampaignRunner` (given a
+``status_path``) publishes a JSON snapshot — active VPs, retry round,
+breaker states, heartbeat ages, probes/sec — through the shared
+atomic write-rename helper, so any observer (``python -m repro top``,
+a dashboard, ``watch cat``) always reads a complete, current file and
+never a torn one.
+
+The writer is throttled (``min_interval`` between writes, forced
+writes excepted) so campaign and watchdog code can call
+:meth:`CampaignStatusWriter.update` at every natural progress point
+without turning the status file into an I/O hot spot. Probes/sec is
+computed writer-side from successive ``probes_sent`` samples — the
+reader gets a rate, not a derivative to take.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.probing.artifacts import atomic_write_text
+
+__all__ = [
+    "STATUS_VERSION",
+    "CampaignStatusWriter",
+    "load_status",
+    "render_status",
+    "sum_counter",
+]
+
+STATUS_VERSION = 1
+
+
+def sum_counter(registry: MetricsRegistry, name: str) -> float:
+    """Sum a counter family's children across all label sets.
+
+    Reads live children directly (no full-registry snapshot), so the
+    status writer can sample ``probe_sent_total`` on every update.
+    """
+    family = registry.get(name)
+    if family is None:
+        return 0.0
+    return float(
+        sum(child.value for _labels, child in family.children())
+    )
+
+
+class CampaignStatusWriter:
+    """Throttled, atomic publisher of campaign status snapshots."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        min_interval: float = 0.2,
+    ) -> None:
+        if min_interval < 0:
+            raise ValueError(
+                f"min_interval must be >= 0: {min_interval}"
+            )
+        self.path = Path(path)
+        self.min_interval = float(min_interval)
+        self.writes = 0
+        self._last_write: Optional[float] = None
+        self._last_probes: Optional[tuple] = None  # (monotonic, count)
+        self._probes_per_sec: Optional[float] = None
+
+    def update(
+        self, state: str, force: bool = False, **fields: object
+    ) -> bool:
+        """Publish a snapshot; returns False when throttled.
+
+        ``state`` is ``running`` / ``done`` / ``interrupted``;
+        ``fields`` are merged into the snapshot verbatim (they must be
+        JSON-serialisable). A ``probes_sent`` field additionally feeds
+        the probes/sec estimate.
+        """
+        now = time.monotonic()
+        probes = fields.get("probes_sent")
+        if isinstance(probes, (int, float)):
+            if self._last_probes is not None:
+                dt = now - self._last_probes[0]
+                delta = probes - self._last_probes[1]
+                if dt > 0 and delta >= 0:
+                    self._probes_per_sec = delta / dt
+            self._last_probes = (now, probes)
+        if (
+            not force
+            and self._last_write is not None
+            and now - self._last_write < self.min_interval
+        ):
+            return False
+        payload: dict = {
+            "version": STATUS_VERSION,
+            "state": state,
+            "updated_unix": time.time(),
+            "probes_per_sec": (
+                None
+                if self._probes_per_sec is None
+                else round(self._probes_per_sec, 1)
+            ),
+        }
+        payload.update(fields)
+        atomic_write_text(
+            self.path,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        self._last_write = now
+        self.writes += 1
+        return True
+
+
+def load_status(path: Union[str, Path]) -> dict:
+    """Read a status snapshot; raises ``FileNotFoundError`` when the
+    campaign has not published one yet and ``ValueError`` on a file
+    that is not a status snapshot (wrong tool pointed at wrong file)."""
+    text = Path(path).read_text("utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or "state" not in data:
+        raise ValueError(f"{path}: not a campaign status snapshot")
+    return data
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def render_status(status: dict) -> str:
+    """The operator view of one status snapshot (``repro top``)."""
+    scenario = status.get("scenario", "?")
+    seed = status.get("seed", "?")
+    state = status.get("state", "?")
+    tag = "  [supervised]" if status.get("supervised") else ""
+    lines = [f"campaign {scenario} (seed {seed}) — {state}{tag}"]
+
+    total = status.get("total_vps")
+    completed = status.get("completed_vps", 0)
+    if total is not None:
+        pending = status.get("pending_vps", 0)
+        quarantined = status.get("quarantined_vps", [])
+        lines.append(
+            f"  progress     {completed}/{total} VPs complete  "
+            f"({pending} pending, {len(quarantined)} quarantined)"
+        )
+    retry_round = status.get("retry_round")
+    if retry_round:
+        lines.append(f"  retry round  {retry_round}")
+    probes = status.get("probes_sent")
+    if probes is not None:
+        rate = status.get("probes_per_sec")
+        rate_text = "" if rate is None else f"  ({rate:g}/s)"
+        lines.append(f"  probes       {int(probes)} sent{rate_text}")
+    elapsed = status.get("elapsed_seconds")
+    updated = status.get("updated_unix")
+    if elapsed is not None:
+        age = (
+            ""
+            if updated is None
+            else f"   snapshot age {_fmt_age(max(time.time() - updated, 0.0))}"
+        )
+        lines.append(f"  elapsed      {_fmt_age(elapsed)}{age}")
+    breakers: Dict[str, str] = status.get("breaker_states") or {}
+    if breakers:
+        rendered = "  ".join(
+            f"{vp}: {state_}" for vp, state_ in sorted(breakers.items())
+        )
+        lines.append(f"  breakers     {rendered}")
+    heartbeats: Dict[str, float] = status.get("heartbeat_ages") or {}
+    if heartbeats:
+        rendered = "  ".join(
+            f"{vp}: {age:.2f}s" for vp, age in sorted(heartbeats.items())
+        )
+        lines.append(f"  heartbeats   {rendered}")
+    quarantined = status.get("quarantined_vps") or []
+    if quarantined:
+        lines.append(f"  quarantined  {', '.join(sorted(quarantined))}")
+    failed = status.get("failed_vps") or []
+    if failed:
+        lines.append(f"  failed       {', '.join(sorted(failed))}")
+    return "\n".join(lines)

@@ -30,8 +30,14 @@ from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional
 
 from repro.net.addr import int_to_addr
+from repro.obs.metrics import CounterFamily, MetricsRegistry, REGISTRY
 
-__all__ = ["TraceEvent", "PacketTracer", "DEFAULT_TRACE_CAPACITY"]
+__all__ = [
+    "TraceEvent",
+    "PacketTracer",
+    "DEFAULT_TRACE_CAPACITY",
+    "trace_dropped_counter",
+]
 
 #: Ring-buffer size: plenty for interactive traces, bounded for
 #: accidentally-left-on campaign runs.
@@ -39,6 +45,22 @@ DEFAULT_TRACE_CAPACITY = 4096
 
 #: Events that terminate a packet's walk (render as the verdict line).
 _VERDICTS = ("deliver", "drop", "ttl_expired", "port_unreach")
+
+
+def trace_dropped_counter(
+    registry: MetricsRegistry = REGISTRY,
+) -> CounterFamily:
+    """Ring-truncation counter for attached packet tracers.
+
+    Ring overflow used to be visible only on the tracer object itself
+    (``dropped_events``); registering it here surfaces it in
+    ``repro stats`` next to the dataplane drop counters.
+    """
+    return registry.counter(
+        "trace_dropped_events_total",
+        "Packet-trace events discarded by ring-buffer truncation.",
+        labelnames=("net",),
+    )
 
 
 @dataclass(frozen=True)
@@ -85,12 +107,26 @@ class PacketTracer:
     counts what truncation discarded.
     """
 
-    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        net_id: str = "",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._seq = 0
+        # Truncation counter: registered only when the tracer knows
+        # which network it watches, so bare test tracers stay silent.
+        self._drop_counter = (
+            trace_dropped_counter(
+                REGISTRY if registry is None else registry
+            ).labels(net_id)
+            if net_id
+            else None
+        )
 
     # -- recording ---------------------------------------------------
 
@@ -105,6 +141,11 @@ class PacketTracer:
         detail: str = "",
     ) -> None:
         self._seq += 1
+        if (
+            self._drop_counter is not None
+            and len(self._events) == self.capacity
+        ):
+            self._drop_counter.inc()
         self._events.append(
             TraceEvent(
                 seq=self._seq,

@@ -47,6 +47,7 @@ from repro.net.packet import (
 from repro.net.udp import HIGH_PORT_FLOOR, UdpDatagram
 from repro.net.timestamp import TimestampOption, TsFlag
 from repro.obs.metrics import REGISTRY
+from repro.obs.spans import TRACER as _TRACER
 from repro.probing.results import (
     PingResult,
     RRPingResult,
@@ -114,6 +115,11 @@ class Prober:
         self.default_pps = default_pps
         self._ident = 0
         self._seq = 0
+        #: Per-probe span events are sampled: 0 (default) records
+        #: none; N records one event per N probes onto the innermost
+        #: open span. Costs one falsy check per probe when off.
+        self.span_sample = 0
+        self._span_seen = 0
         #: (net_id, probe type) -> pre-resolved registry children.
         #: Keyed by the network's *label value*, not the object, so a
         #: prober re-pointed at a new ``Network`` (or back at an old
@@ -158,17 +164,29 @@ class Prober:
         start = clock.now
         clock.advance(1.0 / rate)
         metrics.probes.inc()
+        reply: Optional[IPv4Packet] = None
         reply_bytes = self.network.send_wire(pkt.to_bytes())
         if reply_bytes is None:
             metrics.timeouts.inc()
-            return None
-        try:
-            reply = IPv4Packet.from_bytes(reply_bytes)
-        except PacketDecodeError:  # pragma: no cover - defensive
-            metrics.timeouts.inc()
-            return None
-        metrics.replies.inc()
-        metrics.rtt.observe(clock.now - start)
+        else:
+            try:
+                reply = IPv4Packet.from_bytes(reply_bytes)
+            except PacketDecodeError:  # pragma: no cover - defensive
+                metrics.timeouts.inc()
+            else:
+                metrics.replies.inc()
+                metrics.rtt.observe(clock.now - start)
+        if self.span_sample and _TRACER.enabled:
+            self._span_seen += 1
+            if self._span_seen >= self.span_sample:
+                self._span_seen = 0
+                _TRACER.event(
+                    "probe",
+                    sim=clock.now,
+                    ptype=ptype,
+                    dst=pkt.dst,
+                    replied=reply is not None,
+                )
         return reply
 
     # -- plain ping ---------------------------------------------------------

@@ -273,8 +273,15 @@ class Network:
     def attach_tracer(
         self, tracer: Optional[PacketTracer] = None
     ) -> PacketTracer:
-        """Enable per-hop event tracing; returns the active tracer."""
-        self._tracer = PacketTracer() if tracer is None else tracer
+        """Enable per-hop event tracing; returns the active tracer.
+
+        The default tracer carries this network's ``net_id``, so its
+        ring-truncation drops surface as the labelled
+        ``trace_dropped_events_total`` counter in ``repro stats``.
+        """
+        self._tracer = (
+            PacketTracer(net_id=self.net_id) if tracer is None else tracer
+        )
         return self._tracer
 
     def detach_tracer(self) -> Optional[PacketTracer]:
