@@ -87,3 +87,37 @@ def test_bench_single_ping_rr(benchmark, study_2016):
     dest = list(scenario.hitlist)[5]
     result = benchmark(scenario.prober.ping_rr, vp, dest.addr)
     assert result is not None
+
+
+def test_bench_stamp_plan_compile(benchmark, study_2016):
+    """Cost of compiling one flow's round-trip plan + RR template.
+
+    Path/segment caches are warm (as on every miss after the first
+    probe of an ingress AS), so this isolates the per-flow compile the
+    batched dataplane pays once per (VP-AS, destination)."""
+    from repro.net.packet import DEFAULT_TTL
+    from repro.sim.stampplan import KIND_RR
+
+    scenario = study_2016.scenario
+    network = scenario.network
+    src_asn = scenario.working_vps[0].addr >> 16
+    dest = list(scenario.hitlist)[7]
+    network.plan_for(src_asn, dest)  # warm the path/segment caches
+
+    def compile_flow():
+        plan = network._compile_plan(src_asn, dest)
+        return plan.template(network, KIND_RR, 9, DEFAULT_TTL, None)
+
+    assert benchmark(compile_flow).final is not None
+
+
+def test_bench_stamp_plan_replay(benchmark, study_2016):
+    """Warm-cache batch replay throughput (probes through plans)."""
+    scenario = study_2016.scenario
+    prober = scenario.prober
+    vp = scenario.working_vps[0]
+    dests = list(scenario.hitlist)[:256]
+    prober.probe_batch_rows(vp, dests)  # warm the plan cache
+
+    rows = benchmark(prober.probe_batch_rows, vp, dests)
+    assert len(rows) == len(dests)

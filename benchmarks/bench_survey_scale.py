@@ -1,24 +1,29 @@
-"""Survey-scale benchmark: serial vs pooled wall-clock trajectory.
+"""Survey-scale benchmark: batched vs legacy, serial vs pooled.
 
-The §3.1 all-VPs ping-RR campaign is the repo's dominant cost, and the
-parallel engine (``run_rr_survey(..., jobs=N)``) plus the forward-path
-cache exist to pay it down. This script records the trajectory:
+The §3.1 all-VPs ping-RR campaign is the repo's dominant cost; two
+mechanisms exist to pay it down and this script records both:
 
-* ``serial``      — the in-process path (``jobs=1``);
-* ``pool_jobs1``  — the worker pool with a single worker (measures the
-  pool's fixed overhead: fork, payload pickling, snapshot merging);
-* ``pool_jobsN``  — the pool at ``--jobs`` workers.
+* ``serial``        — the in-process batched dataplane (``jobs=1``);
+* ``serial_legacy`` — the same campaign with ``prober.batching`` off,
+  i.e. the per-hop packet walk the stamp-plan replay engine replaces;
+* ``pool_jobs1``    — the worker pool with a single worker (measures
+  the pool's fixed overhead: fork, payload pickling, snapshot merging);
+* ``pool_jobsN``    — the pool at ``--jobs`` workers.
 
 Each configuration probes a **fresh scenario** (cold caches) so the
-comparison is fair, then the script verifies the correctness bar — the
-pooled survey's ``save_survey`` bytes must equal the serial run's —
-and writes ``BENCH_survey.json`` so future PRs can compare numbers.
+comparison is fair, then the script verifies the correctness bars —
+the pooled survey's ``save_survey`` bytes must equal the serial run's,
+and the batched run's bytes must equal the legacy walk's — and writes
+``BENCH_survey.json`` (with ``probes_total`` and per-configuration
+``probes_per_sec``) so future PRs can compare numbers.
 
 Run it directly (no pytest harness)::
 
-    PYTHONPATH=src python benchmarks/bench_survey_scale.py            # mid-size
+    PYTHONPATH=src python benchmarks/bench_survey_scale.py --preset mid
     PYTHONPATH=src python benchmarks/bench_survey_scale.py \
-        --preset tiny --quick                                         # CI smoke
+        --preset tiny --quick                                 # CI smoke
+    PYTHONPATH=src python benchmarks/bench_survey_scale.py \
+        --profile                          # cProfile the serial leg
 
 Numbers are recorded honestly for whatever machine runs the script
 (``cpu_count`` is in the JSON); a 1-core container will show pool
@@ -28,8 +33,10 @@ overhead rather than speedup, a 4-vCPU CI runner shows the fan-out win.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
+import pstats
 import sys
 import time
 from pathlib import Path
@@ -74,13 +81,20 @@ def _time_rr(
     quick: bool,
     repeat: int,
     force_pool: bool = False,
+    batch: bool = True,
+    profile_to: Optional[Path] = None,
 ) -> Dict[str, object]:
     """Best-of-``repeat`` wall-clock for one RR-survey configuration."""
     best: Optional[float] = None
     survey = None
     for _ in range(repeat):
         scenario = _fresh(preset, seed)
+        scenario.prober.batching = batch
         targets, vps = _subset(scenario, quick)
+        profiler = None
+        if profile_to is not None:
+            profiler = cProfile.Profile()
+            profiler.enable()
         start = time.perf_counter()
         if force_pool and jobs == 1:
             # The pool path refuses nothing at jobs=1; run_rr_survey
@@ -92,6 +106,12 @@ def _time_rr(
             survey = run_rr_survey(scenario, dests=targets, vps=vps,
                                    jobs=jobs)
         elapsed = time.perf_counter() - start
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(str(profile_to))
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(15)
+            profile_to = None  # profile only the first repeat
         best = elapsed if best is None else min(best, elapsed)
     return {"seconds": best, "survey": survey}
 
@@ -125,6 +145,28 @@ def _path_cache_stats() -> Dict[str, float]:
     return totals
 
 
+def _plan_cache_stats() -> Dict[str, float]:
+    """Stamp-plan cache totals (lookups by result, replays, compiles)."""
+    snapshot = REGISTRY.snapshot()
+    totals = {"hit": 0.0, "miss": 0.0, "replays": 0.0, "compiles": 0.0}
+    family = snapshot.get("plan_cache_lookups_total")
+    if family:
+        for series in family["series"]:
+            result = dict(series["labels"]).get("result")
+            if result in totals:
+                totals[result] += series["value"]
+    for key, name in (
+        ("replays", "plan_replays_total"),
+        ("compiles", "plan_compiles_total"),
+    ):
+        family = snapshot.get(name)
+        if family:
+            totals[key] = sum(s["value"] for s in family["series"])
+    lookups = totals["hit"] + totals["miss"]
+    totals["hit_rate"] = totals["hit"] / lookups if lookups else 0.0
+    return totals
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Survey-scale benchmark (serial vs pooled)."
@@ -152,6 +194,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=OUTPUT_DIR / "BENCH_survey.json",
         help="where to write the JSON record",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the serial batched leg (prints the top-15 "
+             "cumulative entries, writes bench_survey_serial.prof)",
+    )
     args = parser.parse_args(argv)
 
     scenario = _fresh(args.preset, args.seed)
@@ -164,23 +211,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     timings: Dict[str, float] = {}
+    probes_total = len(targets) * len(vps)
 
+    out_dir = args.output.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profile_to = (
+        out_dir / "bench_survey_serial.prof" if args.profile else None
+    )
     serial = _time_rr(args.preset, args.seed, jobs=1, quick=args.quick,
-                      repeat=args.repeat)
+                      repeat=args.repeat, profile_to=profile_to)
     timings["rr_serial"] = serial["seconds"]
-    print(f"  rr serial       : {timings['rr_serial']:.3f}s", flush=True)
+    print(f"  rr serial        : {timings['rr_serial']:.3f}s", flush=True)
+
+    legacy = _time_rr(args.preset, args.seed, jobs=1, quick=args.quick,
+                      repeat=args.repeat, batch=False)
+    timings["rr_serial_legacy"] = legacy["seconds"]
+    print(f"  rr serial legacy : {timings['rr_serial_legacy']:.3f}s",
+          flush=True)
 
     pool1 = _time_rr(args.preset, args.seed, jobs=1, quick=args.quick,
                      repeat=args.repeat, force_pool=True)
     timings["rr_pool_jobs1"] = pool1["seconds"]
-    print(f"  rr pool jobs=1  : {timings['rr_pool_jobs1']:.3f}s",
+    print(f"  rr pool jobs=1   : {timings['rr_pool_jobs1']:.3f}s",
           flush=True)
 
     pooled = _time_rr(args.preset, args.seed, jobs=args.jobs,
                       quick=args.quick, repeat=args.repeat)
     timings[f"rr_pool_jobs{args.jobs}"] = pooled["seconds"]
     print(
-        f"  rr pool jobs={args.jobs}  : {pooled['seconds']:.3f}s",
+        f"  rr pool jobs={args.jobs}   : {pooled['seconds']:.3f}s",
         flush=True,
     )
 
@@ -193,18 +252,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeat=args.repeat,
     )
 
-    # Correctness bar: pooled bytes == serial bytes.
-    out_dir = args.output.parent
-    out_dir.mkdir(parents=True, exist_ok=True)
-    serial_path = out_dir / "_bench_rr_serial.json"
-    pooled_path = out_dir / "_bench_rr_pooled.json"
-    save_survey(serial["survey"], serial_path)
-    save_survey(pooled["survey"], pooled_path)
-    identical = serial_path.read_bytes() == pooled_path.read_bytes()
-    serial_path.unlink()
-    pooled_path.unlink()
+    # Correctness bars: pooled bytes == serial bytes, and the batched
+    # dataplane's bytes == the legacy per-hop walk's bytes.
+    def _bytes_of(survey) -> bytes:
+        path = out_dir / "_bench_rr_tmp.json"
+        save_survey(survey, path)
+        data = path.read_bytes()
+        path.unlink()
+        return data
+
+    serial_bytes = _bytes_of(serial["survey"])
+    identical = serial_bytes == _bytes_of(pooled["survey"])
     print(f"  parity (serial vs jobs={args.jobs}): "
           f"{'byte-identical' if identical else 'MISMATCH'}", flush=True)
+    batch_identical = serial_bytes == _bytes_of(legacy["survey"])
+    print(f"  parity (batched vs legacy walk): "
+          f"{'byte-identical' if batch_identical else 'MISMATCH'}",
+          flush=True)
 
     speedup = (
         timings["rr_serial"] / pooled["seconds"]
@@ -212,6 +276,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"  speedup jobs={args.jobs} vs serial: {speedup:.2f}x",
           flush=True)
+    batch_speedup = (
+        timings["rr_serial_legacy"] / timings["rr_serial"]
+        if timings["rr_serial"] else 0.0
+    )
+    probes_per_sec = {
+        name: probes_total / seconds if seconds else 0.0
+        for name, seconds in timings.items()
+        if name.startswith("rr_")
+    }
+    print(
+        f"  batched dataplane: "
+        f"{probes_per_sec['rr_serial']:,.0f} probes/s vs "
+        f"{probes_per_sec['rr_serial_legacy']:,.0f} legacy "
+        f"({batch_speedup:.2f}x)",
+        flush=True,
+    )
 
     record = {
         "benchmark": "survey_scale",
@@ -223,16 +303,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "jobs": args.jobs,
         "repeat": args.repeat,
         "cpu_count": os.cpu_count(),
+        "probes_total": probes_total,
+        "probes_per_sec": probes_per_sec,
         "timings_seconds": timings,
         "speedup_pool_vs_serial": speedup,
+        "speedup_batched_vs_legacy": batch_speedup,
         "parity_byte_identical": identical,
+        "parity_batched_vs_legacy": batch_identical,
         "path_cache": _path_cache_stats(),
+        "plan_cache": _plan_cache_stats(),
     }
     args.output.write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n", "utf-8"
     )
     print(f"  wrote {args.output}", flush=True)
-    return 0 if identical else 1
+    return 0 if identical and batch_identical else 1
 
 
 if __name__ == "__main__":

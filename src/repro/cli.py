@@ -213,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from --checkpoint instead of starting fresh",
     )
+    study.add_argument(
+        "--no-batch", action="store_true",
+        help="force the legacy per-hop walk instead of the batched "
+             "stamp-plan dataplane (results are byte-identical; this "
+             "is a benchmarking/debugging switch)",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -230,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault plan seed (default: derived from the scenario seed)",
     )
     chaos.add_argument("--jobs", type=int, default=1)
+    chaos.add_argument(
+        "--no-batch", action="store_true",
+        help="force the legacy per-hop walk (byte-identical results)",
+    )
     chaos.add_argument("--max-retries", type=int, default=3)
     chaos.add_argument(
         "--budget", type=float, default=None,
@@ -417,6 +427,17 @@ def build_parser() -> argparse.ArgumentParser:
              "fault-injection and campaign counters are populated",
     )
     stats.add_argument(
+        "--no-batch", action="store_true",
+        help="force the legacy per-hop walk instead of the batched "
+             "stamp-plan dataplane (results are byte-identical)",
+    )
+    stats.add_argument(
+        "--dataplane", action="store_true",
+        help="append the batched-dataplane section (stamp-plan cache "
+             "hits/misses/evictions, compiles, invalidations, replays, "
+             "forward-path cache counters)",
+    )
+    stats.add_argument(
         "--health", action="store_true",
         help="append the supervision-health section (heartbeat ages, "
              "hangs, respawns, quarantines, breaker states, artifact "
@@ -463,6 +484,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             max_retries=getattr(args, "max_retries", 3),
             checkpoint_path=checkpoint,
             resume=getattr(args, "resume", False),
+            batch=not getattr(args, "no_batch", False),
         )
         if result.partial:
             print(
@@ -472,7 +494,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
             )
     else:
         study = get_study(
-            args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1)
+            args.preset,
+            seed=args.seed,
+            jobs=getattr(args, "jobs", 1),
+            batch=not getattr(args, "no_batch", False),
         )
     names = (
         sorted(EXPERIMENTS)
@@ -496,6 +521,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.supervisor import SupervisionConfig
 
     scenario = get_preset(args.preset, seed=args.seed)
+    scenario.prober.batching = not getattr(args, "no_batch", False)
     plan = build_fault_plan(
         args.faults, scenario_seed=args.seed, seed=args.fault_seed
     )
@@ -737,6 +763,49 @@ def _render_health_section(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_dataplane_section(snapshot: dict) -> str:
+    """The ``--dataplane`` section: the batched engine's cache story.
+
+    Reads the stamp-plan cache counters (lookups by result, evictions,
+    compiles, invalidations, replays) plus the forward-path cache they
+    sit beside, so one glance answers "did probes replay compiled
+    plans, and how often did invalidation throw work away?".
+    """
+    plan_lookups = _sum_series(
+        snapshot, "plan_cache_lookups_total", by="result"
+    )
+    path_lookups = _sum_series(
+        snapshot, "path_cache_lookups_total", by="result"
+    )
+    lines = ["batched dataplane (stamp plans)"]
+    lines.append(f"  {'hits':<22} {plan_lookups.get('hit', 0):>10}")
+    lines.append(f"  {'misses':<22} {plan_lookups.get('miss', 0):>10}")
+    lines.append(
+        f"  {'evictions':<22} "
+        f"{_sum_series(snapshot, 'plan_cache_evictions_total').get('', 0):>10}"
+    )
+    lines.append(
+        f"  {'plan_compiles_total':<22} "
+        f"{_sum_series(snapshot, 'plan_compiles_total').get('', 0):>10}"
+    )
+    lines.append(
+        f"  {'plan_invalidations_total':<24} "
+        f"{_sum_series(snapshot, 'plan_invalidations_total').get('', 0):>8}"
+    )
+    lines.append(
+        f"  {'plan_replays_total':<22} "
+        f"{_sum_series(snapshot, 'plan_replays_total').get('', 0):>10}"
+    )
+    lines.append("forward-path cache")
+    lines.append(f"  {'hits':<22} {path_lookups.get('hit', 0):>10}")
+    lines.append(f"  {'misses':<22} {path_lookups.get('miss', 0):>10}")
+    lines.append(
+        f"  {'invalidations':<22} "
+        f"{_sum_series(snapshot, 'path_cache_invalidations_total').get('', 0):>10}"
+    )
+    return "\n".join(lines)
+
+
 def _render_stats_table(snapshot: dict) -> str:
     lines = [banner("metrics registry")]
 
@@ -874,10 +943,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             plan=plan,
             jobs=getattr(args, "jobs", 1),
             supervision=supervision,
+            batch=not getattr(args, "no_batch", False),
         )
     else:
         get_study(
-            args.preset, seed=args.seed, jobs=getattr(args, "jobs", 1)
+            args.preset,
+            seed=args.seed,
+            jobs=getattr(args, "jobs", 1),
+            batch=not getattr(args, "no_batch", False),
         )
     snapshot = REGISTRY.snapshot()
     if args.stats_format == "prom":
@@ -886,6 +959,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         rendered = to_jsonl(snapshot)
     else:
         rendered = _render_stats_table(snapshot)
+        if getattr(args, "dataplane", False):
+            rendered += "\n" + _render_dataplane_section(snapshot)
         if health:
             rendered += "\n" + _render_health_section(snapshot)
     print(rendered)

@@ -132,6 +132,10 @@ def _init_worker(payload: dict) -> None:
     # workers inherit the parent tracer's flag, spawned workers start
     # disabled — the payload key makes both behave the same.
     TRACER.configure(bool(payload.get("spans", False)))
+    # The batched-dataplane switch rides along the same way, so a
+    # legacy-mode parent benchmarks legacy workers (and parity runs
+    # compare like against like). Workers compile their own plans.
+    scenario.prober.batching = bool(payload.get("batch", True))
 
 
 def _compact_snapshot(snapshot: Dict[str, dict]) -> Dict[str, dict]:
@@ -304,6 +308,7 @@ class ParallelSurveyRunner:
             "slots": slots,
             "pps": pps,
             "spans": TRACER.enabled,
+            "batch": self.scenario.prober.batching,
         }
         results = self._run_pool(payload, _rr_task, len(payload["vps"]),
                                  self.jobs)
@@ -329,6 +334,7 @@ class ParallelSurveyRunner:
             "count": count,
             "pps": pps,
             "spans": TRACER.enabled,
+            "batch": self.scenario.prober.batching,
         }
         results = self._run_pool(payload, _ping_task, len(shards), self.jobs)
         merged: List[Tuple[int, bool]] = []

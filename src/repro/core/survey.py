@@ -438,25 +438,22 @@ def probe_vp_rr(
                         "probe_batch", clock=network.clock,
                         batch=start // step, size=len(chunk),
                     ):
-                        for dest in chunk:
-                            if heartbeat is not None:
-                                heartbeat()
-                            result = scenario.prober.ping_rr(
-                                vp, dest.addr, slots=slots, pps=pps
-                            )
-                            if not result.rr_responsive:
+                        # One dispatch per chunk: the prober replays
+                        # compiled stamp plans (or walks hop-by-hop on
+                        # the fallback paths) and hands back outcomes
+                        # with slot/in-prefix views precomputed.
+                        for dest, outcome in scenario.prober.probe_batch_rows(
+                            vp, chunk, slots=slots, pps=pps,
+                            heartbeat=heartbeat,
+                        ):
+                            if not outcome.rr_responsive:
                                 continue
                             dest_index = position[dest.addr]
-                            rows.append(
-                                (dest_index, result.dest_slot())
-                            )
-                            for addr in result.rr_hops:
-                                if addr != dest.addr and same_slash24(
-                                    addr, dest.addr
-                                ):
-                                    inprefix.setdefault(
-                                        dest_index, set()
-                                    ).add(addr)
+                            rows.append((dest_index, outcome.dest_slot))
+                            if outcome.inprefix:
+                                inprefix.setdefault(
+                                    dest_index, set()
+                                ).update(outcome.inprefix)
     finally:
         network.end_vp_session()
     packed = sorted(
@@ -488,12 +485,13 @@ def probe_ping_shard(
             "ping_shard", clock=network.clock,
             shard=shard_index, targets=len(targets),
         ):
-            out = []
-            for dest in targets:
-                result = scenario.prober.ping(
-                    origin, dest.addr, count=count, pps=pps
-                )
-                out.append((dest.addr, result.responded))
+            results = scenario.prober.probe_batch_ping(
+                origin, list(targets), count=count, pps=pps
+            )
+            out = [
+                (dest.addr, result.responded)
+                for dest, result in zip(targets, results)
+            ]
     finally:
         network.end_vp_session()
     return out
@@ -531,10 +529,10 @@ def run_ping_survey(
                     survey.responsive[addr] = responded
             return survey
         with timed("ping_survey"):
-            for dest in targets:
-                result = scenario.prober.ping(
-                    scenario.origin, dest.addr, count=count, pps=pps
-                )
+            results = scenario.prober.probe_batch_ping(
+                scenario.origin, targets, count=count, pps=pps
+            )
+            for dest, result in zip(targets, results):
                 survey.responsive[dest.addr] = result.responded
     return survey
 

@@ -613,6 +613,7 @@ class CampaignRunner:
                     "plan": self.plan,
                     "horizon": horizon,
                     "spans": TRACER.enabled,
+                    "batch": scenario.prober.batching,
                 },
                 self.jobs,
                 self.supervision,
@@ -956,6 +957,7 @@ class CampaignRunner:
             "plan": self.plan,
             "horizon": horizon,
             "spans": TRACER.enabled,
+            "batch": self.scenario.prober.batching,
         }
         ctx = multiprocessing.get_context()
         outcomes: Dict[

@@ -23,7 +23,7 @@ plain pings fine but gets nothing back for any probe carrying options
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.icmp import (
     ICMP_DEST_UNREACH,
@@ -56,7 +56,10 @@ from repro.probing.results import (
     TsPingResult,
 )
 from repro.probing.vantage import VantagePoint
+from repro.net.addr import same_slash24
 from repro.sim.network import Network
+from repro.sim.stampplan import KIND_PING, KIND_RR, Outcome
+from repro.topology.hitlist import Destination
 
 __all__ = ["Prober", "DEFAULT_PPS"]
 
@@ -70,6 +73,41 @@ _GAP_LIMIT = 6
 #: types are a small closed set, but fixtures that re-point one prober
 #: at many networks would otherwise grow the cache without limit.
 _MX_CACHE_MAX = 64
+
+#: The shared outcome for every probe a locally-filtered VP "sends":
+#: the site firewall eats it before the network sees anything, so no
+#: counter moves and no draw is consumed (the legacy early return).
+_FILTERED_OUTCOME = Outcome()
+
+
+def _outcome_from_result(result: RRPingResult) -> Outcome:
+    """Adapt a legacy :class:`RRPingResult` to the batch row shape.
+
+    The per-destination fallback path (non-hitlist address, per-hop
+    tracer attached) still probes through the legacy walk; this wraps
+    its result so survey code consumes one shape. Counters were already
+    incremented inline by the legacy path, so the outcome carries none.
+    """
+    inprefix: List[int] = []
+    seen = set()
+    for addr in result.rr_hops:
+        if (
+            addr != result.dst
+            and addr not in seen
+            and same_slash24(addr, result.dst)
+        ):
+            seen.add(addr)
+            inprefix.append(addr)
+    return Outcome(
+        responded=result.responded,
+        reply_has_rr=result.reply_has_rr,
+        rr=tuple(result.rr_hops),
+        dest_slot=result.dest_slot(),
+        inprefix=tuple(inprefix),
+        ttl_exceeded=result.ttl_exceeded,
+        error_source=result.error_source,
+        quoted=tuple(result.quoted_rr_hops),
+    )
 
 
 class _ProbeMetrics:
@@ -113,6 +151,11 @@ class Prober:
             raise ValueError(f"pps must be positive: {default_pps}")
         self.network = network
         self.default_pps = default_pps
+        #: Batched dataplane switch: when True (default), the batch
+        #: APIs replay compiled stamp plans instead of walking packets
+        #: hop-by-hop. Byte-identical output either way — flip off to
+        #: benchmark the legacy walk or to bisect a parity suspicion.
+        self.batching = True
         self._ident = 0
         self._seq = 0
         #: Per-probe span events are sampled: 0 (default) records
@@ -473,6 +516,453 @@ class Prober:
             vp_name=vp.name, dst=dst, hops=hops, reached=False
         )
 
+    # -- batched dataplane -------------------------------------------------
+
+    def _can_batch(self) -> bool:
+        """Whole-batch gate for the stamp-plan replay engine.
+
+        A per-hop packet tracer needs the real walk (plans have no
+        hops to emit), so its presence routes the batch through the
+        legacy path wholesale — as does flipping ``batching`` off.
+        """
+        return self.batching and self.network.tracer is None
+
+    def _batch_rr(
+        self,
+        vp: VantagePoint,
+        targets: Sequence[Tuple[int, Optional[Destination]]],
+        slots: int,
+        ttl: int,
+        pps: Optional[float],
+        heartbeat: Optional[Callable[[], None]],
+    ) -> List[Outcome]:
+        """Replay one VP's ping-RR sequence through compiled plans.
+
+        ``targets`` pairs each probed address with its hitlist
+        ``Destination`` (``None`` sends that one probe down the legacy
+        walk — addresses outside the hitlist can be routers or voids,
+        which plans don't model). Every probe consumes exactly the
+        clock advance, token-bucket draws, and loss-stream draws the
+        legacy walk would, in the same order, so mixing replayed and
+        fallback probes within one batch cannot shift a single byte.
+
+        Counters, ident/seq draws, and per-AS options load are folded
+        into one add per batch in a ``finally`` block: a supervision
+        heartbeat raising mid-batch (injected hangs) leaves exactly the
+        completed probes' state behind, as the legacy loop would.
+        """
+        network = self.network
+        out: List[Outcome] = []
+        if vp.local_filtered:
+            for _ in targets:
+                if heartbeat is not None:
+                    heartbeat()
+                out.append(_FILTERED_OUTCOME)
+            return out
+        src_asn = vp.addr >> 16
+        if src_asn not in network.graph:
+            # A source outside the AS graph can't be planned (the walk
+            # drops it at injection); keep the legacy path's behaviour.
+            for addr, _dest in targets:
+                if heartbeat is not None:
+                    heartbeat()
+                out.append(_outcome_from_result(
+                    self.ping_rr(vp, addr, slots=slots, ttl=ttl, pps=pps)
+                ))
+            return out
+        metrics = self._metrics_for("rr")
+        clock = network.clock
+        injector = network._injector
+        lost = network._lost
+        rtt_observe = metrics.rtt.observe
+        out_append = out.append
+        dt = 1.0 / (self.default_pps if pps is None else pps)
+        span_on = bool(self.span_sample) and _TRACER.enabled
+        plans = network._plans
+        base_key = (KIND_RR, slots, ttl, None)
+        n = replied_n = lookups = plan_hits = 0
+        counts: dict = {}
+        # The sim clock stays in a local for the whole batch (same
+        # float additions as SimClock.advance, so bit-equal times) and
+        # is written back around fallback probes and in the finally:
+        # an exception mid-batch leaves the clock exactly where the
+        # legacy per-probe loop would have.
+        now = clock.now
+        try:
+            for addr, dest in targets:
+                if heartbeat is not None:
+                    heartbeat()
+                if dest is None:
+                    clock._now = now
+                    out_append(_outcome_from_result(
+                        self.ping_rr(vp, addr, slots=slots, ttl=ttl, pps=pps)
+                    ))
+                    now = clock.now
+                    continue
+                start = now
+                now += dt
+                n += 1
+                lookups += 1
+                key = (src_asn, addr)
+                plan = plans.get(key)
+                if plan is None:
+                    plan = network._plan_miss(key, src_asn, dest)
+                else:
+                    plan_hits += 1
+                    plans.move_to_end(key)
+                if injector is None:
+                    tkey = base_key
+                else:
+                    flapset = injector.active_flap_edges(now)
+                    tkey = (KIND_RR, slots, ttl, flapset or None)
+                if tkey == plan.fast_key:
+                    template = plan.fast_tpl
+                else:
+                    template = plan.template(
+                        network, KIND_RR, slots, ttl, tkey[3]
+                    )
+                outcome = template.final
+                ops = template.ops
+                if ops:
+                    for op in ops:
+                        router = op[0]
+                        if router is None:
+                            if lost():
+                                outcome = op[3]
+                                break
+                        else:
+                            limiter = op[2]
+                            if limiter is None:
+                                limiter = network._limiter_of(router, op[1])
+                                op[2] = limiter
+                            if not limiter.allow(now):
+                                outcome = op[3]
+                                break
+                counts[outcome] = counts.get(outcome, 0) + 1
+                if outcome.replied:
+                    replied_n += 1
+                    rtt_observe(now - start)
+                if span_on:
+                    self._span_seen += 1
+                    if self._span_seen >= self.span_sample:
+                        self._span_seen = 0
+                        _TRACER.event(
+                            "probe",
+                            sim=now,
+                            ptype="rr",
+                            dst=addr,
+                            replied=outcome.replied,
+                        )
+                out_append(outcome)
+        finally:
+            clock._now = now
+            if n:
+                self._fold(
+                    metrics, network, counts,
+                    n, replied_n, lookups, plan_hits,
+                )
+        return out
+
+    def _batch_ping(
+        self,
+        vp: VantagePoint,
+        targets: Sequence[Tuple[int, Optional[Destination]]],
+        count: int,
+        pps: Optional[float],
+        heartbeat: Optional[Callable[[], None]],
+    ) -> List[PingResult]:
+        """Replay plain-ping rounds (count attempts, early stop) through
+        compiled plans; see :meth:`_batch_rr` for the parity contract."""
+        network = self.network
+        out: List[PingResult] = []
+        src_asn = vp.addr >> 16
+        if src_asn not in network.graph:
+            for addr, _dest in targets:
+                if heartbeat is not None:
+                    heartbeat()
+                out.append(self.ping(vp, addr, count=count, pps=pps))
+            return out
+        metrics = self._metrics_for("ping")
+        clock = network.clock
+        injector = network._injector
+        lost = network._lost
+        rtt_observe = metrics.rtt.observe
+        dt = 1.0 / (self.default_pps if pps is None else pps)
+        span_on = bool(self.span_sample) and _TRACER.enabled
+        plans = network._plans
+        base_key = (KIND_PING, 0, DEFAULT_TTL, None)
+        n = replied_n = lookups = plan_hits = 0
+        counts: dict = {}
+        # Local sim clock, as in _batch_rr: synced around fallbacks
+        # and in the finally so partial batches match the legacy loop.
+        now = clock.now
+        try:
+            for addr, dest in targets:
+                if heartbeat is not None:
+                    heartbeat()
+                if dest is None:
+                    clock._now = now
+                    out.append(self.ping(vp, addr, count=count, pps=pps))
+                    now = clock.now
+                    continue
+                sent = 0
+                replies = 0
+                reply_ident: Optional[int] = None
+                reply_time: Optional[float] = None
+                for _attempt in range(count):
+                    start = now
+                    now += dt
+                    sent += 1
+                    n += 1
+                    lookups += 1
+                    key = (src_asn, addr)
+                    plan = plans.get(key)
+                    if plan is None:
+                        plan = network._plan_miss(key, src_asn, dest)
+                    else:
+                        plan_hits += 1
+                        plans.move_to_end(key)
+                    if injector is None:
+                        tkey = base_key
+                    else:
+                        flapset = injector.active_flap_edges(now)
+                        tkey = (KIND_PING, 0, DEFAULT_TTL, flapset or None)
+                    if tkey == plan.fast_key:
+                        template = plan.fast_tpl
+                    else:
+                        template = plan.template(
+                            network, KIND_PING, 0, DEFAULT_TTL, tkey[3]
+                        )
+                    outcome = template.final
+                    ops = template.ops
+                    if ops:
+                        for op in ops:
+                            router = op[0]
+                            if router is None:
+                                if lost():
+                                    outcome = op[3]
+                                    break
+                            else:
+                                limiter = op[2]
+                                if limiter is None:
+                                    limiter = network._limiter_of(
+                                        router, op[1]
+                                    )
+                                    op[2] = limiter
+                                if not limiter.allow(now):
+                                    outcome = op[3]
+                                    break
+                    counts[outcome] = counts.get(outcome, 0) + 1
+                    if outcome.replied:
+                        replied_n += 1
+                        rtt_observe(now - start)
+                    if span_on:
+                        self._span_seen += 1
+                        if self._span_seen >= self.span_sample:
+                            self._span_seen = 0
+                            _TRACER.event(
+                                "probe",
+                                sim=now,
+                                ptype="ping",
+                                dst=addr,
+                                replied=outcome.replied,
+                            )
+                    if outcome.responded:
+                        replies = 1
+                        reply_ident = plan.host.ipid(now)
+                        reply_time = now
+                        break
+                out.append(PingResult(
+                    vp_name=vp.name,
+                    dst=addr,
+                    sent=sent,
+                    replies=replies,
+                    reply_ident=reply_ident,
+                    reply_time=reply_time,
+                ))
+        finally:
+            clock._now = now
+            if n:
+                self._fold(
+                    metrics, network, counts,
+                    n, replied_n, lookups, plan_hits,
+                )
+        return out
+
+    def _fold(
+        self,
+        metrics: _ProbeMetrics,
+        network: Network,
+        counts: dict,
+        n: int,
+        replied_n: int,
+        lookups: int,
+        plan_hits: int,
+    ) -> None:
+        """One batch's deferred accounting, applied as single adds.
+
+        ``counts`` maps each distinct :class:`Outcome` to how many
+        probes shared that fate this batch; its per-probe counter and
+        options-load contributions expand here by multiplication.
+        Everything is commutative integer arithmetic, so deferring it
+        cannot change any total the legacy per-probe path produces —
+        only the number of Python-level increments (the point).
+        """
+        metrics.probes.inc(n)
+        if replied_n:
+            metrics.replies.inc(replied_n)
+        if n > replied_n:
+            metrics.timeouts.inc(n - replied_n)
+        # Each replayed probe would have drawn one (ident, seq) pair.
+        self._ident = (self._ident + n) & 0xFFFF
+        self._seq = (self._seq + n) & 0xFFFF
+        network._plan_hits.inc(plan_hits)
+        network._plan_misses.inc(lookups - plan_hits)
+        # A plan-cache hit skipped the _forward_path call the legacy
+        # walk performs per probe; fold the hits it would have counted
+        # (compiles run _forward_path themselves, covering the misses).
+        if plan_hits:
+            network._path_hits.inc(plan_hits)
+        network._plan_replays.inc(n)
+        tally: dict = {}
+        load: dict = {}
+        for outcome, times in counts.items():
+            for counter in outcome.counters:
+                tally[counter] = tally.get(counter, 0) + times
+            for asn, cnt in outcome.load:
+                load[asn] = load.get(asn, 0) + cnt * times
+        for counter, count in tally.items():
+            counter.inc(count)
+        options_load = network.options_load
+        for asn, count in load.items():
+            options_load[asn] = options_load.get(asn, 0) + count
+
+    def _resolve_targets(
+        self, dests: Iterable[int]
+    ) -> List[Tuple[int, Optional[Destination]]]:
+        """Pair each probed address with its hitlist destination.
+
+        Resolution goes through ``hitlist.by_addr`` — the same lookup
+        ``send_packet`` performs — so a plan is always compiled for the
+        *stored* destination, even if a caller hands in a look-alike.
+        """
+        by_addr = self.network.hitlist.by_addr
+        return [(addr, by_addr(addr)) for addr in dests]
+
+    def probe_batch_rows(
+        self,
+        vp: VantagePoint,
+        dests: Sequence[Destination],
+        slots: int = RR_MAX_SLOTS,
+        ttl: int = DEFAULT_TTL,
+        pps: Optional[float] = None,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> List[Tuple[Destination, Outcome]]:
+        """The survey-facing batch: raw outcomes, no result objects.
+
+        Returns ``(dest, outcome)`` pairs in probe order; outcomes
+        carry precomputed ``rr_responsive`` / ``dest_slot`` /
+        ``inprefix`` so the survey loop does dict appends and nothing
+        else. Falls back to the legacy per-destination walk (wrapped in
+        the same shape) when batching is off or a tracer is attached.
+        """
+        if not self._can_batch():
+            results = []
+            for dest in dests:
+                if heartbeat is not None:
+                    heartbeat()
+                results.append((dest, _outcome_from_result(
+                    self.ping_rr(vp, dest.addr, slots=slots, ttl=ttl, pps=pps)
+                )))
+            return results
+        targets = self._resolve_targets(dest.addr for dest in dests)
+        outcomes = self._batch_rr(vp, targets, slots, ttl, pps, heartbeat)
+        return list(zip(dests, outcomes))
+
+    def probe_batch_ping(
+        self,
+        vp: VantagePoint,
+        dests: Sequence[Destination],
+        count: int = 3,
+        pps: Optional[float] = None,
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> List[PingResult]:
+        """Batched plain-ping rounds over hitlist destinations."""
+        if not self._can_batch():
+            results = []
+            for dest in dests:
+                if heartbeat is not None:
+                    heartbeat()
+                results.append(
+                    self.ping(vp, dest.addr, count=count, pps=pps)
+                )
+            return results
+        targets = self._resolve_targets(dest.addr for dest in dests)
+        return self._batch_ping(vp, targets, count, pps, heartbeat)
+
+    def probe_batch(
+        self,
+        vp: VantagePoint,
+        dests: Sequence[int],
+        kind: str = "rr",
+        count: int = 3,
+        slots: int = RR_MAX_SLOTS,
+        ttl: int = DEFAULT_TTL,
+        pps: Optional[float] = None,
+    ) -> List:
+        """Public batch API over raw addresses: full result objects.
+
+        ``kind="rr"`` returns :class:`RRPingResult` per address,
+        ``kind="ping"`` returns :class:`PingResult` — field-for-field
+        what the per-probe methods would have produced, at replay cost.
+        """
+        if kind == "ping":
+            if not self._can_batch():
+                return [
+                    self.ping(vp, addr, count=count, pps=pps)
+                    for addr in dests
+                ]
+            return self._batch_ping(
+                vp, self._resolve_targets(dests), count, pps, None
+            )
+        if kind != "rr":
+            raise ValueError(f"unknown batch kind: {kind!r}")
+        if not self._can_batch():
+            return [
+                self.ping_rr(vp, addr, slots=slots, ttl=ttl, pps=pps)
+                for addr in dests
+            ]
+        outcomes = self._batch_rr(
+            vp, self._resolve_targets(dests), slots, ttl, pps, None
+        )
+        results = []
+        for addr, outcome in zip(dests, outcomes):
+            if outcome.responded:
+                results.append(RRPingResult(
+                    vp_name=vp.name,
+                    dst=addr,
+                    responded=True,
+                    rr_hops=list(outcome.rr),
+                    rr_slots=slots,
+                    reply_has_rr=outcome.reply_has_rr,
+                ))
+            elif outcome.ttl_exceeded:
+                results.append(RRPingResult(
+                    vp_name=vp.name,
+                    dst=addr,
+                    responded=False,
+                    rr_slots=slots,
+                    ttl_exceeded=True,
+                    error_source=outcome.error_source,
+                    quoted_rr_hops=list(outcome.quoted),
+                ))
+            else:
+                results.append(RRPingResult(
+                    vp_name=vp.name, dst=addr, responded=False,
+                    rr_slots=slots,
+                ))
+        return results
+
     # -- batches ---------------------------------------------------------
 
     def batch_ping_rr(
@@ -484,10 +974,9 @@ class Prober:
         ttl: int = DEFAULT_TTL,
     ) -> List[RRPingResult]:
         """Probe ``dests`` in the given order at a steady ``pps``."""
-        return [
-            self.ping_rr(vp, dst, slots=slots, ttl=ttl, pps=pps)
-            for dst in dests
-        ]
+        return self.probe_batch(
+            vp, list(dests), kind="rr", slots=slots, ttl=ttl, pps=pps
+        )
 
     def batch_ping(
         self,
@@ -496,4 +985,6 @@ class Prober:
         count: int = 3,
         pps: Optional[float] = None,
     ) -> List[PingResult]:
-        return [self.ping(vp, dst, count=count, pps=pps) for dst in dests]
+        return self.probe_batch(
+            vp, list(dests), kind="ping", count=count, pps=pps
+        )

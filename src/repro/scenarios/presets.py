@@ -19,6 +19,7 @@ from repro.topology.generator import TopologyParams
 __all__ = [
     "tiny",
     "small",
+    "mid",
     "small_2011",
     "study_2016",
     "study_2011",
@@ -71,6 +72,41 @@ def small(seed: int = 2016) -> Scenario:
             num_planetlab=14,
             mlab_as_pool=4,
             planetlab_as_pool=30,
+        )
+    )
+
+
+def mid(seed: int = 2016) -> Scenario:
+    """The dataplane-benchmark shape (~4-5k destinations, ~100 VPs).
+
+    Large enough that a survey's probe count — not scenario build time
+    — dominates the wall clock, which is what the batched-dataplane
+    speedup target is measured against; still far below ``study_2016``
+    so the benchmark turns around in CI-friendly time. The VP pools
+    are deliberately AS-concentrated (many sites behind few upstream
+    ASes, the real M-Lab/PlanetLab deployment shape [§2.2]): all the
+    VPs of one ingress AS share forward paths, which is exactly the
+    redundancy both the forward-path cache and the stamp-plan compiler
+    exist to exploit.
+    """
+    return build_scenario(
+        ScenarioParams(
+            name="mid",
+            seed=seed,
+            topology=TopologyParams(
+                seed=seed,
+                num_tier1=6,
+                num_tier2=36,
+                num_edge=800,
+                ixp_count=6,
+                ixp_mean_members=15,
+            ),
+            sim=SimParams(seed=seed),
+            prefix_scale=0.4,
+            num_mlab=50,
+            num_planetlab=50,
+            mlab_as_pool=4,
+            planetlab_as_pool=4,
         )
     )
 
@@ -177,6 +213,7 @@ def study_2011(seed: int = 2016) -> Scenario:
 PRESETS = {
     "tiny": tiny,
     "small": small,
+    "mid": mid,
     "small-2011": small_2011,
     "study-2016": study_2016,
     "study-2011": study_2011,

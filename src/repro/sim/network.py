@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import random
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.net.addr import Prefix
@@ -47,6 +48,13 @@ from repro.sim.clock import SimClock
 from repro.sim.host import SimHost, build_host
 from repro.sim.policies import RouterPolicy, SimParams, build_router_policy
 from repro.sim.rate_limiter import BucketMetrics, TokenBucket
+from repro.sim.stampplan import (
+    FlowProgram,
+    RoundTripPlan,
+    SegmentPlan,
+    build_program,
+    compile_segment,
+)
 from repro.topology.generator import GeneratedTopology
 from repro.topology.hitlist import Destination, Hitlist
 from repro.topology.routers import Hop, RouterFabric, RouterNode
@@ -224,7 +232,12 @@ class Network:
         #: installed on every live limiter and on new ones at creation.
         self._rate_scale = None
         self._bucket_metrics: Dict[str, BucketMetrics] = {}
-        self._policies: Dict[Tuple, RouterPolicy] = {}
+        #: Per-router policies, keyed by router object identity (the
+        #: fabric pins every router for the network's lifetime; the
+        #: value re-pins it so the id can never be recycled). Identity
+        #: keying keeps the segment compiler's per-hop lookup off the
+        #: tuple-hashing path.
+        self._policies: Dict[int, Tuple[RouterNode, RouterPolicy]] = {}
         self._limiters: Dict[Tuple, TokenBucket] = {}
         self._hosts: Dict[int, SimHost] = {}
         self._alias_owner: Dict[int, SimHost] = {}
@@ -249,6 +262,65 @@ class Network:
             "path_cache_invalidations_total",
             "Explicit forward-path cache invalidations "
             "(topology mutation).",
+            ("net",),
+        ).labels(self.net_id)
+        #: Stamp-plan cache: (ingress AS, destination address) -> the
+        #: compiled :class:`RoundTripPlan` the batch replay engine
+        #: executes instead of the per-hop walk. A bounded LRU beside
+        #: ``_fwd_paths``, invalidated whenever that cache is.
+        self._plans: "OrderedDict[Tuple[int, int], RoundTripPlan]" = (
+            OrderedDict()
+        )
+        #: LRU bound for ``_plans``; tests shrink this to force
+        #: evictions. Sized to hold a full survey's working set (every
+        #: ingress AS x destination pair) at the benchmark scales —
+        #: an evicted plan recompiles from warm segment plans, so
+        #: overflowing is a throughput cliff, never a correctness one.
+        self.plan_cache_cap = 262144
+        #: Per-segment compiled plans, keyed by the *identity* of the
+        #: cached hop tuple (trunks in ``_trunks``, tails in
+        #: ``_tails``, access chains in ``_access_tails`` — all
+        #: long-lived cache entries). The value keeps the segment
+        #: tuple alive so its id can never be reused while the entry
+        #: exists. This is where compilation amortises: the trunk
+        #: shared by every destination behind an AS resolves once, not
+        #: once per flow.
+        self._seg_plans: Dict[int, Tuple[Tuple[Hop, ...], SegmentPlan]] = {}
+        #: Shared flow programs: (fwd segment-plan tuple, kind, slots,
+        #: ttl, flapset) -> the per-prefix symbolic walk every
+        #: destination behind the prefix finishes its templates from.
+        #: Cleared with the plan cache (``_drop_plans``).
+        self._programs: Dict[tuple, FlowProgram] = {}
+        #: Reverse-access chains (the "access" hops of a prefix tail),
+        #: cached per prefix base so the compiled reverse direction
+        #: reuses one tuple identity.
+        self._access_tails: Dict[int, Tuple[Hop, ...]] = {}
+        plan_lookups = self.registry.counter(
+            "plan_cache_lookups_total",
+            "Stamp-plan cache lookups (batched dataplane), by result.",
+            ("net", "result"),
+        )
+        self._plan_hits = plan_lookups.labels(self.net_id, "hit")
+        self._plan_misses = plan_lookups.labels(self.net_id, "miss")
+        self._plan_evictions = self.registry.counter(
+            "plan_cache_evictions_total",
+            "Stamp plans evicted by the LRU bound.",
+            ("net",),
+        ).labels(self.net_id)
+        self._plan_compiles = self.registry.counter(
+            "plan_compiles_total",
+            "Stamp-plan compilations (first probe per VP-AS/destination).",
+            ("net",),
+        ).labels(self.net_id)
+        self._plan_invalidations = self.registry.counter(
+            "plan_invalidations_total",
+            "Stamp-plan cache invalidations (route churn, flap "
+            "windows, topology mutation).",
+            ("net",),
+        ).labels(self.net_id)
+        self._plan_replays = self.registry.counter(
+            "plan_replays_total",
+            "Probes replayed through compiled stamp plans.",
             ("net",),
         ).labels(self.net_id)
         self._loss_rng = random.Random(derive_seed(params.seed, "loss"))
@@ -327,6 +399,14 @@ class Network:
         """
         self._path_invalidations.inc()
         self._fwd_paths.clear()
+        self._drop_plans()
+
+    def _drop_plans(self) -> None:
+        """Drop every compiled stamp plan (and its templates with it)."""
+        if self._plans:
+            self._plan_invalidations.inc()
+            self._plans.clear()
+        self._programs.clear()
 
     # -- entity resolution ---------------------------------------------------
 
@@ -358,11 +438,12 @@ class Network:
         return None
 
     def policy_of(self, router: RouterNode) -> RouterPolicy:
-        policy = self._policies.get(router.key)
-        if policy is None:
+        entry = self._policies.get(id(router))
+        if entry is None:
             policy = build_router_policy(self.params, self.graph, router)
-            self._policies[router.key] = policy
-        return policy
+            self._policies[id(router)] = (router, policy)
+            return policy
+        return entry[1]
 
     def _bucket_metrics_for(self, role: str) -> BucketMetrics:
         """Per-router-class token-bucket counters (resolved once)."""
@@ -423,10 +504,16 @@ class Network:
         """
         self.graph[asn].filters_options = filters
         stale = [
-            key for key in self._policies if key[0] == asn
+            key
+            for key, (router, _policy) in self._policies.items()
+            if router.asn == asn
         ]
         for key in stale:
             del self._policies[key]
+        # Compiled stamp plans (round-trip and per-segment) baked the
+        # old policy's filter locus in.
+        self._drop_plans()
+        self._seg_plans.clear()
         # Hosts inherit nothing from the AS filter directly (their
         # drops_options was drawn independently), so host caches stay.
 
@@ -480,18 +567,161 @@ class Network:
         self._trunks.clear()
         self._tails.clear()
         self._fwd_paths.clear()
+        self._drop_plans()
+        self._seg_plans.clear()
+        self._access_tails.clear()
 
     def invalidate_routes(self) -> None:
         """Explicitly invalidate every route-derived cache.
 
         Call after mutating the AS graph (adding/removing links,
         re-homing prefixes): drops the forward-path cache, the
-        trunk/tail expansions, and the routing system's cached trees so
-        the next packet re-derives its path from the mutated topology.
+        compiled stamp plans, the trunk/tail expansions, and the
+        routing system's cached trees so the next packet re-derives
+        its path from the mutated topology.
         """
         self._path_invalidations.inc()
         self.clear_caches()
         self.routing.clear_cache()
+
+    # -- stamp plans (batched dataplane) ---------------------------------
+
+    def plan_for(
+        self, src_asn: int, dest: Destination
+    ) -> Tuple[RoundTripPlan, bool]:
+        """The compiled round-trip plan for (ingress AS, destination).
+
+        Returns ``(plan, hit)``; ``hit`` tells the replay engine
+        whether this probe rode the cache (so the folded forward-path
+        hit counter stays exactly equal to the legacy walk's: a compile
+        runs ``_forward_path`` itself, accounting for the triggering
+        probe's lookup).
+        """
+        key = (src_asn, dest.addr)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plan_hits.inc()
+            self._plans.move_to_end(key)
+            return plan, True
+        self._plan_misses.inc()
+        plan = self._compile_plan(src_asn, dest)
+        self._plans[key] = plan
+        if len(self._plans) > self.plan_cache_cap:
+            self._plans.popitem(last=False)
+            self._plan_evictions.inc()
+        return plan, False
+
+    def _plan_miss(
+        self, key: Tuple[int, int], src_asn: int, dest: Destination
+    ) -> RoundTripPlan:
+        """Compile-and-insert path for a plan-cache miss.
+
+        The batch replay loop probes ``_plans`` directly (hit/miss
+        counters fold once per batch); this covers only the slow path:
+        compile, insert, evict past the cap.
+        """
+        plan = self._compile_plan(src_asn, dest)
+        self._plans[key] = plan
+        if len(self._plans) > self.plan_cache_cap:
+            self._plans.popitem(last=False)
+            self._plan_evictions.inc()
+        return plan
+
+    def _compile_plan(self, src_asn: int, dest: Destination) -> RoundTripPlan:
+        """Compile the invariant round-trip structure for one flow.
+
+        Pure policy/topology resolution — consumes no RNG draws, so
+        compilation order cannot perturb any stochastic stream. The
+        embedded ``_forward_path`` call counts the triggering probe's
+        cache lookup, exactly as the legacy walk would have.
+        """
+        self._plan_compiles.inc()
+        host = self.host_for(dest)
+        segments = self._forward_path(src_asn, dest)
+        if segments is None:
+            fwd = None
+        else:
+            # Inlined _segment_plan hit path: trunks repeat across
+            # every destination of an ingress AS, so the id-keyed hit
+            # is the common case and worth skipping a frame for.
+            seg_plans = self._seg_plans
+            trunk, tail = segments
+            entry = seg_plans.get(id(trunk))
+            trunk_plan = (
+                entry[1] if entry is not None else self._segment_plan(trunk)
+            )
+            entry = seg_plans.get(id(tail))
+            tail_plan = (
+                entry[1] if entry is not None else self._segment_plan(tail)
+            )
+            fwd = (trunk_plan, tail_plan)
+        # The heavy symbolic walk lives in the per-(fwd, options-shape)
+        # FlowProgram (see :meth:`_program_for`), shared by every
+        # destination behind the prefix; the plan itself is just the
+        # per-destination handle (host + final-outcome memo).
+        return RoundTripPlan(
+            src_asn=src_asn, dest=dest, host=host, fwd=fwd
+        )
+
+    def _program_for(
+        self,
+        fwd,
+        kind: int,
+        slots: int,
+        ttl: int,
+        flapset,
+    ) -> FlowProgram:
+        """The shared :class:`FlowProgram` for one flow's options-shape.
+
+        Keyed by the forward segment-plan tuple (identity-stable per
+        (ingress AS, prefix) through the ``_seg_plans`` pinning) plus
+        the template key, so every destination in a prefix — across
+        all its plans — resolves the symbolic walk exactly once. The
+        reverse trunk inside resolves lazily, only for programs whose
+        flows survive to the Echo Reply. Dropped wholesale with the
+        plan cache (``_drop_plans``): programs embed policy loci and
+        pin segment tuples, so they never outlive a route or policy
+        invalidation.
+        """
+        key = (fwd, kind, slots, ttl, flapset)
+        program = self._programs.get(key)
+        if program is None:
+            program = build_program(self, fwd, kind, slots, ttl, flapset)
+            self._programs[key] = program
+        return program
+
+    def _segment_plan(self, segment: Tuple[Hop, ...]) -> SegmentPlan:
+        """The compiled plan for one cached hop segment, by identity.
+
+        Identity keying is sound because every segment handed in is a
+        long-lived cache entry (``_trunks`` / ``_tails`` /
+        ``_access_tails``) and the map value pins the tuple, so an id
+        can never be recycled while its entry exists. Policy changes
+        clear this map (``set_as_options_filter`` / ``clear_caches``);
+        plain forward-path invalidation keeps it — segment facts
+        derive from policies and hop lists, not from route selection.
+        """
+        key = id(segment)
+        entry = self._seg_plans.get(key)
+        if entry is not None:
+            return entry[1]
+        plan = compile_segment(self, segment)
+        self._seg_plans[key] = (segment, plan)
+        return plan
+
+    def _access_of(self, dest: Destination) -> Tuple[Hop, ...]:
+        """The reverse leg's access chain for a destination's prefix,
+        as one cached tuple (stable identity for ``_segment_plan``).
+        Mirrors ``_reverse_deliver``'s filter over the prefix tail."""
+        access = self._access_tails.get(dest.prefix.base)
+        if access is None:
+            access = tuple(
+                hop
+                for hop in self._tail(dest)
+                if hop.router.key[1] == "access"
+            )
+            self._access_tails[dest.prefix.base] = access
+        return access
 
     # -- per-VP probe sessions ---------------------------------------------
 

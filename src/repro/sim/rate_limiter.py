@@ -75,9 +75,26 @@ class TokenBucket:
                 self.metrics.refills.inc()
 
     def allow(self, now: float) -> bool:
-        """Consume one token at time ``now`` if available."""
-        self._refill(now)
+        """Consume one token at time ``now`` if available.
+
+        The refill is inlined (rather than calling ``_refill``) —
+        this is the batched dataplane's per-probe hot path, where two
+        extra Python frames per gate are measurable. The arithmetic is
+        kept textually identical to ``_refill``/``_effective_rate`` so
+        both paths produce bit-equal token counts.
+        """
         metrics = self.metrics
+        if now > self._last:
+            scale = self.rate_scale
+            self._tokens = min(
+                self.burst,
+                self._tokens
+                + (now - self._last)
+                * (self.rate if scale is None else self.rate * scale(now)),
+            )
+            self._last = now
+            if metrics is not None:
+                metrics.refills.inc()
         if self._tokens >= 1.0:
             self._tokens -= 1.0
             if metrics is not None:

@@ -101,6 +101,20 @@ class RouterFabric:
         self._access: Dict[Prefix, Optional[RouterNode]] = {}
         self._by_addr: Dict[int, RouterNode] = {}
         self._next_infra: Dict[int, int] = {}
+        #: Expansion memos. Routers and their interfaces are fixed at
+        #: construction (borders may materialise lazily but never
+        #: change once built), and interior counts/chains are pure
+        #: stable-hash draws, so all three caches are write-once:
+        #: ``Hop`` objects per (router, orientation), interior-core
+        #: counts per (asn, prev, nxt), and interior chains as ready
+        #: hop tuples per (asn, prev, nxt, count). Trunk expansion is
+        #: the per-(src AS, dst AS) hot path of every survey, and
+        #: without these memos it re-hashes and re-allocates the same
+        #: hops for every AS pair sharing a sub-path.
+        self._core_hops: Dict[Tuple, Hop] = {}
+        self._border_hops: Dict[Tuple, Hop] = {}
+        self._counts: Dict[Tuple, int] = {}
+        self._chains: Dict[Tuple, Tuple[Hop, ...]] = {}
         self._build()
 
     # -- construction --------------------------------------------------
@@ -213,6 +227,10 @@ class RouterFabric:
 
     def _interior_count(self, asn: int, prev: int, nxt: int) -> int:
         """Cores traversed inside ``asn`` between neighbours prev/nxt."""
+        key = (asn, prev, nxt)
+        count = self._counts.get(key)
+        if count is not None:
+            return count
         autsys = self._graph[asn]
         tier = autsys.tier
         if tier is Tier.TIER1:
@@ -221,7 +239,9 @@ class RouterFabric:
             count = 1 + stable_u64(self._seed, "interior", asn, prev, nxt) % 3
         else:
             count = stable_u64(self._seed, "interior", asn, prev, nxt) % 3
-        return count + autsys.internal_hop_bias
+        count += autsys.internal_hop_bias
+        self._counts[key] = count
+        return count
 
     def _interior_chain(
         self, asn: int, prev: object, nxt: object, count: int
@@ -232,9 +252,42 @@ class RouterFabric:
         start = stable_u64(self._seed, "chain", asn, prev, nxt) % len(pool)
         return [pool[(start + i) % len(pool)] for i in range(count)]
 
-    @staticmethod
-    def _core_hop(router: RouterNode) -> Hop:
-        return Hop(router, router.iface("b"), router.iface("a"))
+    def _chain_hops(
+        self, asn: int, prev: object, nxt: object, count: int
+    ) -> Tuple[Hop, ...]:
+        """The interior chain as a memoised tuple of core hops."""
+        key = (asn, prev, nxt, count)
+        hops = self._chains.get(key)
+        if hops is None:
+            hops = tuple(
+                self._core_hop(router)
+                for router in self._interior_chain(asn, prev, nxt, count)
+            )
+            self._chains[key] = hops
+        return hops
+
+    def _core_hop(self, router: RouterNode) -> Hop:
+        hop = self._core_hops.get(router.key)
+        if hop is None:
+            hop = Hop(router, router.iface("b"), router.iface("a"))
+            self._core_hops[router.key] = hop
+        return hop
+
+    def _border_hop(self, router: RouterNode, outbound: bool) -> Hop:
+        """A border traversal hop, memoised per (router, direction).
+
+        Outbound (egress) traversals stamp the external interface and
+        error from the internal one; inbound (ingress) the reverse.
+        """
+        key = (router.key, outbound)
+        hop = self._border_hops.get(key)
+        if hop is None:
+            if outbound:
+                hop = Hop(router, router.iface("ext"), router.iface("int"))
+            else:
+                hop = Hop(router, router.iface("int"), router.iface("ext"))
+            self._border_hops[key] = hop
+        return hop
 
     def expand_trunk(self, as_path: Sequence[int]) -> List[Hop]:
         """The AS-level part of a router path (no per-prefix hops).
@@ -247,33 +300,26 @@ class RouterFabric:
         """
         if not as_path:
             raise ValueError("empty AS path")
-        hops: List[Hop] = []
         src_asn = as_path[0]
         dst_asn = as_path[-1]
 
         gw_count = 1 + self._graph[src_asn].internal_hop_bias
         gw_next = as_path[1] if len(as_path) > 1 else "local"
-        for router in self._interior_chain(src_asn, "gw", gw_next, gw_count):
-            hops.append(self._core_hop(router))
+        hops = list(self._chain_hops(src_asn, "gw", gw_next, gw_count))
         if len(as_path) == 1:
             return hops
-        egress = self.border(src_asn, as_path[1])
-        hops.append(Hop(egress, egress.iface("ext"), egress.iface("int")))
+        hops.append(self._border_hop(self.border(src_asn, as_path[1]), True))
 
         for position in range(1, len(as_path) - 1):
             asn = as_path[position]
             prev_asn = as_path[position - 1]
             next_asn = as_path[position + 1]
-            ingress = self.border(asn, prev_asn)
-            hops.append(Hop(ingress, ingress.iface("int"), ingress.iface("ext")))
+            hops.append(self._border_hop(self.border(asn, prev_asn), False))
             count = self._interior_count(asn, prev_asn, next_asn)
-            for router in self._interior_chain(asn, prev_asn, next_asn, count):
-                hops.append(self._core_hop(router))
-            egress = self.border(asn, next_asn)
-            hops.append(Hop(egress, egress.iface("ext"), egress.iface("int")))
+            hops.extend(self._chain_hops(asn, prev_asn, next_asn, count))
+            hops.append(self._border_hop(self.border(asn, next_asn), True))
 
-        ingress = self.border(dst_asn, as_path[-2])
-        hops.append(Hop(ingress, ingress.iface("int"), ingress.iface("ext")))
+        hops.append(self._border_hop(self.border(dst_asn, as_path[-2]), False))
         return hops
 
     def tail_hops(

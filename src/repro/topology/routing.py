@@ -19,7 +19,6 @@ asking for many sources' paths to the same destination is cheap.
 
 from __future__ import annotations
 
-import heapq
 from collections import OrderedDict
 from typing import Dict, List, NamedTuple, Optional
 
@@ -69,6 +68,12 @@ class RoutingSystem:
             "routing_tree_cache_evictions_total",
             "Routing trees evicted from the LRU cache.",
         ).labels()
+        #: Lazily-built adjacency snapshot: asn -> (providers, peers,
+        #: sorted customers) as tuples. ``ASGraph``'s accessors copy
+        #: into a fresh frozenset per call, which a tree compute hits
+        #: thousands of times; snapshotting once per graph generation
+        #: (dropped by ``clear_cache``) removes that from the loop.
+        self._adj: Optional[Dict[int, tuple]] = None
 
     @property
     def graph(self) -> ASGraph:
@@ -96,12 +101,33 @@ class RoutingSystem:
             self._cache_evictions.inc()
         return tree
 
+    def _adjacency(self) -> Dict[int, tuple]:
+        adj = self._adj
+        if adj is None:
+            graph = self._graph
+            adj = {
+                asn: (
+                    tuple(graph.providers_of(asn)),
+                    tuple(graph.peers_of(asn)),
+                    tuple(sorted(graph.customers_of(asn))),
+                )
+                for asn in graph.asns()
+            }
+            self._adj = adj
+        return adj
+
     def _compute_tree(self, dest: int) -> Dict[int, RouteInfo]:
-        graph = self._graph
-        if dest not in graph:
+        if dest not in self._graph:
             raise KeyError(f"unknown destination ASN {dest}")
+        adj = self._adjacency()
+        # ~n RouteInfo allocations per tree and a few comparisons per
+        # edge make this the scenario-wide routing hot spot; building
+        # the (still genuine) RouteInfo tuples via ``tuple.__new__``
+        # skips the generated-constructor frame, and field access in
+        # the loops uses indices instead of the namedtuple properties.
+        mk = tuple.__new__
         routes: Dict[int, RouteInfo] = {
-            dest: RouteInfo(KIND_CUSTOMER, 0, None)
+            dest: mk(RouteInfo, (KIND_CUSTOMER, 0, None))
         }
 
         # Phase 1 — customer routes: the destination's reachability climbs
@@ -114,14 +140,16 @@ class RoutingSystem:
             length += 1
             candidates: Dict[int, int] = {}
             for asn in frontier:
-                for provider in graph.providers_of(asn):
+                for provider in adj[asn][0]:
                     if provider in routes:
                         continue
                     best = candidates.get(provider)
                     if best is None or asn < best:
                         candidates[provider] = asn
             for provider, via in candidates.items():
-                routes[provider] = RouteInfo(KIND_CUSTOMER, length, via)
+                routes[provider] = mk(
+                    RouteInfo, (KIND_CUSTOMER, length, via)
+                )
             frontier = sorted(candidates)
 
         # Phase 2 — peer routes: one sideways hop from any AS holding a
@@ -129,42 +157,63 @@ class RoutingSystem:
         # always win, so only routeless ASes adopt.
         peer_routes: Dict[int, RouteInfo] = {}
         for asn, info in routes.items():
-            for peer in graph.peers_of(asn):
+            length = info[1] + 1
+            for peer in adj[asn][1]:
                 if peer in routes:
                     continue
-                candidate = RouteInfo(KIND_PEER, info.length + 1, asn)
                 best = peer_routes.get(peer)
-                if best is None or (candidate.length, candidate.next_hop) < (
-                    best.length,
-                    best.next_hop,
+                # Unrolled (length, asn) < (best.length, best.next_hop)
+                # — peer routes always carry an integer next hop.
+                if best is None or length < best[1] or (
+                    length == best[1] and asn < best[2]
                 ):
-                    peer_routes[peer] = candidate
+                    peer_routes[peer] = mk(
+                        RouteInfo, (KIND_PEER, length, asn)
+                    )
         routes.update(peer_routes)
 
         # Phase 3 — provider routes: every routed AS exports its selected
         # route to customers, recursively. Seed lengths differ, so this
-        # is a unit-weight Dijkstra down customer links.
-        heap: List[tuple] = [
-            (info.length, asn) for asn, info in routes.items()
-        ]
-        heapq.heapify(heap)
+        # is a unit-weight Dijkstra down customer links — and with unit
+        # weights a bucket queue visits nodes in exactly the order a
+        # ``(length, asn)`` heap would: lengths ascending, ASNs
+        # ascending within a length (relaxations from bucket ``l`` only
+        # ever land in bucket ``l + 1``, so each bucket is complete
+        # before it is processed). Same visit order, same tie-breaks,
+        # no per-edge heap churn.
+        buckets: Dict[int, List[int]] = {}
+        for asn, info in routes.items():
+            buckets.setdefault(info[1], []).append(asn)
         settled: Dict[int, int] = {}
-        while heap:
-            length, asn = heapq.heappop(heap)
-            if settled.get(asn, 1 << 30) <= length:
-                continue
-            settled[asn] = length
-            for customer in sorted(graph.customers_of(asn)):
-                if customer in routes and routes[customer].kind > KIND_PROVIDER:
-                    continue
-                candidate = RouteInfo(KIND_PROVIDER, length + 1, asn)
-                best = routes.get(customer)
-                if best is None or (candidate.length, candidate.next_hop) < (
-                    best.length,
-                    best.next_hop,
-                ):
-                    routes[customer] = candidate
-                    heapq.heappush(heap, (candidate.length, customer))
+        routes_get = routes.get
+        settled_get = settled.get
+        length = 0
+        while buckets:
+            group = buckets.pop(length, None)
+            nxt = length + 1
+            if group is not None:
+                group.sort()
+                for asn in group:
+                    if settled_get(asn, 1 << 30) <= length:
+                        continue
+                    settled[asn] = length
+                    for customer in adj[asn][2]:
+                        best = routes_get(customer)
+                        # Unrolled: skip unless the candidate (nxt, asn)
+                        # strictly beats a provider route (customer and
+                        # peer routes always win). Provider routes carry
+                        # an integer next hop, so best[2] is comparable.
+                        if best is not None and (
+                            best[0] > KIND_PROVIDER
+                            or best[1] < nxt
+                            or (best[1] == nxt and best[2] <= asn)
+                        ):
+                            continue
+                        routes[customer] = mk(
+                            RouteInfo, (KIND_PROVIDER, nxt, asn)
+                        )
+                        buckets.setdefault(nxt, []).append(customer)
+            length = nxt
         return routes
 
     # -- paths ---------------------------------------------------------
@@ -208,3 +257,4 @@ class RoutingSystem:
     def clear_cache(self) -> None:
         """Drop every cached routing tree (call after graph mutation)."""
         self._trees.clear()
+        self._adj = None

@@ -1,0 +1,195 @@
+"""Batched stamp-plan dataplane: parity, invalidation, cache bounds.
+
+The replay engine's contract is *byte-identity*: a survey probed
+through compiled stamp plans must serialize to exactly the bytes the
+legacy per-hop walk produces — across seeds, worker counts, fault
+presets, span sampling, and cache pressure. These tests pin that
+contract down, plus the invalidation story (route churn and flap
+windows must never replay a stale template).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.survey import run_rr_survey, save_survey
+from repro.faults import CampaignRunner, FaultInjector, FaultPlan, LinkFlap
+from repro.obs.spans import TRACER
+from repro.scenarios.faults import build_fault_plan
+from repro.scenarios.presets import get_preset
+
+N_DESTS = 30
+
+
+def _survey_bytes(survey, tmp_path, name):
+    path = tmp_path / name
+    save_survey(survey, path)
+    return path.read_bytes()
+
+
+def _campaign_bytes(seed, faults, jobs, batch, tmp_path, name):
+    """One fresh-world campaign's ``save_survey`` bytes."""
+    world = get_preset("tiny", seed)
+    world.prober.batching = batch
+    targets = list(world.hitlist)[:N_DESTS]
+    plan = build_fault_plan(faults, scenario_seed=seed)
+    result = CampaignRunner(
+        world, plan=plan, jobs=jobs, max_retries=3
+    ).run(targets=targets)
+    return _survey_bytes(result.survey, tmp_path, name)
+
+
+# ---------------------------------------------------------------------------
+# The parity matrix: seeds x jobs x fault presets, batched vs legacy.
+# ---------------------------------------------------------------------------
+
+
+class TestParityMatrix:
+    @pytest.mark.parametrize("faults", ["none", "link-flap", "chaos"])
+    @pytest.mark.parametrize("seed", [2016, 7])
+    def test_batched_equals_legacy_across_jobs(
+        self, seed, faults, tmp_path
+    ):
+        legacy = _campaign_bytes(
+            seed, faults, jobs=1, batch=False,
+            tmp_path=tmp_path, name="legacy.json",
+        )
+        for jobs in (1, 2, 4):
+            batched = _campaign_bytes(
+                seed, faults, jobs=jobs, batch=True,
+                tmp_path=tmp_path, name=f"batched-{jobs}.json",
+            )
+            assert batched == legacy, (seed, faults, jobs)
+
+
+class TestOptionsLoadParity:
+    def test_per_asn_options_load_identical(self):
+        """The per-batch load fold must reproduce the legacy walk's
+        per-AS options-load tallies exactly, not just in total."""
+        batched = get_preset("tiny", 2016)
+        legacy = get_preset("tiny", 2016)
+        legacy.prober.batching = False
+        run_rr_survey(batched, dests=list(batched.hitlist)[:N_DESTS])
+        run_rr_survey(legacy, dests=list(legacy.hitlist)[:N_DESTS])
+        assert batched.network.options_load  # the survey loaded ASes
+        assert batched.network.options_load == legacy.network.options_load
+
+
+# ---------------------------------------------------------------------------
+# Invalidation: route churn and flap windows drop / bypass plans.
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidation:
+    def test_invalidate_routes_drops_plans_and_programs(self):
+        world = get_preset("tiny", 2016)
+        net = world.network
+        run_rr_survey(world, dests=list(world.hitlist)[:10])
+        assert net._plans and net._programs
+        before = net._plan_invalidations.value
+        net.invalidate_routes()
+        assert not net._plans
+        assert not net._programs
+        assert net._plan_invalidations.value == before + 1
+
+    def test_flap_window_never_replays_placid_template(self):
+        """Plans compiled before an injector attaches must not leak
+        their placid templates into a flap window: a warm cache and a
+        cold cache see identical outcomes under the same flap plan."""
+        warm = get_preset("tiny", 7)
+        cold = get_preset("tiny", 7)
+        vp_name = warm.working_vps[0].name
+        plan = FaultPlan(
+            seed=3,
+            specs=(LinkFlap(count=3, start=0.0, duration=1.0),),
+        )
+
+        # Warm world only: compile plans under placid skies.
+        warm.prober.probe_batch_rows(
+            warm.vp_by_name(vp_name), list(warm.hitlist)[:N_DESTS]
+        )
+        assert warm.network._plans
+
+        seen = {}
+        for name, world in (("warm", warm), ("cold", cold)):
+            net = world.network
+            injector = FaultInjector(net, plan, horizon=10.0)
+            net.attach_injector(injector)
+            net.begin_vp_session(vp_name)
+            try:
+                rows = world.prober.probe_batch_rows(
+                    world.vp_by_name(vp_name),
+                    list(world.hitlist)[:N_DESTS],
+                )
+            finally:
+                net.end_vp_session()
+                net.detach_injector()
+            # The flap plan actually bit: templates were keyed by a
+            # non-empty flapset, so the placid fast-path memo cannot
+            # have answered.
+            assert injector.active_flap_edges(0.05)
+            seen[name] = [
+                (
+                    dest.addr,
+                    outcome.replied,
+                    outcome.responded,
+                    outcome.rr,
+                    outcome.dest_slot,
+                    outcome.ttl_exceeded,
+                    outcome.quoted,
+                )
+                for dest, outcome in rows
+            ]
+        assert seen["warm"] == seen["cold"]
+
+
+# ---------------------------------------------------------------------------
+# Cache bounds + observability toggles.
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheBounds:
+    def test_lru_eviction_under_small_cap_keeps_parity(self, tmp_path):
+        squeezed = get_preset("tiny", 2016)
+        squeezed.network.plan_cache_cap = 4
+        legacy = get_preset("tiny", 2016)
+        legacy.prober.batching = False
+        a = run_rr_survey(
+            squeezed, dests=list(squeezed.hitlist)[:N_DESTS]
+        )
+        b = run_rr_survey(legacy, dests=list(legacy.hitlist)[:N_DESTS])
+        assert len(squeezed.network._plans) <= 4
+        assert squeezed.network._plan_evictions.value > 0
+        assert _survey_bytes(a, tmp_path, "squeezed.json") == \
+            _survey_bytes(b, tmp_path, "legacy.json")
+
+
+class TestSpanParity:
+    def test_span_sampling_does_not_change_bytes(self, tmp_path):
+        plain = get_preset("tiny", 2016)
+        traced = get_preset("tiny", 2016)
+        traced.prober.span_sample = 3
+        baseline = run_rr_survey(
+            plain, dests=list(plain.hitlist)[:N_DESTS]
+        )
+        TRACER.configure(True)
+        try:
+            sampled = run_rr_survey(
+                traced, dests=list(traced.hitlist)[:N_DESTS]
+            )
+        finally:
+            TRACER.configure(False)
+        assert _survey_bytes(sampled, tmp_path, "spans.json") == \
+            _survey_bytes(baseline, tmp_path, "plain.json")
+
+
+class TestStatsCli:
+    def test_stats_dataplane_section(self, capsys):
+        code = cli_main(["stats", "--preset", "tiny", "--dataplane"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched dataplane (stamp plans)" in out
+        assert "plan_replays_total" in out
+        assert "plan_compiles_total" in out
+        assert "forward-path cache" in out

@@ -68,7 +68,12 @@ class TestAssembly:
 class TestPresets:
     def test_registry_complete(self):
         assert set(PRESETS) == {
-            "tiny", "small", "small-2011", "study-2016", "study-2011"
+            "tiny",
+            "small",
+            "mid",
+            "small-2011",
+            "study-2016",
+            "study-2011",
         }
 
     def test_get_preset_unknown(self):
