@@ -1,0 +1,230 @@
+"""Multi-tenant service benchmark: what does tenancy cost?
+
+The service slices one VP fleet across many tenants with fair-share
+scheduling, per-tenant credit accounting, circuit breakers, stream
+checksumming, and per-unit checkpoints. The question this benchmark
+answers: how much aggregate measurement throughput does all of that
+bookkeeping cost, compared to the same probe workload owned by a
+single tenant?
+
+Two legs run the *identical* unit workload (8 specs x the same VP
+slice x the same targets) through the daemon at ``--jobs`` workers:
+
+* **service_single** — one tenant owns all 8 specs (the "dedicated
+  instance" shape);
+* **service_multi** — 8 tenants own 1 spec each (the Atlas shape:
+  admission, per-tenant accrual/breakers/status rows all live).
+
+Gates (exit 1 on failure):
+
+* aggregate multi-tenant probes/sec must be **>= 70%** of the
+  single-tenant throughput (the tenancy-tax bar from the issue);
+* unit record *bodies* must be byte-identical between the two legs
+  spec-for-spec — tenancy must never perturb measurement bytes.
+
+Timings are trajectory capture, written to ``BENCH_service.json``.
+
+Run it directly (no pytest harness)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py              # mid-size
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --preset tiny --quick --jobs 4                             # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.scenarios.presets import get_preset
+from repro.service.credits import TenantQuota
+from repro.service.daemon import MeasurementDaemon, ServiceConfig
+from repro.service.streams import load_stream
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+SPEC_COUNT = 8
+THROUGHPUT_FLOOR = 0.70
+
+
+def _spec_records(tenants: List[str], targets: int, vp_limit: int) -> list:
+    """The common workload: 8 specs spread across ``tenants``
+    round-robin. Spec parameters depend only on the spec index, so
+    leg-to-leg the i-th spec measures exactly the same thing."""
+    records = []
+    for index in range(SPEC_COUNT):
+        records.append(
+            {
+                "tenant": tenants[index % len(tenants)],
+                "name": f"bench-{index}",
+                "kind": "rr",
+                "target_count": targets,
+                "target_offset": index,  # distinct but overlapping slices
+                "vp_policy": "working",
+                "vp_limit": vp_limit,
+            }
+        )
+    return records
+
+
+def _run_leg(
+    preset: str,
+    seed: int,
+    jobs: int,
+    tenants: List[str],
+    targets: int,
+    vp_limit: int,
+) -> Tuple[float, int, Dict[str, bytes]]:
+    """(wall_seconds, probes_flushed, {spec_name: body_bytes})."""
+    scenario = get_preset(preset, seed=seed)
+    quota = TenantQuota(
+        initial_credits=1_000_000.0,
+        accrual_per_round=0.0,
+        balance_cap=1_000_000.0,
+        max_probes_per_spec=1_000_000,
+        max_active_specs=SPEC_COUNT,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        daemon = MeasurementDaemon(
+            scenario,
+            ServiceConfig(stream_dir=Path(tmp), jobs=jobs, quota=quota),
+            registry=MetricsRegistry(),
+        )
+        for record in _spec_records(tenants, targets, vp_limit):
+            response = daemon.submit(record)
+            if not response.get("ok"):
+                raise RuntimeError(f"bench spec rejected: {response}")
+        start = time.perf_counter()
+        manifest = daemon.run()
+        wall = time.perf_counter() - start
+        probes = sum(
+            row["probes"] for row in manifest["specs"].values()
+        )
+        bodies: Dict[str, bytes] = {}
+        for label, row in manifest["specs"].items():
+            if row["status"] != "done":
+                raise RuntimeError(f"bench spec not done: {label}")
+            records, _trailer = load_stream(row["stream"])
+            # Body records only: the trailer names the tenant, which
+            # legitimately differs between the legs.
+            bodies[row["name"]] = json.dumps(
+                records, sort_keys=True
+            ).encode("utf-8")
+    return wall, probes, bodies
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Multi-tenant service throughput benchmark."
+    )
+    parser.add_argument("--preset", default="small")
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: small target slices",
+    )
+    parser.add_argument(
+        "--output", type=Path,
+        default=OUTPUT_DIR / "BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+
+    targets = 12 if args.quick else 60
+    vp_limit = 3 if args.quick else 6
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    print(
+        f"bench_service: preset={args.preset} seed={args.seed} "
+        f"specs={SPEC_COUNT} targets/spec={targets} "
+        f"vps/spec={vp_limit} jobs={args.jobs} cpus={os.cpu_count()}",
+        flush=True,
+    )
+
+    single_tenants = ["solo"]
+    multi_tenants = [f"tenant{i}" for i in range(SPEC_COUNT)]
+
+    # Best-of-two per leg: daemon pool spin-up jitter on small inputs
+    # can exceed the tenancy tax being measured.
+    def leg(tenants: List[str]):
+        wall_a, probes, bodies = _run_leg(
+            args.preset, args.seed, args.jobs, tenants, targets,
+            vp_limit,
+        )
+        wall_b, _probes, _bodies = _run_leg(
+            args.preset, args.seed, args.jobs, tenants, targets,
+            vp_limit,
+        )
+        return min(wall_a, wall_b), probes, bodies
+
+    single_wall, single_probes, single_bodies = leg(single_tenants)
+    single_rate = single_probes / single_wall if single_wall else 0.0
+    print(
+        f"  single-tenant (8 specs) : {single_wall:.3f}s "
+        f"{single_probes} probes -> {single_rate:,.0f} probes/s",
+        flush=True,
+    )
+
+    multi_wall, multi_probes, multi_bodies = leg(multi_tenants)
+    multi_rate = multi_probes / multi_wall if multi_wall else 0.0
+    print(
+        f"  8 concurrent tenants    : {multi_wall:.3f}s "
+        f"{multi_probes} probes -> {multi_rate:,.0f} probes/s",
+        flush=True,
+    )
+
+    ratio = multi_rate / single_rate if single_rate else 0.0
+    throughput_ok = ratio >= THROUGHPUT_FLOOR
+    parity_ok = single_bodies == multi_bodies
+    print(
+        f"  tenancy throughput ratio: {ratio:.1%} "
+        f"(floor {THROUGHPUT_FLOOR:.0%}) "
+        f"{'ok' if throughput_ok else 'BELOW FLOOR'}",
+        flush=True,
+    )
+    print(
+        f"  spec-for-spec body parity: "
+        f"{'byte-identical' if parity_ok else 'MISMATCH'}",
+        flush=True,
+    )
+
+    record = {
+        "benchmark": "service",
+        "preset": args.preset,
+        "seed": args.seed,
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "specs": SPEC_COUNT,
+        "targets_per_spec": targets,
+        "vps_per_spec": vp_limit,
+        "probes_per_leg": multi_probes,
+        "timings_seconds": {
+            "service_single_tenant": single_wall,
+            "service_multi_tenant": multi_wall,
+        },
+        "probes_per_second": {
+            "service_single_tenant": single_rate,
+            "service_multi_tenant": multi_rate,
+        },
+        "tenancy_throughput_ratio": ratio,
+        "tenancy_throughput_floor": THROUGHPUT_FLOOR,
+        "parity": {
+            "multi_vs_single_bodies": parity_ok,
+        },
+    }
+    args.output.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", "utf-8"
+    )
+    print(f"  wrote {args.output}", flush=True)
+    return 0 if (throughput_ok and parity_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,17 @@ Commands:
   ``--chrome-out`` writes Chrome trace-event JSON for
   chrome://tracing / Perfetto, ``--jsonl-out`` raw span JSONL;
 * ``export`` — write the scenario's synthetic datasets (RouteViews-
-  style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory.
+  style RIB, CAIDA-style as2type, ISI-style hitlist) to a directory;
+* ``serve`` — run the Atlas-style multi-tenant measurement daemon:
+  admit measurement specs (files, ``--demo`` pack, or a live control
+  socket) against per-tenant credit quotas, schedule them fairly onto
+  the shared VP fleet, and stream per-tenant checksummed JSONL
+  results with spec-granular checkpoint/resume. Exit codes mirror
+  ``chaos``: 0 = all specs terminal, 3 = deliberately killed
+  (``--kill-after-units``, resumable with ``--resume``);
+* ``submit`` — send one or more specs to a running daemon's control
+  socket and print the machine-readable admission responses;
+* ``status-spec`` — query a running daemon for live per-spec status.
 """
 
 from __future__ import annotations
@@ -444,6 +454,124 @@ def build_parser() -> argparse.ArgumentParser:
              "checksums, checkpoint repairs); with --faults, the "
              "campaign runs supervised so the counters are live",
     )
+    stats.add_argument(
+        "--service", action="store_true",
+        help="run the demo multi-tenant service pack instead of a "
+             "study and append the service section (specs accepted / "
+             "rejected by reason, credits accrued / spent, per-tenant "
+             "probes, scheduler rounds)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant measurement service daemon",
+    )
+    serve.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    serve.add_argument("--seed", type=int, default=2016)
+    serve.add_argument("--jobs", type=int, default=1)
+    serve.add_argument(
+        "--no-batch", action="store_true",
+        help="force the legacy per-hop walk (byte-identical results)",
+    )
+    serve.add_argument(
+        "--spec", action="append", default=[], type=Path,
+        metavar="FILE",
+        help="submit the spec(s) in this JSON / JSONL file at startup "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--demo", action="store_true",
+        help="submit the built-in demo tenant pack (three tenants, "
+             "one deterministically over-quota)",
+    )
+    serve.add_argument(
+        "--stream-dir", type=Path, default=Path("service-streams"),
+        metavar="DIR",
+        help="per-tenant result streams land under DIR/<tenant>/",
+    )
+    serve.add_argument(
+        "--control", type=Path, default=None, metavar="SOCK",
+        help="listen on this unix control socket (repro submit / "
+             "status-spec); without it the daemon exits once all "
+             "submitted specs are terminal",
+    )
+    serve.add_argument("--checkpoint", type=Path, default=None)
+    serve.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint instead of starting fresh",
+    )
+    serve.add_argument(
+        "--status", type=Path, default=None, metavar="PATH",
+        help="publish a live service status snapshot here; watch it "
+             "with `repro top --status PATH`",
+    )
+    serve.add_argument(
+        "--kill-after-units", type=int, default=None,
+        help="simulate a crash after N newly-flushed units "
+             f"(exit code {EXIT_INTERRUPTED})",
+    )
+    serve.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="stop after this many scheduler rounds (debugging)",
+    )
+    serve.add_argument(
+        "--initial-credits", type=float, default=500.0,
+        help="per-tenant starting credit balance",
+    )
+    serve.add_argument(
+        "--accrual", type=float, default=50.0,
+        help="credits granted per tenant per scheduler round",
+    )
+    serve.add_argument(
+        "--balance-cap", type=float, default=1000.0,
+        help="per-tenant credit balance ceiling",
+    )
+    serve.add_argument(
+        "--cost-per-probe", type=float, default=1.0,
+        help="credits charged per probe",
+    )
+    serve.add_argument(
+        "--max-probes-per-spec", type=int, default=10_000,
+        help="admission ceiling on one spec's total probe budget",
+    )
+    serve.add_argument(
+        "--max-active-specs", type=int, default=4,
+        help="admission ceiling on one tenant's concurrent specs",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit spec(s) to a running daemon's control socket",
+    )
+    submit.add_argument(
+        "--control", type=Path, required=True, metavar="SOCK"
+    )
+    submit.add_argument(
+        "--spec", action="append", default=[], type=Path,
+        metavar="FILE",
+        help="JSON / JSONL spec file (repeatable)",
+    )
+    submit.add_argument(
+        "--json", dest="spec_json", action="append", default=[],
+        metavar="OBJ",
+        help="inline JSON spec object (repeatable)",
+    )
+
+    status_spec = sub.add_parser(
+        "status-spec",
+        help="query a running daemon for live per-spec status",
+    )
+    status_spec.add_argument(
+        "--control", type=Path, required=True, metavar="SOCK"
+    )
+    status_spec.add_argument(
+        "--tenant", default=None, help="filter by tenant"
+    )
+    status_spec.add_argument(
+        "--name", default=None, help="filter by spec name"
+    )
 
     export = sub.add_parser(
         "export", help="write synthetic datasets to a directory"
@@ -806,6 +934,78 @@ def _render_dataplane_section(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_service_section(snapshot: dict) -> str:
+    """The ``--service`` section: the multi-tenant service counters."""
+    accepted = _sum_series(
+        snapshot, "service_specs_accepted_total", by="tenant"
+    )
+    rejected = _sum_series(
+        snapshot, "service_specs_rejected_total", by="reason"
+    )
+    accrued = _sum_series(
+        snapshot, "service_credits_accrued_total", by="tenant"
+    )
+    spent = _sum_series(
+        snapshot, "service_credits_spent_total", by="tenant"
+    )
+    probes = _sum_series(
+        snapshot, "service_tenant_probes_total", by="tenant"
+    )
+    units = _sum_series(snapshot, "service_units_total", by="outcome")
+    paused = _sum_series(
+        snapshot, "service_specs_paused_total", by="tenant"
+    )
+    rounds = _sum_series(
+        snapshot, "service_scheduler_rounds_total"
+    ).get("", 0)
+    lines = ["multi-tenant service"]
+    lines.append(f"  {'scheduler_rounds':<22} {rounds:>10}")
+    for outcome in sorted(units):
+        lines.append(
+            f"  {'units[' + outcome + ']':<22} {units[outcome]:>10}"
+        )
+    for reason in sorted(rejected):
+        lines.append(
+            f"  {'rejected[' + reason + ']':<30} {rejected[reason]:>2}"
+        )
+    lines.append("per-tenant accounting")
+    for tenant in sorted(set(accepted) | set(probes) | set(spent)):
+        lines.append(
+            f"  {tenant:<10} specs={accepted.get(tenant, 0):<4} "
+            f"paused={paused.get(tenant, 0):<4} "
+            f"probes={probes.get(tenant, 0):<8} "
+            f"spent={spent.get(tenant, 0.0):<10.6g} "
+            f"accrued={accrued.get(tenant, 0.0):.6g}"
+        )
+    return "\n".join(lines)
+
+
+def _run_service_demo(args: argparse.Namespace) -> None:
+    """Run the demo tenant pack so the ``service_*`` counters are
+    live; streams and checkpoint go to a throwaway directory."""
+    import tempfile
+
+    from repro.scenarios.service import demo_quota, demo_spec_records
+    from repro.service.daemon import MeasurementDaemon, ServiceConfig
+
+    scenario = get_preset(args.preset, seed=args.seed)
+    scenario.prober.batching = not getattr(args, "no_batch", False)
+    quota, overrides = demo_quota()
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        daemon = MeasurementDaemon(
+            scenario,
+            ServiceConfig(
+                stream_dir=Path(tmp),
+                jobs=getattr(args, "jobs", 1),
+                quota=quota,
+                quota_overrides=overrides,
+            ),
+        )
+        for record in demo_spec_records():
+            daemon.submit(record)
+        daemon.run()
+
+
 def _render_stats_table(snapshot: dict) -> str:
     lines = [banner("metrics registry")]
 
@@ -926,7 +1126,13 @@ def _render_stats_table(snapshot: dict) -> str:
 def _cmd_stats(args: argparse.Namespace) -> int:
     faults = getattr(args, "faults", "none")
     health = getattr(args, "health", False)
-    if faults != "none":
+    service = getattr(args, "service", False)
+    if service:
+        # The service demo is the workload: it exercises admission,
+        # scheduling, credits, and streams, so the service_* family
+        # is live without paying for a full study.
+        _run_service_demo(args)
+    elif faults != "none":
         supervision = None
         if health:
             # --health implies the campaign should exercise the
@@ -963,6 +1169,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             rendered += "\n" + _render_dataplane_section(snapshot)
         if health:
             rendered += "\n" + _render_health_section(snapshot)
+        if service:
+            rendered += "\n" + _render_service_section(snapshot)
     print(rendered)
     if args.output is not None:
         args.output.write_text(rendered.rstrip("\n") + "\n", "utf-8")
@@ -1037,6 +1245,146 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_records(path: Path) -> list:
+    """Parse one spec file: a JSON object, a JSON array, or JSONL."""
+    text = path.read_text("utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+        return records
+    if isinstance(data, list):
+        return data
+    return [data]
+
+
+def _quota_from_args(args: argparse.Namespace):
+    from repro.service.credits import TenantQuota
+
+    return TenantQuota(
+        initial_credits=args.initial_credits,
+        accrual_per_round=args.accrual,
+        balance_cap=args.balance_cap,
+        cost_per_probe=args.cost_per_probe,
+        max_probes_per_spec=args.max_probes_per_spec,
+        max_active_specs=args.max_active_specs,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import (
+        MeasurementDaemon,
+        ServiceConfig,
+        ServiceInterrupted,
+    )
+
+    scenario = get_preset(args.preset, seed=args.seed)
+    scenario.prober.batching = not getattr(args, "no_batch", False)
+    quota = _quota_from_args(args)
+    overrides: dict = {}
+    records = []
+    if args.demo:
+        from repro.scenarios.service import demo_quota, demo_spec_records
+
+        quota, overrides = demo_quota()
+        records.extend(demo_spec_records())
+    for spec_path in args.spec:
+        try:
+            records.extend(_load_spec_records(spec_path))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"serve: cannot load {spec_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    config = ServiceConfig(
+        stream_dir=args.stream_dir,
+        jobs=args.jobs,
+        quota=quota,
+        quota_overrides=overrides,
+        checkpoint_path=args.checkpoint,
+        status_path=args.status,
+        control_path=args.control,
+        max_rounds=args.max_rounds,
+        kill_after_units=args.kill_after_units,
+    )
+    daemon = MeasurementDaemon(scenario, config)
+    if args.resume and args.checkpoint is None:
+        print("serve: --resume needs --checkpoint", file=sys.stderr)
+        return 2
+    try:
+        if args.resume:
+            # Restore *before* submitting, so spec files re-passed on
+            # the resume command line dedup against checkpointed state
+            # instead of being re-admitted from scratch.
+            daemon.restore()
+        for record in records:
+            response = daemon.submit(record)
+            print(json.dumps(response, sort_keys=True), file=sys.stderr)
+        manifest = daemon.run()
+    except ServiceInterrupted as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.control import ControlError, control_request
+
+    records = []
+    for spec_path in args.spec:
+        try:
+            records.extend(_load_spec_records(spec_path))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"submit: cannot load {spec_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    for blob in args.spec_json:
+        try:
+            records.append(json.loads(blob))
+        except json.JSONDecodeError as exc:
+            print(f"submit: bad --json: {exc}", file=sys.stderr)
+            return 2
+    if not records:
+        print("submit: nothing to submit (use --spec / --json)",
+              file=sys.stderr)
+        return 2
+    rejected = 0
+    for record in records:
+        try:
+            response = control_request(
+                args.control, {"op": "submit", "spec": record}
+            )
+        except ControlError as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(response, sort_keys=True))
+        if not response.get("ok"):
+            rejected += 1
+    return 1 if rejected else 0
+
+
+def _cmd_status_spec(args: argparse.Namespace) -> int:
+    from repro.service.control import ControlError, control_request
+
+    try:
+        response = control_request(
+            args.control,
+            {"op": "status", "tenant": args.tenant, "spec": args.name},
+        )
+    except ControlError as exc:
+        print(f"status-spec: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     scenario = get_preset(args.preset, seed=args.seed)
     args.dir.mkdir(parents=True, exist_ok=True)
@@ -1064,6 +1412,9 @@ _COMMANDS = {
     "probe": _cmd_probe,
     "stats": _cmd_stats,
     "export": _cmd_export,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status-spec": _cmd_status_spec,
 }
 
 

@@ -54,6 +54,7 @@ __all__ = [
     "SurveyWorkerError",
     "default_jobs",
     "parent_scenario",
+    "run_pooled_tasks",
 ]
 
 
@@ -157,6 +158,52 @@ def _compact_snapshot(snapshot: Dict[str, dict]) -> Dict[str, dict]:
         if series:
             out[name] = dict(family, series=series)
     return out
+
+
+def run_pooled_tasks(
+    scenario: Scenario,
+    payload: dict,
+    task,
+    tasks: Sequence,
+    jobs: int,
+    mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    unpack=None,
+) -> List[tuple]:
+    """Map ``task`` over ``tasks`` in a worker pool, folding telemetry.
+
+    The one pooled-execution shape every fan-out in the repo shares:
+    expose the scenario for fork inheritance, initialise workers from
+    ``payload``, dispatch with ``imap_unordered`` (completion order is
+    irrelevant because results are re-sorted by their first element —
+    the task key — before any merging), then fold each result's
+    telemetry back into the parent in key order so registry totals and
+    span buffers are independent of completion order.
+
+    ``unpack(item) -> (snapshot, options_load_delta, spans)`` tells the
+    fold where a task result keeps its telemetry; pass ``None`` to skip
+    folding entirely (caller does its own).
+    """
+    ctx = multiprocessing.get_context() if mp_context is None else mp_context
+    tasks = list(tasks)
+    results: List[tuple] = []
+    with parent_scenario(scenario):
+        with ctx.Pool(
+            processes=max(1, min(jobs, len(tasks))),
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            for item in pool.imap_unordered(task, tasks, chunksize=1):
+                results.append(item)
+    results.sort(key=lambda item: item[0])
+    if unpack is not None:
+        options_load = scenario.network.options_load
+        for item in results:
+            snapshot, load_delta, spans = unpack(item)
+            REGISTRY.merge(snapshot)
+            TRACER.merge(spans)
+            for asn, count in load_delta.items():
+                options_load[asn] = options_load.get(asn, 0) + count
+    return results
 
 
 def _rr_task(vp_index: int) -> tuple:
@@ -269,21 +316,15 @@ class ParallelSurveyRunner:
         Results are re-ordered by task index before metric merging so
         parent-side totals are independent of completion order.
         """
-        with parent_scenario(self.scenario):
-            with self._ctx.Pool(
-                processes=max(1, min(workers, task_count)),
-                initializer=_init_worker,
-                initargs=(payload,),
-            ) as pool:
-                results = pool.map(task, range(task_count), chunksize=1)
-        results.sort(key=lambda item: item[0])
-        options_load = self.scenario.network.options_load
-        for _index, _rows, snapshot, load_delta, spans in results:
-            REGISTRY.merge(snapshot)
-            TRACER.merge(spans)
-            for asn, count in load_delta.items():
-                options_load[asn] = options_load.get(asn, 0) + count
-        return results
+        return run_pooled_tasks(
+            self.scenario,
+            payload,
+            task,
+            range(task_count),
+            workers,
+            mp_context=self._ctx,
+            unpack=lambda item: (item[2], item[3], item[4]),
+        )
 
     # -- campaigns ---------------------------------------------------------
 

@@ -40,11 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.parallel import (
-    _compact_snapshot,
-    _init_worker,
-    parent_scenario,
-)
+from repro.core.parallel import _compact_snapshot, run_pooled_tasks
 from repro.core.survey import (
     RRSurvey,
     SurveyFormatError,
@@ -944,8 +940,6 @@ class CampaignRunner:
         vp_list: List[VantagePoint],
         horizon: float,
     ) -> Dict[int, Tuple[Optional[VPRows], str, Optional[str]]]:
-        import multiprocessing
-
         payload = {
             "params": self.scenario.params,
             "targets": targets,
@@ -959,30 +953,21 @@ class CampaignRunner:
             "spans": TRACER.enabled,
             "batch": self.scenario.prober.batching,
         }
-        ctx = multiprocessing.get_context()
+        # Telemetry is merged in VP order inside run_pooled_tasks, so
+        # parent totals are independent of completion order (same rule
+        # as ParallelSurveyRunner).
+        results = run_pooled_tasks(
+            self.scenario,
+            payload,
+            _campaign_rr_task,
+            tasks,
+            self.jobs,
+            unpack=lambda item: (item[2], item[3], item[5]),
+        )
         outcomes: Dict[
             int, Tuple[Optional[VPRows], str, Optional[str]]
         ] = {}
-        results = []
-        with parent_scenario(self.scenario):
-            with ctx.Pool(
-                processes=max(1, min(self.jobs, len(tasks))),
-                initializer=_init_worker,
-                initargs=(payload,),
-            ) as pool:
-                for item in pool.imap_unordered(
-                    _campaign_rr_task, tasks, chunksize=1
-                ):
-                    results.append(item)
-        # Merge telemetry in VP order so parent totals are independent
-        # of completion order (same rule as ParallelSurveyRunner).
-        results.sort(key=lambda item: item[0])
-        options_load = self.scenario.network.options_load
-        for vp_index, rows, snapshot, load_delta, error, spans in results:
-            REGISTRY.merge(snapshot)
-            TRACER.merge(spans)
-            for asn, count in load_delta.items():
-                options_load[asn] = options_load.get(asn, 0) + count
+        for vp_index, rows, _snapshot, _load, error, _spans in results:
             outcomes[vp_index] = (
                 rows,
                 "ok" if error is None else "failed",

@@ -575,7 +575,12 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
     state = _parallel._WORKER
     assert state is not None
     scenario = state["scenario"]
-    plan: FaultPlan = state["plan"]
+    # The campaign payload carries a fault plan and a VP table; generic
+    # payloads (the multi-tenant service) instead carry ``task_body``,
+    # a module-level callable ``(state, task, heartbeat) -> rows`` that
+    # interprets its own task tuples ``(key, label, ...)``.
+    plan: Optional[FaultPlan] = state.get("plan")
+    body = state.get("task_body")
     recorder = FlightRecorder()
     flushed_seq = 0
 
@@ -601,18 +606,26 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
         if message is None:  # orderly shutdown
             conn.close()
             return
-        vp_index, attempt = message
+        if body is None:
+            vp_index, attempt = message
+            vp = state["vps"][vp_index]
+            label = vp.name
+            targets_total: Optional[int] = len(state["targets"])
+        else:
+            vp_index = message[0]
+            attempt = 1
+            label = str(message[1])
+            targets_total = None
         beat()
         REGISTRY.reset()
         TRACER.reset()
         scenario.network.options_load.clear()
-        vp = state["vps"][vp_index]
         recorder.record(
             "task_start",
-            vp=vp.name,
+            vp=label,
             vp_index=vp_index,
             attempt=attempt,
-            targets=len(state["targets"]),
+            targets=targets_total,
         )
         flush_journal(vp_index, attempt)
         destinations = 0
@@ -623,35 +636,38 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
             destinations += 1
             if destinations == 1:
                 recorder.record(
-                    "first_destination", vp=vp.name, attempt=attempt
+                    "first_destination", vp=label, attempt=attempt
                 )
                 flush_journal(vp_index, attempt)
             elif destinations % JOURNAL_PROGRESS_EVERY == 0:
                 recorder.record(
                     "progress",
-                    vp=vp.name,
+                    vp=label,
                     attempt=attempt,
                     destinations=destinations,
                 )
                 flush_journal(vp_index, attempt)
 
         error: Optional[str] = None
-        rows: Optional[VPRows] = None
+        rows = None
         try:
-            rows = run_vp_attempt(
-                scenario,
-                vp,
-                attempt,
-                plan,
-                state["targets"],
-                state["position"],
-                state["order"],
-                state["slots"],
-                state["pps"],
-                state["horizon"],
-                heartbeat=task_beat,
-                allow_hang=True,
-            )
+            if body is None:
+                rows = run_vp_attempt(
+                    scenario,
+                    vp,
+                    attempt,
+                    plan,
+                    state["targets"],
+                    state["position"],
+                    state["order"],
+                    state["slots"],
+                    state["pps"],
+                    state["horizon"],
+                    heartbeat=task_beat,
+                    allow_hang=True,
+                )
+            else:
+                rows = body(state, message, task_beat)
         except InjectedCrash:
             # A crashing worker does not get to report its own death:
             # the pipe EOF *is* the report, exactly as for a real
@@ -665,7 +681,7 @@ def _supervised_worker_main(payload, conn, heartbeat_value) -> None:
 
         recorder.record(
             "task_end",
-            vp=vp.name,
+            vp=label,
             attempt=attempt,
             status="failed" if error else "ok",
             error=error,
@@ -750,9 +766,19 @@ class WorkerWatchdog:
         #: kills a worker. Survives :meth:`close` — quarantine
         #: manifests read it after the pool is gone.
         self.journals: Dict[int, deque] = {}
+        #: Task-key → display label. Campaign payloads label tasks by
+        #: VP name; generic payloads (``task_body``) put the label in
+        #: ``task[1]``. Populated as tasks are submitted.
+        self._labels: Dict[object, str] = {}
         #: Optional per-poll observer ``callback(watchdog)`` — the
         #: campaign's live status publisher hooks in here.
         self.on_poll: Optional[Callable[["WorkerWatchdog"], None]] = None
+
+    def _task_label(self, task: tuple) -> str:
+        vps = self.payload.get("vps")
+        if self.payload.get("task_body") is None and vps is not None:
+            return vps[task[0]].name
+        return str(task[1]) if len(task) > 1 else str(task[0])
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -834,21 +860,23 @@ class WorkerWatchdog:
         return [dict(event) for event in events]
 
     def journals_by_name(self) -> Dict[str, List[dict]]:
-        """``{vp_name: events}`` for every VP with journal history."""
-        vps = self.payload["vps"]
+        """``{task_label: events}`` for every task with journal history
+        (VP names for campaign payloads)."""
         return {
-            vps[vp_index].name: [dict(event) for event in store]
-            for vp_index, store in sorted(self.journals.items())
+            self._labels.get(key, str(key)): [
+                dict(event) for event in store
+            ]
+            for key, store in sorted(self.journals.items())
             if store
         }
 
     def heartbeat_ages(self) -> Dict[str, float]:
-        """``{vp_name: seconds}`` since each busy worker's last beat."""
+        """``{task_label: seconds}`` since each busy worker's last beat."""
         now = time.monotonic()
         return {
-            self.payload["vps"][handle.task[0]].name: max(
-                now - handle.heartbeat.value, 0.0
-            )
+            self._labels.get(
+                handle.task[0], str(handle.task[0])
+            ): max(now - handle.heartbeat.value, 0.0)
             for handle in self._workers
             if handle.task is not None
         }
@@ -864,6 +892,8 @@ class WorkerWatchdog:
         ] = {}
         if not tasks:
             return outcomes
+        for task in tasks:
+            self._labels[task[0]] = self._task_label(task)
         want = max(1, min(self.jobs, len(tasks)))
         while len(self._workers) < want:
             self._workers.append(self._spawn_worker())

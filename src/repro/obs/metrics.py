@@ -212,6 +212,30 @@ class CounterFamily(_Family):
     def inc(self, amount: int = 1) -> None:
         self._default().inc(amount)
 
+    def totals(self, by: Optional[str] = None) -> Dict[str, float]:
+        """Live child sums, optionally grouped by one label name.
+
+        ``totals()`` returns ``{"": grand_total}``; ``totals(by="x")``
+        returns ``{x_value: sum}`` over children sharing that label
+        value. Reads bound children directly (no snapshot), which is
+        what status publishers sampling per-tenant counters every
+        round need.
+        """
+        if by is None:
+            index = None
+        else:
+            try:
+                index = self.labelnames.index(by)
+            except ValueError:
+                raise ValueError(
+                    f"{self.name}: no label {by!r} in {self.labelnames}"
+                ) from None
+        out: Dict[str, float] = {}
+        for values, child in self.children():
+            key = "" if index is None else values[index]
+            out[key] = out.get(key, 0.0) + child.value
+        return out
+
 
 class GaugeFamily(_Family):
     kind = "gauge"

@@ -70,6 +70,9 @@ class CampaignStatusWriter:
         self._last_write: Optional[float] = None
         self._last_probes: Optional[tuple] = None  # (monotonic, count)
         self._probes_per_sec: Optional[float] = None
+        # Per-tenant probes/sec samples: tenant -> (monotonic, count).
+        self._tenant_probes: Dict[str, tuple] = {}
+        self._tenant_rates: Dict[str, float] = {}
 
     def update(
         self, state: str, force: bool = False, **fields: object
@@ -79,7 +82,10 @@ class CampaignStatusWriter:
         ``state`` is ``running`` / ``done`` / ``interrupted``;
         ``fields`` are merged into the snapshot verbatim (they must be
         JSON-serialisable). A ``probes_sent`` field additionally feeds
-        the probes/sec estimate.
+        the probes/sec estimate, and a ``tenants`` field — a dict of
+        per-tenant row dicts, as published by the multi-tenant service
+        daemon — gets per-tenant probes/sec annotated the same way
+        (from each row's ``probes`` sample).
         """
         now = time.monotonic()
         probes = fields.get("probes_sent")
@@ -90,6 +96,26 @@ class CampaignStatusWriter:
                 if dt > 0 and delta >= 0:
                     self._probes_per_sec = delta / dt
             self._last_probes = (now, probes)
+        tenants = fields.get("tenants")
+        if isinstance(tenants, dict):
+            annotated = {}
+            for tenant, row in tenants.items():
+                row = dict(row) if isinstance(row, dict) else {"row": row}
+                count = row.get("probes")
+                if isinstance(count, (int, float)):
+                    last = self._tenant_probes.get(tenant)
+                    if last is not None:
+                        dt = now - last[0]
+                        delta = count - last[1]
+                        if dt > 0 and delta >= 0:
+                            self._tenant_rates[tenant] = delta / dt
+                    self._tenant_probes[tenant] = (now, count)
+                rate = self._tenant_rates.get(tenant)
+                row["probes_per_sec"] = (
+                    None if rate is None else round(rate, 1)
+                )
+                annotated[tenant] = row
+            fields = dict(fields, tenants=annotated)
         if (
             not force
             and self._last_write is not None
@@ -119,13 +145,21 @@ class CampaignStatusWriter:
 def load_status(path: Union[str, Path]) -> dict:
     """Read a status snapshot; raises ``FileNotFoundError`` when the
     campaign has not published one yet and ``ValueError`` on a file
-    that is not a status snapshot (wrong tool pointed at wrong file)."""
+    that is not a status snapshot (wrong tool pointed at wrong file).
+
+    Tolerant of *legacy* snapshots: any JSON object carrying either a
+    ``state`` or a ``version`` field loads (older writers published
+    partial snapshots without every modern key); a JSON object with
+    neither is some other tool's file and is still rejected.
+    """
     text = Path(path).read_text("utf-8")
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ValueError(f"{path}: not valid JSON: {exc}") from None
-    if not isinstance(data, dict) or "state" not in data:
+    if not isinstance(data, dict) or (
+        "state" not in data and "version" not in data
+    ):
         raise ValueError(f"{path}: not a campaign status snapshot")
     return data
 
@@ -136,33 +170,87 @@ def _fmt_age(seconds: float) -> str:
     return f"{seconds / 60:.1f}m"
 
 
+def _num(value: object) -> Optional[float]:
+    """A float, or ``None`` for anything a legacy writer mistyped."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _render_tenants(tenants: dict) -> list:
+    """Per-tenant rows for the multi-tenant service status."""
+    lines = []
+    header = (
+        f"  {'tenant':<14} {'specs':>9} {'units':>11} "
+        f"{'probes':>9} {'rate':>9} {'credits':>9}  state"
+    )
+    lines.append(header)
+    for tenant in sorted(tenants):
+        row = tenants.get(tenant)
+        if not isinstance(row, dict):
+            row = {}
+        done = int(_num(row.get("specs_done")) or 0)
+        total = int(_num(row.get("specs_total")) or 0)
+        units_done = int(_num(row.get("units_done")) or 0)
+        units_total = int(_num(row.get("units_total")) or 0)
+        probes = int(_num(row.get("probes")) or 0)
+        rate = _num(row.get("probes_per_sec"))
+        balance = _num(row.get("credits"))
+        flags = []
+        if int(_num(row.get("specs_paused")) or 0):
+            flags.append("paused")
+        if int(_num(row.get("specs_rejected")) or 0):
+            flags.append("rejected")
+        breaker = row.get("breaker")
+        if isinstance(breaker, str) and breaker not in ("", "closed"):
+            flags.append(f"breaker:{breaker}")
+        lines.append(
+            f"  {str(tenant):<14} {done:>4}/{total:<4} "
+            f"{units_done:>5}/{units_total:<5} {probes:>9} "
+            f"{'-' if rate is None else f'{rate:g}/s':>9} "
+            f"{'-' if balance is None else f'{balance:g}':>9}  "
+            f"{' '.join(flags) or 'ok'}"
+        )
+    return lines
+
+
 def render_status(status: dict) -> str:
-    """The operator view of one status snapshot (``repro top``)."""
+    """The operator view of one status snapshot (``repro top``).
+
+    Never raises on a partial or legacy snapshot: absent keys are
+    simply not rendered, mistyped values degrade to placeholders — an
+    operator view must not crash because the writer predates a field.
+    """
     scenario = status.get("scenario", "?")
     seed = status.get("seed", "?")
     state = status.get("state", "?")
     tag = "  [supervised]" if status.get("supervised") else ""
-    lines = [f"campaign {scenario} (seed {seed}) — {state}{tag}"]
+    header = status.get("service") and "service" or "campaign"
+    lines = [f"{header} {scenario} (seed {seed}) — {state}{tag}"]
 
-    total = status.get("total_vps")
-    completed = status.get("completed_vps", 0)
+    total = _num(status.get("total_vps"))
+    completed = int(_num(status.get("completed_vps")) or 0)
     if total is not None:
-        pending = status.get("pending_vps", 0)
-        quarantined = status.get("quarantined_vps", [])
+        pending = int(_num(status.get("pending_vps")) or 0)
+        quarantined = status.get("quarantined_vps") or []
+        count = len(quarantined) if isinstance(quarantined, (list, dict)) else 0
         lines.append(
-            f"  progress     {completed}/{total} VPs complete  "
-            f"({pending} pending, {len(quarantined)} quarantined)"
+            f"  progress     {completed}/{int(total)} VPs complete  "
+            f"({pending} pending, {count} quarantined)"
         )
-    retry_round = status.get("retry_round")
+    rounds = _num(status.get("round"))
+    if rounds is not None:
+        lines.append(f"  round        {int(rounds)}")
+    retry_round = _num(status.get("retry_round"))
     if retry_round:
-        lines.append(f"  retry round  {retry_round}")
-    probes = status.get("probes_sent")
+        lines.append(f"  retry round  {int(retry_round)}")
+    probes = _num(status.get("probes_sent"))
     if probes is not None:
-        rate = status.get("probes_per_sec")
+        rate = _num(status.get("probes_per_sec"))
         rate_text = "" if rate is None else f"  ({rate:g}/s)"
         lines.append(f"  probes       {int(probes)} sent{rate_text}")
-    elapsed = status.get("elapsed_seconds")
-    updated = status.get("updated_unix")
+    elapsed = _num(status.get("elapsed_seconds"))
+    updated = _num(status.get("updated_unix"))
     if elapsed is not None:
         age = (
             ""
@@ -170,18 +258,24 @@ def render_status(status: dict) -> str:
             else f"   snapshot age {_fmt_age(max(time.time() - updated, 0.0))}"
         )
         lines.append(f"  elapsed      {_fmt_age(elapsed)}{age}")
-    breakers: Dict[str, str] = status.get("breaker_states") or {}
-    if breakers:
+    tenants = status.get("tenants")
+    if isinstance(tenants, dict) and tenants:
+        lines.extend(_render_tenants(tenants))
+    breakers = status.get("breaker_states")
+    if isinstance(breakers, dict) and breakers:
         rendered = "  ".join(
             f"{vp}: {state_}" for vp, state_ in sorted(breakers.items())
         )
         lines.append(f"  breakers     {rendered}")
-    heartbeats: Dict[str, float] = status.get("heartbeat_ages") or {}
-    if heartbeats:
+    heartbeats = status.get("heartbeat_ages")
+    if isinstance(heartbeats, dict) and heartbeats:
         rendered = "  ".join(
-            f"{vp}: {age:.2f}s" for vp, age in sorted(heartbeats.items())
+            f"{vp}: {age:.2f}s"
+            for vp, age in sorted(heartbeats.items())
+            if _num(age) is not None
         )
-        lines.append(f"  heartbeats   {rendered}")
+        if rendered:
+            lines.append(f"  heartbeats   {rendered}")
     quarantined = status.get("quarantined_vps") or []
     if quarantined:
         lines.append(f"  quarantined  {', '.join(sorted(quarantined))}")

@@ -38,6 +38,7 @@ from repro.obs.metrics import CounterFamily, MetricsRegistry, REGISTRY
 
 __all__ = [
     "CHECKSUM_KEY",
+    "append_text_line",
     "atomic_write_bytes",
     "atomic_write_text",
     "canonical_json_bytes",
@@ -107,6 +108,23 @@ def atomic_write_text(
 ) -> None:
     """Atomic text write (see :func:`atomic_write_bytes`)."""
     atomic_write_bytes(path, text.encode(encoding))
+
+
+def append_text_line(
+    path: Union[str, Path], line: str, encoding: str = "utf-8"
+) -> None:
+    """Durably append one line to a streaming artifact.
+
+    The record-at-a-time sibling of :func:`atomic_write_text`: flush +
+    fsync after each line, so a crash can truncate the file mid-line
+    at worst — never reorder or interleave records. Readers pair this
+    with a recovery pass that drops a torn final line (see
+    ``repro.service.streams``).
+    """
+    with open(path, "a", encoding=encoding, newline="") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
 
 
 # ---------------------------------------------------------------------------

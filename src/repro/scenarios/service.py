@@ -1,0 +1,79 @@
+"""Demo tenant pack for the multi-tenant measurement service.
+
+A small, deterministic set of submissions exercising the service's
+whole surface: two well-behaved tenants mixing RR and ping specs, and
+one tenant whose spec deterministically exceeds the per-spec probe
+budget and is rejected at admission with a machine-readable reason.
+``repro serve --demo``, ``repro stats --service``, the CI
+service-smoke job, and the service benchmark all build on this pack
+so they agree on what "the demo workload" means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.service.credits import TenantQuota
+
+__all__ = ["demo_quota", "demo_spec_records"]
+
+
+def demo_quota() -> Tuple[TenantQuota, Dict[str, TenantQuota]]:
+    """``(default_quota, per_tenant_overrides)`` for the demo pack.
+
+    Sized against the ``tiny`` preset so the flood spec is over budget
+    (60 targets x ~9 working VPs > 400 probes) while everything else
+    completes within a handful of accrual rounds.
+    """
+    default = TenantQuota(
+        initial_credits=300.0,
+        accrual_per_round=60.0,
+        balance_cap=600.0,
+        cost_per_probe=1.0,
+        max_probes_per_spec=400,
+        max_active_specs=2,
+    )
+    return default, {}
+
+
+def demo_spec_records() -> List[dict]:
+    """The demo submissions, in submission order."""
+    return [
+        {
+            "tenant": "alice",
+            "name": "rr-east",
+            "kind": "rr",
+            "target_count": 10,
+            "vp_policy": "mlab",
+            "vp_limit": 3,
+        },
+        {
+            "tenant": "alice",
+            "name": "ping-latency",
+            "kind": "ping",
+            "target_count": 8,
+            "target_offset": 2,
+            "vp_policy": "planetlab",
+            "vp_limit": 2,
+        },
+        {
+            "tenant": "bob",
+            "name": "rr-wide",
+            "kind": "rr",
+            "target_count": 12,
+            "vp_policy": "working",
+            "vp_limit": 4,
+            "priority": 0,
+            "units_per_round": 2,
+        },
+        # Deliberately over the per-spec probe budget: 60 targets
+        # across every working VP of the tiny preset costs > 400
+        # credits, so admission refuses it deterministically.
+        {
+            "tenant": "carol",
+            "name": "rr-flood",
+            "kind": "rr",
+            "target_count": 60,
+            "vp_policy": "working",
+        },
+    ]

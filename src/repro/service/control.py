@@ -1,0 +1,185 @@
+"""Line-oriented JSON control socket for a running daemon.
+
+One AF_UNIX listener, one JSON object per line in, one JSON object
+per line out. Operations:
+
+* ``{"op": "ping"}`` → ``{"ok": true, "op": "ping"}``
+* ``{"op": "submit", "spec": {...}}`` → the daemon's admission
+  response (accept with cost breakdown, or a machine-readable
+  rejection reason);
+* ``{"op": "status", "tenant"?, "spec"?}`` → live scheduler snapshot;
+* ``{"op": "shutdown"}`` → ask the daemon to stop after the current
+  round.
+
+The server is a daemon thread that never touches scheduler state
+directly — every operation goes through :class:`MeasurementDaemon`'s
+lock-guarded entry points, so control traffic can land mid-round
+safely. Control is an *operator* convenience; the deterministic
+contract is defined over the submitted spec set, however it arrived.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["ControlError", "ControlServer", "control_request"]
+
+#: Accept-loop wakeup interval; bounds shutdown latency, nothing else.
+_ACCEPT_TIMEOUT = 0.2
+#: Per-connection read cap — control requests are small by design.
+_MAX_REQUEST_BYTES = 1 << 20
+
+
+class ControlError(RuntimeError):
+    """A control request could not be completed client-side."""
+
+
+class ControlServer:
+    """Serves control requests for one :class:`MeasurementDaemon`."""
+
+    def __init__(self, daemon, path: Union[str, Path]) -> None:
+        self.daemon = daemon
+        self.path = Path(path)
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            self.path.unlink()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(str(self.path))
+        sock.listen(8)
+        sock.settimeout(_ACCEPT_TIMEOUT)
+        self._sock = sock
+        self._thread = threading.Thread(
+            target=self._serve, name="service-control", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        if self.path.exists():
+            self.path.unlink()
+
+    # -- server side -------------------------------------------------------
+
+    def _serve(self) -> None:
+        assert self._sock is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                self._handle(conn)
+            finally:
+                conn.close()
+
+    def _handle(self, conn: socket.socket) -> None:
+        conn.settimeout(5.0)
+        try:
+            line = _read_line(conn)
+        except (OSError, ControlError):
+            return
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as err:
+            _send(conn, {"ok": False, "reason": "bad_request",
+                         "detail": str(err)})
+            return
+        _send(conn, self._dispatch(request))
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "submit":
+            return self.daemon.submit(request.get("spec"))
+        if op == "status":
+            return self.daemon.status_snapshot(
+                tenant=request.get("tenant"), spec=request.get("spec")
+            )
+        if op == "shutdown":
+            self.daemon.request_shutdown()
+            return {"ok": True, "op": "shutdown"}
+        return {
+            "ok": False,
+            "reason": "unknown_op",
+            "detail": f"unknown control op: {op!r}",
+        }
+
+
+# -- client side -----------------------------------------------------------
+
+
+def _read_line(conn: socket.socket) -> str:
+    chunks = []
+    size = 0
+    while True:
+        chunk = conn.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        size += len(chunk)
+        if b"\n" in chunk:
+            break
+        if size > _MAX_REQUEST_BYTES:
+            raise ControlError("control message too large")
+    data = b"".join(chunks)
+    if not data:
+        raise ControlError("connection closed before a full line arrived")
+    return data.split(b"\n", 1)[0].decode("utf-8")
+
+
+def _send(conn: socket.socket, response: dict) -> None:
+    try:
+        conn.sendall(json.dumps(response, sort_keys=True).encode("utf-8")
+                     + b"\n")
+    except OSError:
+        pass
+
+
+def control_request(
+    path: Union[str, Path], request: dict, timeout: float = 10.0
+) -> dict:
+    """Send one request to a daemon's control socket; returns the
+    decoded response. Raises :class:`ControlError` when the daemon is
+    unreachable or answers garbage."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        try:
+            sock.connect(str(path))
+        except OSError as err:
+            raise ControlError(
+                f"cannot reach control socket {path}: {err}"
+            ) from None
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        line = _read_line(sock)
+    finally:
+        sock.close()
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ControlError(
+            f"malformed control response: {err}"
+        ) from None
+    if not isinstance(response, dict):
+        raise ControlError("control response must be a JSON object")
+    return response

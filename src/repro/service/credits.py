@@ -1,0 +1,201 @@
+"""Per-tenant credits: quotas, round-based accrual, admission control.
+
+The Atlas model: every tenant holds a credit balance; probes cost
+credits; balances accrue over time up to a cap. Two deliberate
+departures from wall-clock Atlas keep the service deterministic:
+
+* accrual is **per scheduler round**, never per second — the round
+  counter is part of the daemon's deterministic state, so balances
+  after round N are a pure function of the submitted spec set;
+* charging happens when a unit's results are **flushed**, not when it
+  is planned — so a crash between planning and execution never strands
+  credits, and a resumed checkpoint's balances are exact.
+
+Admission control answers at submit time with machine-readable
+reasons (:class:`~repro.service.specs.SpecError` codes): a tenant at
+zero balance, a spec whose total probe budget exceeds the per-spec
+quota, or a tenant at its concurrent-spec limit is refused before it
+can occupy scheduler state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.service.specs import MeasurementSpec, SpecError
+from repro.service.telemetry import (
+    credits_accrued_counter,
+    credits_spent_counter,
+)
+
+__all__ = ["CreditAccount", "CreditLedger", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """The credit policy applied to one tenant (or the default)."""
+
+    initial_credits: float = 500.0
+    accrual_per_round: float = 50.0
+    balance_cap: float = 1000.0
+    cost_per_probe: float = 1.0
+    max_probes_per_spec: int = 10_000
+    max_active_specs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.initial_credits < 0:
+            raise ValueError(
+                f"initial_credits must be >= 0: {self.initial_credits}"
+            )
+        if self.accrual_per_round < 0:
+            raise ValueError(
+                f"accrual_per_round must be >= 0: {self.accrual_per_round}"
+            )
+        if self.balance_cap < self.initial_credits:
+            raise ValueError(
+                "balance_cap must be >= initial_credits: "
+                f"{self.balance_cap} < {self.initial_credits}"
+            )
+        if self.cost_per_probe <= 0:
+            raise ValueError(
+                f"cost_per_probe must be positive: {self.cost_per_probe}"
+            )
+        if self.max_probes_per_spec < 1:
+            raise ValueError(
+                f"max_probes_per_spec must be >= 1: {self.max_probes_per_spec}"
+            )
+        if self.max_active_specs < 1:
+            raise ValueError(
+                f"max_active_specs must be >= 1: {self.max_active_specs}"
+            )
+
+
+class CreditAccount:
+    """One tenant's live balance and lifetime totals."""
+
+    __slots__ = ("tenant", "balance", "spent", "accrued")
+
+    def __init__(self, tenant: str, quota: TenantQuota) -> None:
+        self.tenant = tenant
+        self.balance = float(quota.initial_credits)
+        self.spent = 0.0
+        self.accrued = 0.0
+
+    def to_record(self) -> dict:
+        return {
+            "balance": self.balance,
+            "spent": self.spent,
+            "accrued": self.accrued,
+        }
+
+
+class CreditLedger:
+    """All tenants' accounts plus the admission rules over them."""
+
+    def __init__(
+        self,
+        default_quota: Optional[TenantQuota] = None,
+        overrides: Optional[Dict[str, TenantQuota]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.default_quota = default_quota or TenantQuota()
+        self.overrides = dict(overrides or {})
+        registry = REGISTRY if registry is None else registry
+        self._spent = credits_spent_counter(registry)
+        self._accrued = credits_accrued_counter(registry)
+        self._accounts: Dict[str, CreditAccount] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.overrides.get(tenant, self.default_quota)
+
+    def account(self, tenant: str) -> CreditAccount:
+        record = self._accounts.get(tenant)
+        if record is None:
+            record = CreditAccount(tenant, self.quota_for(tenant))
+            self._accounts[tenant] = record
+        return record
+
+    def available(self, tenant: str) -> float:
+        return self.account(tenant).balance
+
+    # -- admission ---------------------------------------------------------
+
+    def check_admission(
+        self, spec: MeasurementSpec, total_cost: float, active_specs: int
+    ) -> None:
+        """Raise :class:`SpecError` if the spec must be refused.
+
+        Order matters and is part of the deterministic contract:
+        concurrency limit, then per-spec budget, then balance — a
+        client fixing one rejection sees the next, never a shuffle.
+        """
+        quota = self.quota_for(spec.tenant)
+        if active_specs >= quota.max_active_specs:
+            raise SpecError(
+                "too_many_active_specs",
+                f"tenant {spec.tenant!r} already has {active_specs} active "
+                f"specs (limit {quota.max_active_specs})",
+            )
+        budget = quota.max_probes_per_spec * quota.cost_per_probe
+        if total_cost > budget:
+            raise SpecError(
+                "spec_budget_exceeds_quota",
+                f"spec costs {total_cost:g} credits; per-spec budget is "
+                f"{budget:g} ({quota.max_probes_per_spec} probes at "
+                f"{quota.cost_per_probe:g}/probe)",
+            )
+        if self.account(spec.tenant).balance <= 0:
+            raise SpecError(
+                "insufficient_credits",
+                f"tenant {spec.tenant!r} has a zero credit balance",
+            )
+
+    # -- accounting --------------------------------------------------------
+
+    def charge(self, tenant: str, amount: float) -> bool:
+        """Deduct ``amount``; refuses (returns False) on insufficient
+        balance rather than going negative."""
+        account = self.account(tenant)
+        if account.balance < amount:
+            return False
+        account.balance -= amount
+        account.spent += amount
+        self._spent.labels(tenant).inc(amount)
+        return True
+
+    def accrue_round(self) -> float:
+        """Advance every known account one scheduler round; returns the
+        total credits granted (0.0 means no future round can differ —
+        the daemon's starvation stop condition)."""
+        total = 0.0
+        for tenant in sorted(self._accounts):
+            account = self._accounts[tenant]
+            quota = self.quota_for(tenant)
+            grant = min(
+                quota.accrual_per_round,
+                max(quota.balance_cap - account.balance, 0.0),
+            )
+            if grant > 0:
+                account.balance += grant
+                account.accrued += grant
+                self._accrued.labels(tenant).inc(grant)
+                total += grant
+        return total
+
+    # -- persistence -------------------------------------------------------
+
+    def balances(self) -> Dict[str, dict]:
+        return {
+            tenant: account.to_record()
+            for tenant, account in sorted(self._accounts.items())
+        }
+
+    def restore(self, balances: Dict[str, dict]) -> None:
+        """Reinstate checkpointed balances *exactly* (resume path)."""
+        for tenant, record in balances.items():
+            account = self.account(tenant)
+            account.balance = float(record["balance"])
+            account.spent = float(record.get("spent", 0.0))
+            account.accrued = float(record.get("accrued", 0.0))

@@ -1,0 +1,91 @@
+"""The ``service_*`` metrics family (surfaced by ``repro stats --service``)."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import CounterFamily, MetricsRegistry
+
+__all__ = [
+    "specs_accepted_counter",
+    "specs_rejected_counter",
+    "credits_spent_counter",
+    "credits_accrued_counter",
+    "tenant_probes_counter",
+    "scheduler_rounds_counter",
+    "units_counter",
+    "specs_paused_counter",
+]
+
+
+def specs_accepted_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_specs_accepted_total{tenant}`` — admitted submissions."""
+    return registry.counter(
+        "service_specs_accepted_total",
+        "Measurement specs admitted by the service scheduler.",
+        ("tenant",),
+    )
+
+
+def specs_rejected_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_specs_rejected_total{tenant,reason}`` — refused
+    submissions, by machine-readable reason code."""
+    return registry.counter(
+        "service_specs_rejected_total",
+        "Measurement specs rejected at admission, by reason code.",
+        ("tenant", "reason"),
+    )
+
+
+def credits_spent_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_credits_spent_total{tenant}`` — credits charged for
+    executed units."""
+    return registry.counter(
+        "service_credits_spent_total",
+        "Credits charged to tenants for executed measurement units.",
+        ("tenant",),
+    )
+
+
+def credits_accrued_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_credits_accrued_total{tenant}`` — round-based accrual."""
+    return registry.counter(
+        "service_credits_accrued_total",
+        "Credits accrued to tenant balances at scheduler rounds.",
+        ("tenant",),
+    )
+
+
+def tenant_probes_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_tenant_probes_total{tenant}`` — probes attributed to
+    each tenant's flushed units."""
+    return registry.counter(
+        "service_tenant_probes_total",
+        "Probes executed on behalf of each tenant.",
+        ("tenant",),
+    )
+
+
+def scheduler_rounds_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_scheduler_rounds_total`` — fair-share planning rounds."""
+    return registry.counter(
+        "service_scheduler_rounds_total",
+        "Scheduler rounds planned by the service daemon.",
+        (),
+    )
+
+
+def units_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_units_total{tenant,outcome}`` — unit executions."""
+    return registry.counter(
+        "service_units_total",
+        "Measurement units executed, by tenant and outcome.",
+        ("tenant", "outcome"),
+    )
+
+
+def specs_paused_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_specs_paused_total{tenant}`` — quota-exhaustion pauses."""
+    return registry.counter(
+        "service_specs_paused_total",
+        "Spec pauses caused by an unaffordable next unit.",
+        ("tenant",),
+    )
