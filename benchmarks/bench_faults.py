@@ -25,6 +25,11 @@ Three questions, answered with wall-clock numbers and a parity bar:
   batch), so the target is the same < 5% bar (recorded as
   ``span_overhead``); the *gated* part is that spans-on bytes equal
   spans-off bytes.
+* **validation tax** — the reply-validation pipeline
+  (:mod:`repro.probing.validation`) runs on every survey by default;
+  on a *clean* path it must find nothing, change zero bytes
+  (``validate=False`` parity is gated), and cost < 5% (gated:
+  ``validation_overhead``, best-of-two on both sides).
 
 Run it directly (no pytest harness)::
 
@@ -153,6 +158,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     base_bytes = _survey_bytes(base_survey, "base", out_dir)
     print(f"  unfaulted survey      : {timings['rr_unfaulted']:.3f}s",
           flush=True)
+
+    # Validation tax: the reply-validation pipeline on a clean path
+    # must cost < 5% and change zero bytes. Fresh world per run (the
+    # forward-path cache would otherwise flatter whichever side runs
+    # second); best-of-two on both sides because at --quick scale
+    # scheduler jitter rivals the effect being measured.
+    def _clean_survey(validate: bool):
+        world = _fresh(args.preset, args.seed)
+        world_targets, world_vps = _subset(world, args.quick)
+        start = time.perf_counter()
+        survey = run_rr_survey(
+            world, dests=world_targets, vps=world_vps,
+            validate=validate,
+        )
+        return time.perf_counter() - start, survey
+
+    t_on2, _ = _clean_survey(True)
+    t_on = min(timings["rr_unfaulted"], t_on2)
+    t_off1, novalidate_survey = _clean_survey(False)
+    t_off2, _ = _clean_survey(False)
+    t_off = min(t_off1, t_off2)
+    timings["rr_novalidate"] = t_off
+    validation_overhead = t_on / t_off - 1.0 if t_off else 0.0
+    validation_parity = (
+        _survey_bytes(novalidate_survey, "noval", out_dir) == base_bytes
+    )
+    validation_ok = validation_parity and validation_overhead < 0.05
+    print(
+        f"  validation off        : {t_off:.3f}s "
+        f"(overhead {validation_overhead:+.1%}, target <5%; "
+        f"parity {'ok' if validation_parity else 'MISMATCH'})",
+        flush=True,
+    )
 
     # Driver overhead: resilient driver, empty plan.
     secs, empty_result = _run_campaign(
@@ -295,6 +333,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "span_overhead": span_overhead,
         "span_overhead_target": 0.05,
         "span_count": span_count,
+        "validation_overhead": validation_overhead,
+        "validation_overhead_target": 0.05,
         "churn_retry_rounds": churn_result.retry_rounds,
         "churn_backoff_sim_seconds": churn_result.backoff_sim_seconds,
         "chaos_retry_rounds": chaos_serial.retry_rounds,
@@ -306,6 +346,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "chaos_serial_vs_pool": chaos_ok,
             "supervised_vs_plain_pool": supervised_ok,
             "spans_on_vs_off": spans_ok,
+            "validation_off_vs_on": validation_parity,
         },
     }
     args.output.write_text(
@@ -320,6 +361,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             and chaos_ok
             and supervised_ok
             and spans_ok
+            and validation_ok
         )
         else 1
     )

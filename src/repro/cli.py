@@ -301,6 +301,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(repeatable; composes with --faults)",
     )
     chaos.add_argument(
+        "--quarantine-output", type=Path, default=None, metavar="PATH",
+        help="write the checksummed quarantine sidecar (invalid "
+             "replies with machine-readable reason codes, plus the "
+             "RR→ping degradation log) here",
+    )
+    chaos.add_argument(
         "--stats-output", type=Path, default=None,
         help="write the campaign manifest + supervision health "
              "summary as JSON here (CI artifact)",
@@ -460,6 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
              "study and append the service section (specs accepted / "
              "rejected by reason, credits accrued / spent, per-tenant "
              "probes, scheduler rounds)",
+    )
+    stats.add_argument(
+        "--quality", action="store_true",
+        help="append the reply-quality section (validation verdicts, "
+             "quarantine reasons, RR→ping degradations); pair with a "
+             "misbehavior preset such as --faults hostile to "
+             "populate it",
     )
 
     serve = sub.add_parser(
@@ -684,6 +697,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         kill_after_vps=args.kill_after_vps,
         supervision=supervision,
         status_path=args.status,
+        quarantine_path=args.quarantine_output,
     )
     targets = None
     if args.dests is not None:
@@ -709,6 +723,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.save_survey is not None:
         save_survey(result.survey, args.save_survey)
         print(f"wrote {args.save_survey}", file=sys.stderr)
+    if result.quarantine_sidecar is not None:
+        print(f"wrote {result.quarantine_sidecar}", file=sys.stderr)
     if args.spans_output is not None:
         write_spans_jsonl(args.spans_output, TRACER.snapshot())
         print(f"wrote {args.spans_output}", file=sys.stderr)
@@ -980,6 +996,41 @@ def _render_service_section(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_quality_section(snapshot: dict) -> str:
+    """The ``--quality`` section: the reply-validation pipeline."""
+    verdicts = _sum_series(
+        snapshot, "validation_verdicts_total", by="verdict"
+    )
+    reasons = _sum_series(
+        snapshot, "quarantine_records_total", by="reason"
+    )
+    degraded = _sum_series(snapshot, "rr_degraded_total", by="reason")
+    lines = ["reply quality (validation pipeline)"]
+    lines.append(
+        f"  {'replies_checked':<28} {sum(verdicts.values()):>8}"
+    )
+    for verdict in sorted(verdicts):
+        lines.append(
+            f"  {'verdict[' + verdict + ']':<28} "
+            f"{verdicts[verdict]:>8}"
+        )
+    for reason in sorted(reasons):
+        lines.append(
+            f"  {'quarantined[' + reason + ']':<28} "
+            f"{reasons[reason]:>8}"
+        )
+    if not reasons:
+        lines.append(f"  {'quarantined':<28} {0:>8}")
+    for reason in sorted(degraded):
+        lines.append(
+            f"  {'degraded[' + reason + ']':<28} "
+            f"{degraded[reason]:>8}"
+        )
+    if not degraded:
+        lines.append(f"  {'degraded':<28} {0:>8}")
+    return "\n".join(lines)
+
+
 def _run_service_demo(args: argparse.Namespace) -> None:
     """Run the demo tenant pack so the ``service_*`` counters are
     live; streams and checkpoint go to a throwaway directory."""
@@ -1171,6 +1222,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             rendered += "\n" + _render_health_section(snapshot)
         if service:
             rendered += "\n" + _render_service_section(snapshot)
+        if getattr(args, "quality", False):
+            rendered += "\n" + _render_quality_section(snapshot)
     print(rendered)
     if args.output is not None:
         args.output.write_text(rendered.rstrip("\n") + "\n", "utf-8")

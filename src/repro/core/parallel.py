@@ -231,6 +231,7 @@ def _rr_task(vp_index: int) -> tuple:
             order=state["order"],
             slots=state["slots"],
             pps=state["pps"],
+            validate=state.get("validate", True),
         )
     except Exception as exc:  # noqa: BLE001 — attribute, then re-raise
         raise SurveyWorkerError(
@@ -335,6 +336,7 @@ class ParallelSurveyRunner:
         pps: float = DEFAULT_PPS,
         order: ProbeOrder = ProbeOrder.RANDOM,
         slots: int = 9,
+        validate: bool = True,
     ) -> List[tuple]:
         """Per-VP result rows for the RR survey, in VP order."""
         targets = list(targets)
@@ -350,6 +352,7 @@ class ParallelSurveyRunner:
             "pps": pps,
             "spans": TRACER.enabled,
             "batch": self.scenario.prober.batching,
+            "validate": validate,
         }
         results = self._run_pool(payload, _rr_task, len(payload["vps"]),
                                  self.jobs)

@@ -92,11 +92,17 @@ PING_SHARDS = 8
 PROBE_BATCH_SPAN = 256
 
 #: One VP's compact survey contribution:
-#: ``(rows, inprefix)`` where rows = [(dest_index, slot-or-None), ...]
-#: in probe order and inprefix = [(dest_index, (addr, ...)), ...].
+#: ``(rows, inprefix, quality)`` where rows = [(dest_index,
+#: slot-or-None), ...] in probe order, inprefix = [(dest_index,
+#: (addr, ...)), ...], and quality is the validation summary dict
+#: (see :func:`repro.probing.validation.empty_quality`): verdict and
+#: reason counters plus the quarantined/degraded record lists. Rows
+#: only ever contain validated replies — quarantined destinations
+#: live exclusively in the quality block.
 VPRows = Tuple[
     List[Tuple[int, Optional[int]]],
     List[Tuple[int, Tuple[int, ...]]],
+    dict,
 ]
 
 
@@ -387,6 +393,11 @@ def load_survey(path: Union[str, Path]) -> RRSurvey:
         ) from exc
 
 
+#: Re-probe rounds granted to a destination whose RR replies fail
+#: validation before it degrades to plain ping.
+RR_INVALID_RETRIES = 2
+
+
 def probe_vp_rr(
     scenario: Scenario,
     vp: VantagePoint,
@@ -396,6 +407,8 @@ def probe_vp_rr(
     slots: int = 9,
     pps: float = DEFAULT_PPS,
     heartbeat: Optional[Callable[[], None]] = None,
+    validate: bool = True,
+    rr_invalid_retries: int = RR_INVALID_RETRIES,
 ) -> VPRows:
     """One vantage point's complete ping-RR probe sequence.
 
@@ -411,9 +424,31 @@ def probe_vp_rr(
     ping (see :mod:`repro.faults.supervisor`). It must not touch
     network state; the default ``None`` keeps the hot loop free of
     even the call overhead.
+
+    ``validate`` runs every collected reply through the
+    :class:`~repro.probing.validation.ReplyValidator` *after* the full
+    walk (never per dispatch chunk, so span-tracing's batch size
+    cannot leak into verdicts). Invalid replies are quarantined into
+    the returned quality block instead of the rows, re-probed up to
+    ``rr_invalid_retries`` times (non-sticky misbehavior can recover),
+    and finally degraded to a plain ping with a recorded reason — the
+    paper's framing that RR is *an* option, not the only one. On a
+    clean network validation finds nothing, so rows and in-prefix
+    bytes are identical with it on or off.
     """
+    from repro.probing.validation import (
+        INVALID,
+        ReplyValidator,
+        empty_quality,
+        rr_degradation_counter,
+    )
+
     network = scenario.network
     network.begin_vp_session(vp.name)
+    pairs: List[Tuple[Destination, object]] = []
+    quality = empty_quality()
+    replaced: Dict[int, object] = {}
+    invalid: Dict[int, Tuple[Destination, str]] = {}
     try:
         with TRACER.span(
             "vp_probe", clock=network.clock,
@@ -423,8 +458,6 @@ def probe_vp_rr(
                 ordered = order_destinations(
                     targets, order, seed=scenario.seed, salt=vp.name
                 )
-                rows: List[Tuple[int, Optional[int]]] = []
-                inprefix: Dict[int, Set[int]] = {}
                 # Identical walk either way: batching only changes how
                 # often the (possibly no-op) span context is entered.
                 step = (
@@ -442,25 +475,93 @@ def probe_vp_rr(
                         # compiled stamp plans (or walks hop-by-hop on
                         # the fallback paths) and hands back outcomes
                         # with slot/in-prefix views precomputed.
-                        for dest, outcome in scenario.prober.probe_batch_rows(
+                        pairs.extend(scenario.prober.probe_batch_rows(
                             vp, chunk, slots=slots, pps=pps,
                             heartbeat=heartbeat,
+                        ))
+                if validate:
+                    validator = ReplyValidator(
+                        vp.name, slots, position,
+                        network.registry, network.net_id,
+                    )
+                    verdicts = validator.check_batch(pairs, round_no=0)
+                    for (dest, _outcome), (verdict, reason) in zip(
+                        pairs, verdicts
+                    ):
+                        if verdict == INVALID:
+                            invalid[dest.addr] = (dest, reason)
+                    # Retry rounds: re-probe only the invalid
+                    # destinations, in probe order. A non-sticky
+                    # misbehavior re-rolls per round, so a retry can
+                    # come back clean and reclaim its row.
+                    for round_no in range(1, max(rr_invalid_retries, 0) + 1):
+                        if not invalid:
+                            break
+                        retry = scenario.prober.probe_batch_rows(
+                            vp,
+                            [dest for dest, _ in invalid.values()],
+                            slots=slots, pps=pps, heartbeat=heartbeat,
+                            round_no=round_no,
+                        )
+                        retry_verdicts = validator.check_batch(
+                            retry, round_no=round_no
+                        )
+                        still: Dict[int, Tuple[Destination, str]] = {}
+                        for (dest, outcome), (verdict, reason) in zip(
+                            retry, retry_verdicts
                         ):
-                            if not outcome.rr_responsive:
-                                continue
-                            dest_index = position[dest.addr]
-                            rows.append((dest_index, outcome.dest_slot))
-                            if outcome.inprefix:
-                                inprefix.setdefault(
-                                    dest_index, set()
-                                ).update(outcome.inprefix)
+                            if verdict == INVALID:
+                                still[dest.addr] = (dest, reason)
+                            else:
+                                replaced[dest.addr] = outcome
+                        invalid = still
+                    quality = validator.summary()
+                    # Degradation: destinations whose RR replies never
+                    # validated fall back to one plain ping — still a
+                    # liveness datapoint, recorded with its reason but
+                    # never a survey row.
+                    degraded_family = rr_degradation_counter(
+                        network.registry
+                    )
+                    for dest, reason in invalid.values():
+                        if heartbeat is not None:
+                            heartbeat()
+                        result = scenario.prober.ping(
+                            vp, dest.addr, count=1, pps=pps
+                        )
+                        quality["degraded"].append({
+                            "vp": vp.name,
+                            "dest": dest.addr,
+                            "dest_index": position[dest.addr],
+                            "reason": reason,
+                            "rounds": max(rr_invalid_retries, 0) + 1,
+                            "ping_responded": result.responded,
+                        })
+                        degraded_family.labels(
+                            network.net_id, reason
+                        ).inc()
+                    quality["degraded"].sort(
+                        key=lambda r: r["dest_index"]
+                    )
     finally:
         network.end_vp_session()
+    rows: List[Tuple[int, Optional[int]]] = []
+    inprefix: Dict[int, Set[int]] = {}
+    for dest, outcome in pairs:
+        if dest.addr in invalid:
+            continue  # quarantined (and possibly degraded) — no row
+        outcome = replaced.get(dest.addr, outcome)
+        if not outcome.rr_responsive:
+            continue
+        dest_index = position[dest.addr]
+        rows.append((dest_index, outcome.dest_slot))
+        if outcome.inprefix:
+            inprefix.setdefault(dest_index, set()).update(outcome.inprefix)
     packed = sorted(
         (dest_index, tuple(sorted(addrs)))
         for dest_index, addrs in inprefix.items()
     )
-    return rows, packed
+    return rows, packed, quality
 
 
 def probe_ping_shard(
@@ -545,6 +646,7 @@ def run_rr_survey(
     order: ProbeOrder = ProbeOrder.RANDOM,
     slots: int = 9,
     jobs: int = 1,
+    validate: bool = True,
 ) -> RRSurvey:
     """The all-VPs ping-RR study (§3.1's first study).
 
@@ -559,6 +661,10 @@ def run_rr_survey(
     parent. Both paths run each VP inside the same deterministic probe
     session, so the resulting :func:`save_survey` JSON is
     **byte-identical** for any ``jobs`` value on the same seed.
+
+    ``validate=False`` skips the reply-validation pass entirely — the
+    benchmark baseline for the validation-overhead gate. On a clean
+    network the survey bytes are identical either way.
     """
     targets = list(scenario.hitlist) if dests is None else list(dests)
     vp_list = list(scenario.vps) if vps is None else list(vps)
@@ -580,7 +686,8 @@ def run_rr_survey(
             runner = ParallelSurveyRunner(scenario, jobs=jobs)
             with timed("rr_survey"):
                 per_vp = runner.run_rr(
-                    targets, vp_list, pps=pps, order=order, slots=slots
+                    targets, vp_list, pps=pps, order=order, slots=slots,
+                    validate=validate,
                 )
         else:
             with timed("rr_survey"):
@@ -588,13 +695,14 @@ def run_rr_survey(
                     probe_vp_rr(
                         scenario, vp, targets, position,
                         order=order, slots=slots, pps=pps,
+                        validate=validate,
                     )
                     for vp in vp_list
                 ]
         # Merge in VP order so per-destination dict insertion order (and
         # therefore the persisted JSON) is independent of completion
         # order.
-        for vp_index, (rows, inprefix) in enumerate(per_vp):
+        for vp_index, (rows, inprefix, _quality) in enumerate(per_vp):
             for dest_index, slot in rows:
                 survey.responses[dest_index][vp_index] = slot
             for dest_index, addrs in inprefix:

@@ -58,7 +58,13 @@ from repro.faults.supervisor import (
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 from repro.obs.spans import TRACER
 from repro.obs.status import CampaignStatusWriter, sum_counter
-from repro.probing.artifacts import atomic_write_text, embed_checksum
+from repro.probing.artifacts import (
+    atomic_write_bytes,
+    atomic_write_text,
+    canonical_json_bytes,
+    embed_checksum,
+)
+from repro.probing.validation import empty_quality, merge_quality
 from repro.probing.prober import DEFAULT_PPS
 from repro.probing.scheduler import ProbeOrder
 from repro.probing.vantage import VantagePoint
@@ -154,6 +160,13 @@ class CampaignResult:
     hangs_detected: int = 0
     workers_respawned: int = 0
     checkpoint_repairs: int = 0
+    #: Merged reply-quality totals across every VP that contributed
+    #: (completed VPs plus the final garbage attempt of VPs rejected
+    #: for emitting garbage): verdict/reason counters and the
+    #: quarantined/degraded record lists (see
+    #: :func:`repro.probing.validation.empty_quality`).
+    quality: dict = field(default_factory=empty_quality)
+    quarantine_sidecar: Optional[str] = None
     #: Per-VP flight-recorder history from the supervised run (empty
     #: unsupervised). Not part of :meth:`manifest` — quarantine reasons
     #: embed their own journal tails; the full map is the
@@ -182,6 +195,26 @@ class CampaignResult:
             "hangs_detected": self.hangs_detected,
             "workers_respawned": self.workers_respawned,
             "checkpoint_repairs": self.checkpoint_repairs,
+            "quality": {
+                "checked": self.quality["checked"],
+                "verdicts": dict(self.quality["verdicts"]),
+                "reasons": {
+                    reason: self.quality["reasons"][reason]
+                    for reason in sorted(self.quality["reasons"])
+                },
+                "invalid_dests": self.quality["invalid_dests"],
+                "quarantined_replies": len(self.quality["quarantined"]),
+                "degraded_dests": [
+                    {
+                        "vp": entry["vp"],
+                        "dest": entry["dest"],
+                        "reason": entry["reason"],
+                        "ping_responded": entry["ping_responded"],
+                    }
+                    for entry in self.quality["degraded"]
+                ],
+                "quarantine_sidecar": self.quarantine_sidecar,
+            },
         }
 
 
@@ -300,6 +333,12 @@ def load_checkpoint(path: Union[str, Path]) -> dict:
                     f"checkpoint completed[{name!r}].{key} must be a "
                     f"list, got {type(entry[key]).__name__}",
                 )
+        if "quality" in entry and not isinstance(entry["quality"], dict):
+            raise SurveyFormatError(
+                path,
+                f"checkpoint completed[{name!r}].quality must be a "
+                f"map, got {type(entry['quality']).__name__}",
+            )
     if not isinstance(data["attempts"], dict):
         raise SurveyFormatError(path, "checkpoint 'attempts' not a map")
     for name, count in data["attempts"].items():
@@ -369,6 +408,7 @@ class CampaignRunner:
         supervision: Optional[SupervisionConfig] = None,
         status_path: Optional[Union[str, Path]] = None,
         status_interval: float = 0.2,
+        quarantine_path: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0: {max_retries}")
@@ -393,6 +433,9 @@ class CampaignRunner:
             None if status_path is None else Path(status_path)
         )
         self.status_interval = float(status_interval)
+        self.quarantine_path = (
+            None if quarantine_path is None else Path(quarantine_path)
+        )
         net_id = scenario.network.net_id
         self._attempts_ok = campaign_attempt_counter(REGISTRY).labels(
             net_id, "ok"
@@ -408,6 +451,9 @@ class CampaignRunner:
         )
         self._attempts_crashed = campaign_attempt_counter(REGISTRY).labels(
             net_id, "crashed"
+        )
+        self._attempts_garbage = campaign_attempt_counter(REGISTRY).labels(
+            net_id, "garbage"
         )
         self._retries = campaign_retry_counter(REGISTRY).labels(net_id)
         self._resumed = campaign_resume_counter(REGISTRY).labels(net_id)
@@ -459,8 +505,12 @@ class CampaignRunner:
                         [dest_index, list(addrs)]
                         for dest_index, addrs in inprefix
                     ],
+                    # Plain JSON data already; checkpointed so a
+                    # resumed campaign reproduces the same sidecar and
+                    # manifest bytes as an uninterrupted one.
+                    "quality": quality,
                 }
-                for name, (rows, inprefix) in completed.items()
+                for name, (rows, inprefix, quality) in completed.items()
             },
             "attempts": attempts,
         }
@@ -515,7 +565,10 @@ class CampaignRunner:
                     (int(dest_index), tuple(int(a) for a in addrs))
                     for dest_index, addrs in entry["inprefix"]
                 ]
-                completed[name] = (rows, inprefix)
+                quality = entry.get("quality")
+                if not isinstance(quality, dict):
+                    quality = empty_quality()
+                completed[name] = (rows, inprefix, quality)
             attempts = {
                 str(name): int(count)
                 for name, count in data["attempts"].items()
@@ -669,7 +722,12 @@ class CampaignRunner:
             "failed": self._attempts_failed,
             "hang": self._attempts_hung,
             "crash": self._attempts_crashed,
+            "garbage": self._attempts_garbage,
         }
+        # The final garbage attempt's quality per rejected VP — its
+        # rows never merge, but the quarantine sidecar still documents
+        # *why* the VP was rejected. Keyed by name; merged in VP order.
+        garbage_quality: Dict[str, dict] = {}
 
         clock = scenario.network.clock
         campaign_span = TRACER.begin(
@@ -759,6 +817,22 @@ class CampaignRunner:
                             continue
                         attempts[name] = attempts.get(name, 0) + 1
                         rows, kind, _error = outcomes[index]
+                        if (
+                            kind == "ok"
+                            and rows is not None
+                            and tracker is not None
+                        ):
+                            # Validation gate: an attempt whose reply
+                            # stream was mostly garbage is poison, not
+                            # progress — reject the rows and feed the
+                            # breaker/quarantine machinery.
+                            ratio = rows[2].get("invalid_dests", 0) / max(
+                                1, len(target_list)
+                            )
+                            if ratio >= self.supervision.garbage_ratio:
+                                garbage_quality[name] = rows[2]
+                                rows = None
+                                kind = "garbage"
                         if kind == "ok":
                             assert rows is not None
                             completed[name] = rows
@@ -837,16 +911,23 @@ class CampaignRunner:
         )
         # Merge in VP order — identical to run_rr_survey's merge, so a
         # fully-recovered churn-only campaign is byte-identical to an
-        # unfaulted run.
+        # unfaulted run. Quality totals accumulate in the same VP
+        # order (completed VPs contribute their checkpointed quality;
+        # garbage-rejected VPs contribute their final rejected
+        # attempt's), so the sidecar bytes are schedule-independent.
+        quality_total = empty_quality()
         for vp_index, vp in enumerate(vp_list):
             entry = completed.get(vp.name)
             if entry is None:
+                merge_quality(quality_total, garbage_quality.get(vp.name))
                 continue
-            rows, inprefix = entry
+            rows, inprefix, vp_quality = entry
+            merge_quality(quality_total, vp_quality)
             for dest_index, slot in rows:
                 survey.responses[dest_index][vp_index] = slot
             for dest_index, addrs in inprefix:
                 survey.inprefix_addrs[dest_index].update(addrs)
+        sidecar = self._write_quarantine_sidecar(quality_total)
         quarantined = {} if tracker is None else dict(tracker.quarantined)
         return CampaignResult(
             survey=survey,
@@ -875,10 +956,42 @@ class CampaignRunner:
                 0 if watchdog is None else watchdog.workers_respawned
             ),
             checkpoint_repairs=checkpoint_repairs,
+            quality=quality_total,
+            quarantine_sidecar=sidecar,
             journals=(
                 {} if watchdog is None else watchdog.journals_by_name()
             ),
         )
+
+    def _write_quarantine_sidecar(
+        self, quality: dict
+    ) -> Optional[str]:
+        """Persist the quarantine/degradation sidecar (checksummed).
+
+        Written whenever a ``quarantine_path`` was configured — an
+        empty record list is still a statement ("validation ran and
+        found nothing"), and writing unconditionally keeps the CI
+        assertion simple. Record order is VP-merge order then
+        ``(dest_index, round)``, so the bytes are invariant under
+        jobs, retry schedules, and resume.
+        """
+        path = self.quarantine_path
+        if path is None:
+            return None
+        record = {
+            "version": 1,
+            "scenario": self.scenario.name,
+            "seed": self.scenario.seed,
+            "plan": self.plan.describe(),
+            "reasons": {
+                reason: quality["reasons"][reason]
+                for reason in sorted(quality["reasons"])
+            },
+            "records": quality["quarantined"],
+            "degraded": quality["degraded"],
+        }
+        atomic_write_bytes(path, canonical_json_bytes(embed_checksum(record)))
+        return str(path)
 
     # -- round execution ---------------------------------------------------
 

@@ -30,10 +30,17 @@ from repro.faults.specs import (
     FaultPlan,
     LinkFlap,
     LossBurst,
+    OptionStrip,
     RateLimitStorm,
+    SpoofedReply,
+    StampCorruption,
+    TruncatedOption,
+    ZombieVp,
 )
+from repro.net.options import RecordRouteOption
 from repro.obs.metrics import CounterFamily, MetricsRegistry
 from repro.rng import stable_rng, stable_u64
+from repro.sim.stampplan import Outcome
 
 __all__ = ["FaultInjector", "fault_event_counter", "fault_drop_counter"]
 
@@ -137,6 +144,23 @@ class FaultInjector:
             for index, spec in enumerate(plan.specs)
             if isinstance(spec, RateLimitStorm)
         ]
+
+        # Misbehavior (lying-data) specs, in plan order: the first
+        # matching spec per (vp, dest, round) wins, so plan order is a
+        # priority order. Event counter children are pre-resolved per
+        # kind present in the plan.
+        self._misbehaviors = plan.misbehavior_specs()
+        self._ev_misbehavior = {
+            spec.KIND: events.labels(net_id, spec.KIND)
+            for _index, spec in self._misbehaviors
+        }
+        #: Campaign attempt this injector serves (set by
+        #: ``run_vp_attempt``). Folded into the non-sticky hit-draw
+        #: salt so distinct attempts re-roll independently of the
+        #: intra-attempt validation-retry rounds.
+        self.attempt: int = 1
+        #: Canned zombie replies, keyed ``(spec index, vp, slots)``.
+        self._zombie_cache: Dict[Tuple[int, str, int], Outcome] = {}
 
         # Per-session state.
         self.session_name: Optional[str] = None
@@ -255,6 +279,181 @@ class FaultInjector:
             if t0 <= now < t1 and collapse < scale:
                 scale = collapse
         return scale
+
+    # -- misbehavior (lying-data) transforms -------------------------------
+
+    @property
+    def has_misbehavior(self) -> bool:
+        return bool(self._misbehaviors)
+
+    def misbehave_pairs(
+        self,
+        vp_name: str,
+        pairs: List[Tuple],
+        slots: int,
+        round_no: int = 0,
+    ) -> List[Tuple]:
+        """Taint finished ``(dest, outcome)`` pairs with lying data.
+
+        Runs *after* the dataplane (batched or legacy) and after all
+        deferred accounting, so it can only replace outcome objects —
+        never perturb counters, pacing, or the loss draw stream. Every
+        decision is a pure function of ``(spec seed, vp name, dest
+        addr, attempt/round)``, so the taint is byte-identical across
+        jobs counts, batched-vs-legacy, and kill→resume.
+
+        The first matching spec in plan order wins per pair.
+        Transformed outcomes are fresh :class:`Outcome` instances that
+        copy ``counters``/``load`` from the original (templates are
+        shared objects; accounting already happened).
+        """
+        if not self._misbehaviors:
+            return pairs
+        # Distinct campaign attempts must re-roll non-sticky draws
+        # independently of intra-attempt validation-retry rounds.
+        salt_round = (self.attempt - 1) * 1024 + round_no
+        out = []
+        for dest, outcome in pairs:
+            for index, spec in self._misbehaviors:
+                seed = self.plan.spec_seed(index)
+                if not spec.applies_to(
+                    seed, vp_name, dest.addr, salt_round
+                ):
+                    continue
+                tainted = self._taint(
+                    spec, seed, vp_name, dest, outcome, slots
+                )
+                if tainted is None:
+                    continue  # precondition unmet — next spec may apply
+                outcome = tainted
+                self._ev_misbehavior[spec.KIND].inc()
+                break
+            out.append((dest, outcome))
+        return out
+
+    def _taint(
+        self, spec, seed: int, vp_name: str, dest, outcome: Outcome,
+        slots: int,
+    ) -> Optional[Outcome]:
+        """Apply one spec's transform; None = precondition unmet."""
+        if isinstance(spec, ZombieVp):
+            # Zombie VPs answer *unconditionally* — even destinations
+            # that never replied get the canned stale measurement.
+            return self._zombie_outcome(spec, seed, vp_name, outcome, slots)
+        if isinstance(spec, StampCorruption):
+            if not outcome.rr_responsive or outcome.dest_slot is None:
+                return None
+            rr = []
+            for i in range(len(outcome.rr)):
+                addr = stable_u64(seed, "addr", vp_name, dest.addr, i)
+                addr &= 0xFFFFFFFF
+                if addr == dest.addr:
+                    addr ^= 1
+                rr.append(addr)
+            return Outcome(
+                replied=outcome.replied,
+                responded=True,
+                reply_has_rr=True,
+                rr=tuple(rr),
+                dest_slot=outcome.dest_slot,
+                inprefix=(),
+                counters=outcome.counters,
+                load=outcome.load,
+            )
+        if isinstance(spec, OptionStrip):
+            if not outcome.rr_responsive:
+                return None
+            return Outcome(
+                replied=outcome.replied,
+                responded=True,
+                reply_has_rr=False,
+                counters=outcome.counters,
+                load=outcome.load,
+            )
+        if isinstance(spec, TruncatedOption):
+            if not outcome.rr_responsive:
+                return None
+            wire = bytearray(
+                RecordRouteOption(
+                    slots=slots, recorded=list(outcome.rr)
+                ).to_bytes()
+            )
+            mode = stable_u64(seed, "mangle", vp_name, dest.addr) % 3
+            if mode == 0:
+                wire = wire[:2]  # shorter than the 3-byte header
+            elif mode == 1:
+                wire[1] ^= 0x5A  # length byte != actual option size
+            else:
+                wire[2] = 2  # pointer below the first slot
+            return Outcome(
+                replied=outcome.replied,
+                responded=True,
+                reply_has_rr=True,
+                rr=outcome.rr,
+                dest_slot=outcome.dest_slot,
+                inprefix=(),
+                counters=outcome.counters,
+                load=outcome.load,
+                wire=bytes(wire),
+            )
+        if isinstance(spec, SpoofedReply):
+            if not outcome.responded:
+                return None
+            src = stable_u64(seed, "src", vp_name, dest.addr) & 0xFFFFFFFF
+            if src == dest.addr:
+                src ^= 1
+            return Outcome(
+                replied=outcome.replied,
+                responded=True,
+                reply_has_rr=outcome.reply_has_rr,
+                rr=outcome.rr,
+                dest_slot=outcome.dest_slot,
+                inprefix=(),
+                counters=outcome.counters,
+                load=outcome.load,
+                reply_src=src,
+            )
+        return None
+
+    def _zombie_outcome(
+        self, spec: ZombieVp, seed: int, vp_name: str, outcome: Outcome,
+        slots: int,
+    ) -> Outcome:
+        """The canned stale reply a zombie VP returns for everything.
+
+        The cached template carries the garbage RR with ``dest_slot=0``
+        (so it is simultaneously a duplicate *and* a stamp mismatch);
+        per-pair instances copy the original outcome's accounting.
+        """
+        index = next(
+            i for i, s in self._misbehaviors if s is spec
+        )
+        key = (index, vp_name, slots)
+        canned = self._zombie_cache.get(key)
+        if canned is None:
+            rr = tuple(
+                stable_u64(seed, "zombie-rr", vp_name, i) & 0xFFFFFFFF
+                for i in range(min(slots, 4))
+            )
+            canned = Outcome(
+                replied=True,
+                responded=True,
+                reply_has_rr=True,
+                rr=rr,
+                dest_slot=1,
+                inprefix=(),
+            )
+            self._zombie_cache[key] = canned
+        return Outcome(
+            replied=True,
+            responded=True,
+            reply_has_rr=True,
+            rr=canned.rr,
+            dest_slot=1,
+            inprefix=(),
+            counters=outcome.counters,
+            load=outcome.load,
+        )
 
     def __repr__(self) -> str:
         return (

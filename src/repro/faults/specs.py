@@ -33,6 +33,28 @@ Window positions (``start``/``duration``) are expressed as *fractions
 of the session horizon* — the expected duration of one VP's probe
 sequence — so the same spec scales from a 40-destination test world to
 a full campaign without re-tuning.
+
+A fifth family models *lying data* rather than absent data — the
+misbehaviors §3.5 of the paper warns about. Routers that mangle the
+option, hosts that answer probes they never received, and VPs that
+replay stale results do not fail loudly; they poison the dataset:
+
+* :class:`StampCorruption` — a router stamps a wrong/garbage address;
+* :class:`OptionStrip` — the RR option is silently removed mid-path;
+* :class:`TruncatedOption` — the option comes back with a malformed
+  length/pointer (the wire-decoder's ``OptionDecodeError`` territory);
+* :class:`SpoofedReply` — an off-path source answers the probe;
+* :class:`ZombieVp` — a vantage point replays one stale reply for
+  many destinations.
+
+Misbehavior windows cannot use the session clock (the batched
+dataplane replays a whole VP's probes without advancing per-probe
+time), so "windowed" is realised with a deterministic *pseudo-time*:
+each ``(vp, dest)`` pair hashes to a stable position in ``[0, 1)`` and
+the spec is live iff that position falls inside
+``[start, start + duration)``. The decision is a pure function of
+``(spec seed, vp name, dest addr)`` — identical batched vs legacy, at
+any worker count, and across kill/resume.
 """
 
 from __future__ import annotations
@@ -49,8 +71,14 @@ __all__ = [
     "RateLimitStorm",
     "VpHang",
     "VpCrash",
+    "StampCorruption",
+    "OptionStrip",
+    "TruncatedOption",
+    "SpoofedReply",
+    "ZombieVp",
     "FaultSpec",
     "FaultPlan",
+    "MISBEHAVIOR_KINDS",
 ]
 
 
@@ -274,9 +302,175 @@ class VpCrash:
         return stable_uniform(seed, "vp-crash", vp_name) < self.prob
 
 
+@dataclass(frozen=True)
+class _MisbehaviorSpec:
+    """Shared selection machinery for the lying-data fault family.
+
+    Selection is a pure function of ``(spec seed, vp name, dest addr,
+    probe round)``:
+
+    * eligibility — ``vps`` non-empty restricts the spec to the named
+      vantage points; empty means every VP is eligible;
+    * window — the ``(vp, dest)`` pair's deterministic pseudo-time
+      (``stable_uniform(seed, "when", vp, dest)``) must fall inside
+      ``[start, start + duration)``;
+    * the hit draw — probability ``prob`` per probe. ``sticky=True``
+      (the default) ignores the probe round, modelling a *persistent*
+      pathology (the same broken router answers the retry the same
+      way) — this is what drives RR→ping degradation. ``sticky=False``
+      re-rolls each round, so validation retries can recover.
+    """
+
+    vps: Tuple[str, ...] = ()
+    prob: float = 1.0
+    start: float = 0.0
+    duration: float = 1.0
+    sticky: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vps", tuple(self.vps))
+        _require_unit("prob", self.prob)
+        _require_unit("start", self.start)
+        _require_unit("duration", self.duration, allow_zero=False)
+
+    def applies_to(
+        self, seed: int, vp_name: str, dest: int, round_no: int = 0
+    ) -> bool:
+        """Does this spec perturb ``vp_name``'s probe to ``dest``?"""
+        if self.vps and vp_name not in self.vps:
+            return False
+        if self.prob <= 0.0:
+            return False
+        when = stable_uniform(seed, "when", vp_name, dest)
+        if not (self.start <= when < self.start + self.duration):
+            return False
+        if self.prob >= 1.0:
+            return True
+        salt = 0 if self.sticky else round_no
+        return stable_uniform(seed, "hit", vp_name, dest, salt) < self.prob
+
+
+@dataclass(frozen=True)
+class StampCorruption(_MisbehaviorSpec):
+    """A router stamps a wrong/garbage address into the RR slots.
+
+    The reply still looks superficially healthy — right slot count,
+    plausible pointer — but the stamped addresses are garbage, so the
+    destination's own address no longer sits at ``dest_slot``. The
+    validator's stamp-consistency invariant catches exactly this.
+    """
+
+    KIND: ClassVar[str] = "stamp_corruption"
+
+    prob: float = 0.2
+
+
+@dataclass(frozen=True)
+class OptionStrip(_MisbehaviorSpec):
+    """The RR option is silently removed somewhere on the path.
+
+    The echo reply arrives with no RR data at all — from the prober's
+    seat indistinguishable from a host that never echoes options, so
+    the validator classifies it *suspect* (not quarantined), and the
+    reply simply never reaches the survey rows (the paper's §3.5
+    non-participation case).
+    """
+
+    KIND: ClassVar[str] = "option_strip"
+
+    prob: float = 0.2
+
+
+@dataclass(frozen=True)
+class TruncatedOption(_MisbehaviorSpec):
+    """The option arrives with a malformed length/pointer on the wire.
+
+    The transform re-encodes the reply's RR option to real wire bytes
+    and then mangles them (truncation, a corrupt length byte, or an
+    impossible pointer — chosen deterministically per probe), so the
+    validation layer must route every malformation through
+    ``RecordRouteOption.from_bytes`` and its ``OptionDecodeError``.
+    """
+
+    KIND: ClassVar[str] = "truncated_option"
+
+    prob: float = 0.15
+
+
+@dataclass(frozen=True)
+class SpoofedReply(_MisbehaviorSpec):
+    """An off-path source answers the probe.
+
+    The reply claims to be the echo but its source address is not the
+    destination — the validator's source-plausibility invariant
+    quarantines it with ``spoofed_source``.
+    """
+
+    KIND: ClassVar[str] = "spoofed_reply"
+
+    prob: float = 0.15
+
+
+@dataclass(frozen=True)
+class ZombieVp(_MisbehaviorSpec):
+    """A vantage point replays one stale reply for many destinations.
+
+    The RIPE-Atlas "zombie probe" pathology: the VP is up, answers the
+    scheduler, and returns *something* — the same cached measurement
+    over and over. Selection is per-VP (``vps`` or a ``prob`` draw per
+    vantage point); ``dup_frac`` of that VP's destinations (per the
+    window) then all return an identical canned reply. The validator's
+    duplicate detector quarantines them, the VP's garbage ratio trips
+    its circuit breaker, and the quarantine machinery retires the VP
+    like a crash-looper.
+    """
+
+    KIND: ClassVar[str] = "zombie_vp"
+
+    prob: float = 0.0
+    dup_frac: float = 0.9
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _require_unit("dup_frac", self.dup_frac, allow_zero=False)
+
+    def vp_applies(self, seed: int, vp_name: str) -> bool:
+        """Is ``vp_name`` a zombie under this spec?"""
+        if vp_name in self.vps:
+            return True
+        if self.prob <= 0.0:
+            return False
+        return stable_uniform(seed, "zombie-vp", vp_name) < self.prob
+
+    def applies_to(
+        self, seed: int, vp_name: str, dest: int, round_no: int = 0
+    ) -> bool:
+        if not self.vp_applies(seed, vp_name):
+            return False
+        when = stable_uniform(seed, "when", vp_name, dest)
+        if not (self.start <= when < self.start + self.duration):
+            return False
+        if self.dup_frac >= 1.0:
+            return True
+        salt = 0 if self.sticky else round_no
+        return (
+            stable_uniform(seed, "hit", vp_name, dest, salt) < self.dup_frac
+        )
+
+
 FaultSpec = Union[
-    VpChurn, LinkFlap, LossBurst, RateLimitStorm, VpHang, VpCrash
+    VpChurn, LinkFlap, LossBurst, RateLimitStorm, VpHang, VpCrash,
+    StampCorruption, OptionStrip, TruncatedOption, SpoofedReply, ZombieVp,
 ]
+
+#: The lying-data family (replies are delivered but cannot be trusted).
+MISBEHAVIOR_KINDS: Tuple[str, ...] = (
+    StampCorruption.KIND,
+    OptionStrip.KIND,
+    TruncatedOption.KIND,
+    SpoofedReply.KIND,
+    ZombieVp.KIND,
+)
 
 #: Every fault kind label the metrics registry may see.
 FAULT_KINDS: Tuple[str, ...] = (
@@ -286,7 +480,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     RateLimitStorm.KIND,
     VpHang.KIND,
     VpCrash.KIND,
-)
+) + MISBEHAVIOR_KINDS
 
 
 @dataclass(frozen=True)
@@ -362,6 +556,31 @@ class FaultPlan:
                 return spec
         return None
 
+    # -- misbehavior (lying-data) decisions --------------------------------
+
+    def misbehavior_specs(self) -> Tuple[Tuple[int, "_MisbehaviorSpec"], ...]:
+        """``(index, spec)`` for every lying-data spec, in plan order."""
+        return tuple(
+            (index, spec)
+            for index, spec in enumerate(self.specs)
+            if isinstance(spec, _MisbehaviorSpec)
+        )
+
+    @property
+    def has_misbehavior(self) -> bool:
+        return any(
+            isinstance(spec, _MisbehaviorSpec) for spec in self.specs
+        )
+
+    def zombie_profile(self, vp_name: str) -> Optional[ZombieVp]:
+        """The first zombie spec afflicting ``vp_name`` (or None)."""
+        for index, spec in enumerate(self.specs):
+            if isinstance(spec, ZombieVp) and spec.vp_applies(
+                self.spec_seed(index), vp_name
+            ):
+                return spec
+        return None
+
     # -- identity ---------------------------------------------------------
 
     def fingerprint(self) -> str:
@@ -372,5 +591,27 @@ class FaultPlan:
     def describe(self) -> str:
         if self.is_empty:
             return f"fault plan (seed {self.seed}): no faults"
-        kinds = ", ".join(type(spec).KIND for spec in self.specs)
+        kinds = ", ".join(_spec_brief(spec) for spec in self.specs)
         return f"fault plan (seed {self.seed}): {kinds}"
+
+
+def _spec_brief(spec: FaultSpec) -> str:
+    """``kind(key=value, ...)`` with only the load-bearing knobs shown."""
+    details = []
+    vps = getattr(spec, "vps", ())
+    if vps:
+        details.append(f"vps={','.join(vps)}")
+    prob = getattr(spec, "prob", None)
+    if prob is not None and not vps and 0.0 < prob < 1.0:
+        details.append(f"p={prob:g}")
+    if isinstance(spec, _MisbehaviorSpec):
+        if (spec.start, spec.duration) != (0.0, 1.0):
+            details.append(
+                f"window={spec.start:g}+{spec.duration:g}"
+            )
+        if not spec.sticky:
+            details.append("sticky=no")
+        if isinstance(spec, ZombieVp):
+            details.append(f"dup={spec.dup_frac:g}")
+    kind = type(spec).KIND
+    return f"{kind}({', '.join(details)})" if details else kind

@@ -172,7 +172,11 @@ class SupervisionConfig:
     worker is presumed wedged; ``task_tries`` is the per-task budget of
     watchdog-level tries (kill/respawn/re-queue cycles) before the
     task is reported hung/crashed for the round; ``quarantine_after``
-    is the K of poison-VP quarantine (total hang+crash attempts).
+    is the K of poison-VP quarantine (total hang+crash+garbage
+    attempts). ``garbage_ratio`` is the fraction of a VP's validated
+    replies that may be *invalid* before the whole attempt is treated
+    as garbage (a RIPE-Atlas-style zombie probe) and fed to the
+    breaker/quarantine machinery like a crash.
     """
 
     hang_timeout: float = 30.0
@@ -182,6 +186,7 @@ class SupervisionConfig:
     breaker_window: int = 4
     breaker_threshold: float = 0.75
     breaker_cooldown_rounds: int = 1
+    garbage_ratio: float = 0.5
 
     def __post_init__(self) -> None:
         if self.hang_timeout <= 0:
@@ -211,6 +216,10 @@ class SupervisionConfig:
             raise ValueError(
                 "breaker_cooldown_rounds must be >= 1: "
                 f"{self.breaker_cooldown_rounds}"
+            )
+        if not 0.0 < self.garbage_ratio <= 1.0:
+            raise ValueError(
+                f"garbage_ratio must be in (0, 1]: {self.garbage_ratio}"
             )
 
 
@@ -306,6 +315,9 @@ def run_vp_attempt(
         injector: Optional[FaultInjector] = None
         if plan is not None and not plan.is_empty:
             injector = FaultInjector(network, plan, horizon=horizon)
+            # Non-sticky misbehavior re-rolls per campaign attempt as
+            # well as per intra-attempt validation round.
+            injector.attempt = attempt
             network.attach_injector(injector)
         beat: Optional[Callable[[], None]] = heartbeat
         if plan is not None:
@@ -416,11 +428,12 @@ class VpHealth:
     failed: int = 0
     crashes: int = 0
     hangs: int = 0
+    garbage: int = 0
     breaker: Optional[CircuitBreaker] = None
 
     @property
     def poison_events(self) -> int:
-        return self.crashes + self.hangs
+        return self.crashes + self.hangs + self.garbage
 
 
 class VpHealthTracker:
@@ -483,8 +496,14 @@ class VpHealthTracker:
 
     def record(self, name: str, kind: str) -> Optional[dict]:
         """Feed one attempt outcome (``ok``/``failed``/``crash``/
-        ``hang``); returns a quarantine reason dict if this outcome
-        pushed the VP over the threshold, else ``None``."""
+        ``hang``/``garbage``); returns a quarantine reason dict if this
+        outcome pushed the VP over the threshold, else ``None``.
+
+        ``garbage`` is the validation layer's verdict — the attempt
+        completed but too many of its replies were structurally
+        invalid. It is poison like a crash or a hang: it feeds the
+        breaker as a failure and counts toward quarantine.
+        """
         record = self.health(name)
         if kind == "ok":
             record.ok += 1
@@ -494,13 +513,15 @@ class VpHealthTracker:
             record.crashes += 1
         elif kind == "hang":
             record.hangs += 1
+        elif kind == "garbage":
+            record.garbage += 1
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown outcome kind: {kind!r}")
         transition = record.breaker.record(kind == "ok")
         if transition is not None:
             self._transitions.labels(self.net_id, transition).inc()
         if (
-            kind in ("crash", "hang")
+            kind in ("crash", "hang", "garbage")
             and name not in self.quarantined
             and record.poison_events >= self.config.quarantine_after
         ):
@@ -508,23 +529,29 @@ class VpHealthTracker:
         return None
 
     def _quarantine(self, name: str, record: VpHealth) -> dict:
-        if record.hangs and record.crashes:
-            kind = "mixed"
-        elif record.hangs:
-            kind = "hang"
-        else:
-            kind = "crash"
+        kinds = [
+            label
+            for label, count in (
+                ("hang", record.hangs),
+                ("crash", record.crashes),
+                ("garbage", record.garbage),
+            )
+            if count
+        ]
+        kind = kinds[0] if len(kinds) == 1 else "mixed"
         reason = {
             "vp": name,
             "kind": kind,
             "hangs": record.hangs,
             "crashes": record.crashes,
+            "garbage": record.garbage,
             "failed": record.failed,
             "threshold": self.config.quarantine_after,
             "reason": (
                 f"poison VP: {record.hangs} hang(s) + "
-                f"{record.crashes} crash(es) reached the quarantine "
-                f"threshold of {self.config.quarantine_after}"
+                f"{record.crashes} crash(es) + "
+                f"{record.garbage} garbage attempt(s) reached the "
+                f"quarantine threshold of {self.config.quarantine_after}"
             ),
         }
         self.quarantined[name] = reason

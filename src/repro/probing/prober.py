@@ -857,6 +857,7 @@ class Prober:
         ttl: int = DEFAULT_TTL,
         pps: Optional[float] = None,
         heartbeat: Optional[Callable[[], None]] = None,
+        round_no: int = 0,
     ) -> List[Tuple[Destination, Outcome]]:
         """The survey-facing batch: raw outcomes, no result objects.
 
@@ -865,19 +866,34 @@ class Prober:
         ``inprefix`` so the survey loop does dict appends and nothing
         else. Falls back to the legacy per-destination walk (wrapped in
         the same shape) when batching is off or a tracer is attached.
+
+        ``round_no`` is the caller's retry round; misbehavior specs
+        with ``sticky=False`` re-roll their hit decision per round, so
+        a re-probe can legitimately come back clean.
+
+        Misbehavior transform: when a :class:`FaultInjector` with
+        misbehavior specs is attached, the finished pairs are run
+        through :meth:`FaultInjector.misbehave_pairs` — a single choke
+        point *after* both the batched and the legacy branch, and after
+        all deferred accounting, so the taint is byte-identical
+        batched-vs-legacy and never perturbs counters.
         """
         if not self._can_batch():
-            results = []
+            pairs = []
             for dest in dests:
                 if heartbeat is not None:
                     heartbeat()
-                results.append((dest, _outcome_from_result(
+                pairs.append((dest, _outcome_from_result(
                     self.ping_rr(vp, dest.addr, slots=slots, ttl=ttl, pps=pps)
                 )))
-            return results
-        targets = self._resolve_targets(dest.addr for dest in dests)
-        outcomes = self._batch_rr(vp, targets, slots, ttl, pps, heartbeat)
-        return list(zip(dests, outcomes))
+        else:
+            targets = self._resolve_targets(dest.addr for dest in dests)
+            outcomes = self._batch_rr(vp, targets, slots, ttl, pps, heartbeat)
+            pairs = list(zip(dests, outcomes))
+        injector = self.network._injector
+        if injector is not None and injector.has_misbehavior:
+            pairs = injector.misbehave_pairs(vp.name, pairs, slots, round_no)
+        return pairs
 
     def probe_batch_ping(
         self,

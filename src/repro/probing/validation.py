@@ -1,0 +1,302 @@
+"""Structural validation and quarantine of RR probe replies.
+
+The paper's §3.5/§4 caveat is that Record Route data arrives from
+routers and hosts that may ignore, mangle, or fake the option — and
+operational platforms (RIPE Atlas's "zombie probes") show misbehaving
+vantage points are a first-class failure mode at scale. This module is
+the trust boundary between the dataplane and the survey: every reply
+is checked against structural invariants *before* it may contribute a
+row, and everything that fails is quarantined with a machine-readable
+reason code instead of silently poisoning the artifact.
+
+Invariants (checked in order; the first failure wins):
+
+1. **Wire sanity** — a reply carrying raw option bytes must re-decode
+   through :meth:`RecordRouteOption.from_bytes`; any
+   :class:`OptionDecodeError` is ``option_malformed``.
+2. **Duplicate detection** — a ``(rr, dest_slot)`` pair with a
+   non-None slot seen for two *distinct* destinations is impossible in
+   an honest world (slot ``dest_slot`` must hold each destination's
+   own address), so every occurrence is ``duplicate_reply``. The
+   non-None-slot requirement keeps the rule sound: two same-/24
+   destinations more than nine hops out legitimately share an
+   identical full header with no destination stamp.
+3. **Source plausibility** — a reply whose source is not the probed
+   destination is ``spoofed_source``.
+4. **Slot accounting** — more recorded stamps than allocated slots is
+   ``too_many_stamps``.
+5. **Stamp consistency** — a claimed ``dest_slot`` must index into the
+   header and hold the destination's own address, else
+   ``stamp_mismatch``.
+6. **Option echo** — a response without the RR option echoed is merely
+   *suspect* (``rr_absent``): RFC-ignoring hosts do this in the clean
+   world (the paper's non-participation case), so it is never
+   quarantined — it simply contributes no row, exactly as before.
+
+Verdicts are ``valid`` / ``suspect`` / ``invalid``. Only **invalid**
+replies are quarantined, retried, and — when they stay invalid past
+the retry budget — degraded to plain ping (the paper's framing: RR is
+*an* option, not the only one). The clean path therefore produces
+zero invalid verdicts and byte-identical survey artifacts with
+validation on or off.
+
+Determinism: validation is a pure function of the collected replies —
+it runs once over a VP's *complete* probe sequence (never per
+dispatch chunk, so span-tracing's batch size cannot leak into
+verdicts), and its outputs are sorted before they land in artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.options import OptionDecodeError, RecordRouteOption
+from repro.obs.metrics import CounterFamily, MetricsRegistry
+
+__all__ = [
+    "INVALID",
+    "SUSPECT",
+    "VALID",
+    "QUARANTINE_REASONS",
+    "REASON_DUPLICATE",
+    "REASON_OPTION_MALFORMED",
+    "REASON_RR_ABSENT",
+    "REASON_SPOOFED",
+    "REASON_STAMP_MISMATCH",
+    "REASON_TOO_MANY_STAMPS",
+    "ReplyValidator",
+    "empty_quality",
+    "merge_quality",
+    "quarantine_counter",
+    "rr_degradation_counter",
+    "validation_verdict_counter",
+]
+
+VALID = "valid"
+SUSPECT = "suspect"
+INVALID = "invalid"
+
+REASON_OPTION_MALFORMED = "option_malformed"
+REASON_DUPLICATE = "duplicate_reply"
+REASON_SPOOFED = "spoofed_source"
+REASON_TOO_MANY_STAMPS = "too_many_stamps"
+REASON_STAMP_MISMATCH = "stamp_mismatch"
+REASON_RR_ABSENT = "rr_absent"
+
+#: Reasons that quarantine a reply (``rr_absent`` is suspect-only).
+QUARANTINE_REASONS: Tuple[str, ...] = (
+    REASON_OPTION_MALFORMED,
+    REASON_DUPLICATE,
+    REASON_SPOOFED,
+    REASON_TOO_MANY_STAMPS,
+    REASON_STAMP_MISMATCH,
+)
+
+
+def validation_verdict_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``validation_verdicts_total{net, verdict}`` — replies by verdict."""
+    return registry.counter(
+        "validation_verdicts_total",
+        "RR replies checked by the validation pipeline, by verdict "
+        "(valid, suspect, invalid).",
+        ("net", "verdict"),
+    )
+
+
+def quarantine_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``quarantine_records_total{net, reason}`` — quarantined replies."""
+    return registry.counter(
+        "quarantine_records_total",
+        "Replies quarantined by the validation pipeline, by reason code.",
+        ("net", "reason"),
+    )
+
+
+def rr_degradation_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``rr_degraded_total{net, reason}`` — RR→ping degradations."""
+    return registry.counter(
+        "rr_degraded_total",
+        "Destinations degraded from RR to plain ping after persistently "
+        "invalid replies, by final reason code.",
+        ("net", "reason"),
+    )
+
+
+def empty_quality() -> dict:
+    """The zero-valued per-VP quality summary (stable schema)."""
+    return {
+        "checked": 0,
+        "verdicts": {VALID: 0, SUSPECT: 0, INVALID: 0},
+        "reasons": {},
+        "invalid_dests": 0,
+        "quarantined": [],
+        "degraded": [],
+    }
+
+
+def merge_quality(total: dict, part: Optional[dict]) -> dict:
+    """Accumulate one VP's quality summary into a campaign-level total.
+
+    ``quarantined``/``degraded`` record lists concatenate (callers
+    append per-VP in VP order, so the merged order is deterministic);
+    scalar counters add.
+    """
+    if not part:
+        return total
+    total["checked"] += part.get("checked", 0)
+    for verdict, count in part.get("verdicts", {}).items():
+        total["verdicts"][verdict] = (
+            total["verdicts"].get(verdict, 0) + count
+        )
+    for reason, count in part.get("reasons", {}).items():
+        total["reasons"][reason] = total["reasons"].get(reason, 0) + count
+    total["invalid_dests"] += part.get("invalid_dests", 0)
+    total["quarantined"].extend(part.get("quarantined", ()))
+    total["degraded"].extend(part.get("degraded", ()))
+    return total
+
+
+class ReplyValidator:
+    """One vantage point's reply-validation pipeline.
+
+    Stateful across retry rounds: the duplicate detector accumulates
+    every ``(rr, dest_slot)`` signature it has seen for this VP, so a
+    zombie's canned reply stays flagged even when a retry re-probes a
+    single destination. All counters land in the supplied registry
+    (worker registries merge home through the usual snapshot path).
+    """
+
+    def __init__(
+        self,
+        vp_name: str,
+        slots: int,
+        position: Dict[int, int],
+        registry: MetricsRegistry,
+        net_id: str,
+    ) -> None:
+        self.vp_name = vp_name
+        self.slots = int(slots)
+        self.position = position
+        verdicts = validation_verdict_counter(registry)
+        self._verdict_counters = {
+            verdict: verdicts.labels(net_id, verdict)
+            for verdict in (VALID, SUSPECT, INVALID)
+        }
+        self._quarantine_family = quarantine_counter(registry)
+        self._net_id = net_id
+        #: (rr tuple, dest_slot) -> distinct dest addrs that claimed it.
+        self._dup_seen: Dict[Tuple, Set[int]] = {}
+        self.checked = 0
+        self.verdict_counts = {VALID: 0, SUSPECT: 0, INVALID: 0}
+        self.reason_counts: Dict[str, int] = {}
+        self.quarantined: List[dict] = []
+        self._invalid_dests: Set[int] = set()
+
+    # -- checking ----------------------------------------------------------
+
+    def check_batch(
+        self, pairs: Sequence[Tuple], round_no: int = 0
+    ) -> List[Tuple[Optional[str], Optional[str]]]:
+        """Validate ``(dest, outcome)`` pairs; returns aligned verdicts.
+
+        Each result is ``(verdict, reason)``; ``(None, None)`` marks an
+        unanswered probe (nothing to validate). Must be called with a
+        *complete* round — the duplicate pre-scan needs to see every
+        reply of the round before judging any of them.
+        """
+        # Pre-scan: register this round's signatures so the *first*
+        # occurrence of a duplicated reply is flagged too.
+        dup_seen = self._dup_seen
+        for dest, outcome in pairs:
+            if outcome.rr_responsive and outcome.dest_slot is not None:
+                key = (outcome.rr, outcome.dest_slot)
+                dup_seen.setdefault(key, set()).add(dest.addr)
+        results: List[Tuple[Optional[str], Optional[str]]] = []
+        for dest, outcome in pairs:
+            verdict, reason = self._check_one(dest, outcome)
+            if verdict is not None:
+                self.checked += 1
+                self.verdict_counts[verdict] += 1
+                self._verdict_counters[verdict].inc()
+                if reason is not None:
+                    self.reason_counts[reason] = (
+                        self.reason_counts.get(reason, 0) + 1
+                    )
+                if verdict == INVALID:
+                    self._invalid_dests.add(dest.addr)
+                    self.quarantined.append(
+                        self._record(dest, outcome, reason, round_no)
+                    )
+                    self._quarantine_family.labels(
+                        self._net_id, reason
+                    ).inc()
+            results.append((verdict, reason))
+        return results
+
+    def _check_one(
+        self, dest, outcome
+    ) -> Tuple[Optional[str], Optional[str]]:
+        if not outcome.responded:
+            return None, None
+        if outcome.wire is not None:
+            try:
+                RecordRouteOption.from_bytes(outcome.wire)
+            except OptionDecodeError:
+                return INVALID, REASON_OPTION_MALFORMED
+        if outcome.rr_responsive and outcome.dest_slot is not None:
+            key = (outcome.rr, outcome.dest_slot)
+            if len(self._dup_seen.get(key, ())) >= 2:
+                return INVALID, REASON_DUPLICATE
+        if outcome.reply_src is not None and outcome.reply_src != dest.addr:
+            return INVALID, REASON_SPOOFED
+        if outcome.reply_has_rr:
+            if len(outcome.rr) > self.slots:
+                return INVALID, REASON_TOO_MANY_STAMPS
+            if outcome.dest_slot is not None:
+                # dest_slot is the 1-based RR slot claimed to hold the
+                # destination's own address (the survey's row value).
+                if (
+                    outcome.dest_slot < 1
+                    or outcome.dest_slot > len(outcome.rr)
+                    or outcome.rr[outcome.dest_slot - 1] != dest.addr
+                ):
+                    return INVALID, REASON_STAMP_MISMATCH
+            return VALID, None
+        return SUSPECT, REASON_RR_ABSENT
+
+    def _record(self, dest, outcome, reason: str, round_no: int) -> dict:
+        """One quarantine sidecar record (JSON-roundtrippable)."""
+        return {
+            "vp": self.vp_name,
+            "dest": dest.addr,
+            "dest_index": self.position[dest.addr],
+            "round": round_no,
+            "reason": reason,
+            "rr": list(outcome.rr),
+            "dest_slot": outcome.dest_slot,
+            "reply_src": outcome.reply_src,
+            "wire": None if outcome.wire is None else outcome.wire.hex(),
+        }
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """This VP's quality block for rows/checkpoints/manifests.
+
+        Quarantine records sort by ``(dest_index, round)`` so the
+        sidecar bytes never depend on probe order or retry schedule.
+        """
+        return {
+            "checked": self.checked,
+            "verdicts": dict(self.verdict_counts),
+            "reasons": {
+                reason: self.reason_counts[reason]
+                for reason in sorted(self.reason_counts)
+            },
+            "invalid_dests": len(self._invalid_dests),
+            "quarantined": sorted(
+                self.quarantined,
+                key=lambda r: (r["dest_index"], r["round"]),
+            ),
+            "degraded": [],
+        }

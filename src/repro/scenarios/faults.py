@@ -18,10 +18,15 @@ from repro.faults.specs import (
     FaultPlan,
     LinkFlap,
     LossBurst,
+    OptionStrip,
     RateLimitStorm,
+    SpoofedReply,
+    StampCorruption,
+    TruncatedOption,
     VpChurn,
     VpCrash,
     VpHang,
+    ZombieVp,
 )
 from repro.rng import derive_seed
 
@@ -52,6 +57,24 @@ FAULT_PRESETS = {
         VpHang(prob=0.3, attempts=1, after_targets=5, hang_seconds=60.0),
     ),
     "crash-loop": (VpCrash(prob=0.3, attempts=None, after_targets=2),),
+    # Misbehavior-era pathologies (PR 10): the dataplane lies instead
+    # of failing. ``misbehave`` keeps corruption sparse (every VP still
+    # clears the garbage-ratio gate, so quarantine happens per-reply,
+    # not per-VP); ``hostile`` adds heavier corruption plus a zombie
+    # VP that replays one stale answer until its breaker trips.
+    "misbehave": (
+        StampCorruption(prob=0.08),
+        OptionStrip(prob=0.08),
+        TruncatedOption(prob=0.05, sticky=False),
+        SpoofedReply(prob=0.05),
+    ),
+    "hostile": (
+        StampCorruption(prob=0.15),
+        OptionStrip(prob=0.1),
+        TruncatedOption(prob=0.1),
+        SpoofedReply(prob=0.1),
+        ZombieVp(prob=0.25),
+    ),
     "pathological": (
         VpChurn(prob=0.3, max_dark_attempts=1),
         LossBurst(p_enter=0.03, p_exit=0.25, drop_prob=0.85),

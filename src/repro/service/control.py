@@ -1,7 +1,12 @@
 """Line-oriented JSON control socket for a running daemon.
 
 One AF_UNIX listener, one JSON object per line in, one JSON object
-per line out. Operations:
+per line out. A connection is a *session*: the server answers any
+number of newline-delimited requests in order until the client closes
+(or asks for ``shutdown``), and it reassembles requests from
+arbitrarily small TCP-style fragments — a large ``submit`` spec split
+across many ``send`` calls arrives intact, and bytes following one
+newline are kept as the start of the next request. Operations:
 
 * ``{"op": "ping"}`` → ``{"ok": true, "op": "ping"}``
 * ``{"op": "submit", "spec": {...}}`` → the daemon's admission
@@ -26,7 +31,12 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
-__all__ = ["ControlError", "ControlServer", "control_request"]
+__all__ = [
+    "ControlError",
+    "ControlServer",
+    "control_request",
+    "control_session",
+]
 
 #: Accept-loop wakeup interval; bounds shutdown latency, nothing else.
 _ACCEPT_TIMEOUT = 0.2
@@ -90,20 +100,47 @@ class ControlServer:
                 conn.close()
 
     def _handle(self, conn: socket.socket) -> None:
+        """Serve one connection until the client closes it.
+
+        Any number of newline-delimited requests, answered strictly in
+        order. ``buffer`` persists across requests, so bytes arriving
+        after one request's newline are already the start of the next
+        one, and a request fragmented across many tiny writes is
+        reassembled before parsing.
+        """
         conn.settimeout(5.0)
-        try:
-            line = _read_line(conn)
-        except (OSError, ControlError):
-            return
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ValueError("request must be a JSON object")
-        except ValueError as err:
-            _send(conn, {"ok": False, "reason": "bad_request",
-                         "detail": str(err)})
-            return
-        _send(conn, self._dispatch(request))
+        buffer = b""
+        while not self._stop.is_set():
+            while b"\n" not in buffer:
+                if len(buffer) > _MAX_REQUEST_BYTES:
+                    _send(conn, {
+                        "ok": False,
+                        "reason": "too_large",
+                        "detail": "control request exceeds "
+                                  f"{_MAX_REQUEST_BYTES} bytes",
+                    })
+                    return
+                try:
+                    chunk = conn.recv(65536)
+                except (socket.timeout, OSError):
+                    return
+                if not chunk:
+                    return
+                buffer += chunk
+            line, _, buffer = buffer.partition(b"\n")
+            if not line.strip():
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except (UnicodeDecodeError, ValueError) as err:
+                _send(conn, {"ok": False, "reason": "bad_request",
+                             "detail": str(err)})
+                continue
+            _send(conn, self._dispatch(request))
+            if request.get("op") == "shutdown":
+                return
 
     def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
@@ -128,23 +165,23 @@ class ControlServer:
 # -- client side -----------------------------------------------------------
 
 
-def _read_line(conn: socket.socket) -> str:
-    chunks = []
-    size = 0
-    while True:
+def _recv_line(conn: socket.socket, buffer: bytes) -> tuple:
+    """Read one newline-terminated line; returns ``(line, leftover)``.
+
+    ``buffer`` carries bytes already received past a previous line, so
+    pipelined responses on one connection are never dropped.
+    """
+    while b"\n" not in buffer:
+        if len(buffer) > _MAX_REQUEST_BYTES:
+            raise ControlError("control message too large")
         chunk = conn.recv(65536)
         if not chunk:
-            break
-        chunks.append(chunk)
-        size += len(chunk)
-        if b"\n" in chunk:
-            break
-        if size > _MAX_REQUEST_BYTES:
-            raise ControlError("control message too large")
-    data = b"".join(chunks)
-    if not data:
-        raise ControlError("connection closed before a full line arrived")
-    return data.split(b"\n", 1)[0].decode("utf-8")
+            raise ControlError(
+                "connection closed before a full line arrived"
+            )
+        buffer += chunk
+    line, _, buffer = buffer.partition(b"\n")
+    return line.decode("utf-8"), buffer
 
 
 def _send(conn: socket.socket, response: dict) -> None:
@@ -171,9 +208,44 @@ def control_request(
                 f"cannot reach control socket {path}: {err}"
             ) from None
         sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
-        line = _read_line(sock)
+        line, _leftover = _recv_line(sock, b"")
     finally:
         sock.close()
+    return _parse_response(line)
+
+
+def control_session(
+    path: Union[str, Path],
+    requests: list,
+    timeout: float = 10.0,
+) -> list:
+    """Send several requests over *one* connection; returns the
+    responses in order. Exercises the server's session semantics —
+    requests are written back-to-back and responses read with a
+    persistent buffer, so interleaved bytes are handled correctly."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    responses = []
+    try:
+        try:
+            sock.connect(str(path))
+        except OSError as err:
+            raise ControlError(
+                f"cannot reach control socket {path}: {err}"
+            ) from None
+        buffer = b""
+        for request in requests:
+            sock.sendall(
+                json.dumps(request).encode("utf-8") + b"\n"
+            )
+            line, buffer = _recv_line(sock, buffer)
+            responses.append(_parse_response(line))
+    finally:
+        sock.close()
+    return responses
+
+
+def _parse_response(line: str) -> dict:
     try:
         response = json.loads(line)
     except json.JSONDecodeError as err:

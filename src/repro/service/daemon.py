@@ -58,7 +58,9 @@ from repro.service.specs import MeasurementSpec, SpecError, parse_spec
 from repro.service.streams import TenantStream
 from repro.service.telemetry import (
     specs_rejected_counter,
+    tenant_degraded_counter,
     tenant_probes_counter,
+    tenant_quality_counter,
     units_counter,
 )
 
@@ -135,6 +137,12 @@ class MeasurementDaemon:
         self._rejected = specs_rejected_counter(registry)
         self._probes = tenant_probes_counter(registry)
         self._units = units_counter(registry)
+        self._quality_counter = tenant_quality_counter(registry)
+        self._degraded_counter = tenant_degraded_counter(registry)
+        #: tenant -> run-scoped reply-quality totals (see
+        #: :meth:`_fold_quality`; re-derivable from stream records, so
+        #: intentionally not checkpointed).
+        self._tenant_quality: Dict[str, Dict[str, int]] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._lock = threading.RLock()
         self._shutdown = False
@@ -159,6 +167,38 @@ class MeasurementDaemon:
 
     def _tenant_allowed(self, tenant: str) -> bool:
         return self._breaker(tenant).allows()
+
+    # -- reply-quality accounting ------------------------------------------
+
+    @staticmethod
+    def _empty_tenant_quality() -> Dict[str, int]:
+        return {
+            "checked": 0,
+            "valid": 0,
+            "suspect": 0,
+            "invalid": 0,
+            "quarantined": 0,
+            "degraded": 0,
+        }
+
+    def _fold_quality(self, tenant: str, quality: dict) -> None:
+        """Accumulate one unit's validation summary (the counts block
+        :func:`~repro.service.executor.service_unit_body` emits) into
+        the tenant's running totals and the ``service_*`` metrics."""
+        totals = self._tenant_quality.setdefault(
+            tenant, self._empty_tenant_quality()
+        )
+        totals["checked"] += int(quality.get("checked", 0))
+        for verdict, count in quality.get("verdicts", {}).items():
+            count = int(count)
+            totals[verdict] = totals.get(verdict, 0) + count
+            if count:
+                self._quality_counter.labels(tenant, verdict).inc(count)
+        totals["quarantined"] += int(quality.get("quarantined", 0))
+        degraded = int(quality.get("degraded", 0))
+        totals["degraded"] += degraded
+        if degraded:
+            self._degraded_counter.labels(tenant).inc(degraded)
 
     # -- submission (CLI spec files and control socket both land here) -----
 
@@ -218,6 +258,11 @@ class MeasurementDaemon:
                 "credits": round(account.balance, 6),
                 "credits_spent": round(account.spent, 6),
                 "breaker": self._breaker(tenant).state,
+                "quality": dict(
+                    self._tenant_quality.get(
+                        tenant, self._empty_tenant_quality()
+                    )
+                ),
             }
         return rows
 
@@ -494,6 +539,9 @@ class MeasurementDaemon:
                     "probes": state_spec.unit_probes,
                 }
                 record.update(result)
+                quality = result.get("quality")
+                if isinstance(quality, dict):
+                    self._fold_quality(tenant, quality)
                 state_spec.stream.append(record)
                 self.scheduler.record_success(state_spec)
                 self._units.labels(tenant, "ok").inc()
@@ -540,5 +588,11 @@ class MeasurementDaemon:
                 s.next_unit for s in self.scheduler.specs.values()
             ),
             "balances": self.ledger.balances(),
+            "quality": {
+                tenant: dict(totals)
+                for tenant, totals in sorted(
+                    self._tenant_quality.items()
+                )
+            },
             "specs": specs,
         }

@@ -54,7 +54,7 @@ def service_unit_body(state: dict, task: tuple, heartbeat=None) -> dict:
     targets = list(scenario.hitlist)[offset : offset + count]
     if kind == "rr":
         position = {dest.addr: i for i, dest in enumerate(targets)}
-        rows, inprefix = probe_vp_rr(
+        rows, inprefix, quality = probe_vp_rr(
             scenario,
             vp,
             targets,
@@ -69,6 +69,14 @@ def service_unit_body(state: dict, task: tuple, heartbeat=None) -> dict:
             "inprefix": [
                 [index, list(addrs)] for index, addrs in inprefix
             ],
+            "quality": {
+                "checked": quality["checked"],
+                "verdicts": quality["verdicts"],
+                "reasons": quality["reasons"],
+                "invalid_dests": quality["invalid_dests"],
+                "quarantined": len(quality["quarantined"]),
+                "degraded": len(quality["degraded"]),
+            },
         }
     network = scenario.network
     # Ping units get their own session namespace so a tenant's ping

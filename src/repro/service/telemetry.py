@@ -13,6 +13,8 @@ __all__ = [
     "scheduler_rounds_counter",
     "units_counter",
     "specs_paused_counter",
+    "tenant_quality_counter",
+    "tenant_degraded_counter",
 ]
 
 
@@ -79,6 +81,28 @@ def units_counter(registry: MetricsRegistry) -> CounterFamily:
         "service_units_total",
         "Measurement units executed, by tenant and outcome.",
         ("tenant", "outcome"),
+    )
+
+
+def tenant_quality_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_reply_quality_total{tenant,verdict}`` — validated RR
+    replies attributed to each tenant's units, by verdict."""
+    return registry.counter(
+        "service_reply_quality_total",
+        "RR replies validated on behalf of each tenant, by verdict "
+        "(valid, suspect, invalid).",
+        ("tenant", "verdict"),
+    )
+
+
+def tenant_degraded_counter(registry: MetricsRegistry) -> CounterFamily:
+    """``service_degraded_dests_total{tenant}`` — RR→ping degradations
+    attributed to each tenant's units."""
+    return registry.counter(
+        "service_degraded_dests_total",
+        "Destinations degraded from RR to plain ping within a tenant's "
+        "units after persistently invalid replies.",
+        ("tenant",),
     )
 
 

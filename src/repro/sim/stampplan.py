@@ -113,6 +113,14 @@ class Outcome:
     time. Loss-gate drops are the exception: ``Network._lost``
     increments its own counters at draw time, so lost outcomes carry
     only the deterministic part.
+
+    ``reply_src`` and ``wire`` are taint channels for the misbehavior
+    fault family: a spoofed reply carries the off-path source address
+    it claimed (``None`` means the source was the destination, the
+    normal case), and a mangled option carries the corrupted wire
+    bytes for the validator to re-decode. Clean-world outcomes always
+    leave both ``None`` — template outcomes are shared, so the
+    misbehavior transform builds fresh instances rather than mutating.
     """
 
     __slots__ = (
@@ -128,6 +136,8 @@ class Outcome:
         "quoted",
         "counters",
         "load",
+        "reply_src",
+        "wire",
     )
 
     def __init__(
@@ -143,6 +153,8 @@ class Outcome:
         quoted: Tuple[int, ...] = (),
         counters: Tuple = (),
         load: Tuple[Tuple[int, int], ...] = (),
+        reply_src: Optional[int] = None,
+        wire: Optional[bytes] = None,
     ) -> None:
         self.replied = replied
         self.responded = responded
@@ -156,6 +168,8 @@ class Outcome:
         self.quoted = quoted
         self.counters = counters
         self.load = load
+        self.reply_src = reply_src
+        self.wire = wire
 
 
 class Template:

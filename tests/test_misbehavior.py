@@ -1,0 +1,611 @@
+"""Hostile-dataplane hardening: misbehavior faults, reply validation,
+quarantine, and graceful RR→ping degradation.
+
+The acceptance bar pinned here:
+
+* under every misbehavior preset the merged survey bytes are invariant
+  across ``jobs ∈ {1,2,4}`` and batched-vs-legacy dataplanes;
+* invalid replies never reach the survey — they land (only) in the
+  checksummed quarantine sidecar with machine-readable reason codes;
+* a zombie VP's garbage attempts trip its circuit breaker and the
+  quarantine machinery retires it with ``kind="garbage"``;
+* a destination whose RR replies stay invalid past the retry budget
+  degrades to plain ping, with the reason recorded in the manifest;
+* the clean path produces byte-identical output with validation on or
+  off (the validator is invisible in an honest world).
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.survey import run_rr_survey, save_survey
+from repro.faults.campaign import CampaignInterrupted, CampaignRunner
+from repro.faults.specs import (
+    FaultPlan,
+    MISBEHAVIOR_KINDS,
+    OptionStrip,
+    SpoofedReply,
+    StampCorruption,
+    TruncatedOption,
+    ZombieVp,
+)
+from repro.faults.supervisor import SupervisionConfig, VpHealthTracker
+from repro.net.options import RecordRouteOption
+from repro.obs.metrics import MetricsRegistry
+from repro.probing.artifacts import verify_embedded_checksum
+from repro.probing.validation import (
+    INVALID,
+    QUARANTINE_REASONS,
+    REASON_DUPLICATE,
+    REASON_OPTION_MALFORMED,
+    REASON_RR_ABSENT,
+    REASON_SPOOFED,
+    REASON_STAMP_MISMATCH,
+    REASON_TOO_MANY_STAMPS,
+    ReplyValidator,
+    SUSPECT,
+    VALID,
+    empty_quality,
+    merge_quality,
+)
+from repro.scenarios.faults import FAULT_PRESETS, build_fault_plan
+from repro.scenarios.presets import get_preset
+from repro.sim.stampplan import Outcome
+
+DESTS = 40
+
+
+def _scenario():
+    return get_preset("tiny", seed=7)
+
+
+def _campaign(plan, jobs=1, dests=DESTS, **kw):
+    scenario = _scenario()
+    targets = list(scenario.hitlist)[:dests]
+    runner = CampaignRunner(scenario, plan=plan, jobs=jobs, **kw)
+    return scenario, runner.run(targets=targets)
+
+
+def _survey_bytes(survey, tmp_path, tag):
+    path = tmp_path / f"{tag}.json"
+    save_survey(survey, path)
+    return path.read_bytes()
+
+
+# -- specs and presets -----------------------------------------------------
+
+
+class TestMisbehaviorSpecs:
+    def test_presets_exist(self):
+        assert "misbehave" in FAULT_PRESETS
+        assert "hostile" in FAULT_PRESETS
+        build_fault_plan("misbehave")
+        build_fault_plan("hostile")
+
+    def test_describe_names_every_misbehavior_kind(self):
+        description = build_fault_plan("hostile").describe()
+        for kind in (
+            "stamp_corruption",
+            "option_strip",
+            "truncated_option",
+            "spoofed_reply",
+            "zombie_vp",
+        ):
+            assert kind in description, description
+
+    def test_misbehavior_kinds_registered(self):
+        assert set(MISBEHAVIOR_KINDS) == {
+            "stamp_corruption",
+            "option_strip",
+            "truncated_option",
+            "spoofed_reply",
+            "zombie_vp",
+        }
+
+    def test_plan_partitions_misbehavior_specs(self):
+        hostile = build_fault_plan("hostile")
+        assert hostile.has_misbehavior
+        assert len(hostile.misbehavior_specs()) == 5
+        chaos = build_fault_plan("chaos")
+        assert not chaos.has_misbehavior
+        assert chaos.misbehavior_specs() == ()
+
+    def test_sticky_draw_is_round_invariant(self):
+        spec = StampCorruption(prob=0.5)
+        for dest in range(50):
+            decisions = {
+                spec.applies_to(11, "vp", dest, round_no=r)
+                for r in range(4)
+            }
+            assert len(decisions) == 1, f"sticky draw varied: {dest}"
+
+    def test_non_sticky_draw_varies_with_round(self):
+        spec = TruncatedOption(prob=0.5, sticky=False)
+        varied = any(
+            len({
+                spec.applies_to(11, "vp", dest, round_no=r)
+                for r in range(8)
+            }) > 1
+            for dest in range(50)
+        )
+        assert varied, "non-sticky draws never varied across rounds"
+
+
+# -- the validator (unit) --------------------------------------------------
+
+
+def _dest(addr):
+    return SimpleNamespace(addr=addr)
+
+
+def _validator(dests, slots=9):
+    position = {dest.addr: i for i, dest in enumerate(dests)}
+    return ReplyValidator(
+        "test-vp", slots, position, MetricsRegistry(), "testnet"
+    )
+
+
+def _reply(dest, slot=1, rr=None, **kw):
+    """A structurally honest RR reply for ``dest`` (overridable)."""
+    if rr is None:
+        rr = tuple(0x0A000000 + i for i in range(slot - 1)) + (dest.addr,)
+    return Outcome(
+        replied=True, responded=True, reply_has_rr=True,
+        rr=tuple(rr), dest_slot=slot, **kw,
+    )
+
+
+class TestReplyValidator:
+    def test_honest_reply_is_valid(self):
+        dest = _dest(1000)
+        validator = _validator([dest])
+        [(verdict, reason)] = validator.check_batch([(dest, _reply(dest))])
+        assert (verdict, reason) == (VALID, None)
+        assert validator.summary()["quarantined"] == []
+
+    def test_dest_slot_is_one_based(self):
+        # rr[1] holds the destination and dest_slot claims slot 2:
+        # valid under 1-based indexing, a mismatch under the 0-based
+        # off-by-one this test exists to prevent.
+        dest = _dest(2000)
+        validator = _validator([dest])
+        outcome = _reply(dest, slot=2, rr=(123, dest.addr))
+        [(verdict, _)] = validator.check_batch([(dest, outcome)])
+        assert verdict == VALID
+
+    def test_zero_dest_slot_is_mismatch(self):
+        dest = _dest(2000)
+        validator = _validator([dest])
+        outcome = _reply(dest, slot=1, rr=(dest.addr,))
+        outcome = Outcome(
+            replied=True, responded=True, reply_has_rr=True,
+            rr=(dest.addr,), dest_slot=0,
+        )
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (INVALID, REASON_STAMP_MISMATCH)
+
+    def test_stamp_mismatch_wrong_address(self):
+        dest = _dest(3000)
+        validator = _validator([dest])
+        outcome = _reply(dest, slot=1, rr=(dest.addr + 1,))
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (INVALID, REASON_STAMP_MISMATCH)
+
+    def test_dest_slot_beyond_header_is_mismatch(self):
+        dest = _dest(3000)
+        validator = _validator([dest])
+        outcome = _reply(dest, slot=5, rr=(dest.addr,))
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (INVALID, REASON_STAMP_MISMATCH)
+
+    def test_too_many_stamps(self):
+        dest = _dest(4000)
+        validator = _validator([dest], slots=3)
+        outcome = _reply(dest, slot=4, rr=(1, 2, 3, dest.addr))
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (INVALID, REASON_TOO_MANY_STAMPS)
+
+    def test_spoofed_source(self):
+        dest = _dest(5000)
+        validator = _validator([dest])
+        outcome = _reply(dest, reply_src=dest.addr ^ 1)
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (INVALID, REASON_SPOOFED)
+
+    def test_own_source_is_not_spoofed(self):
+        dest = _dest(5000)
+        validator = _validator([dest])
+        outcome = _reply(dest, reply_src=dest.addr)
+        [(verdict, _)] = validator.check_batch([(dest, outcome)])
+        assert verdict == VALID
+
+    def test_malformed_wire_bytes(self):
+        dest = _dest(6000)
+        validator = _validator([dest])
+        wire = bytearray(
+            RecordRouteOption(slots=9, recorded=[dest.addr]).to_bytes()
+        )
+        wire[1] ^= 0x5A  # mangle the length byte
+        outcome = _reply(dest, wire=bytes(wire))
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (INVALID, REASON_OPTION_MALFORMED)
+
+    def test_valid_wire_bytes_pass(self):
+        dest = _dest(6000)
+        validator = _validator([dest])
+        wire = RecordRouteOption(slots=9, recorded=[dest.addr]).to_bytes()
+        outcome = _reply(dest, wire=wire)
+        [(verdict, _)] = validator.check_batch([(dest, outcome)])
+        assert verdict == VALID
+
+    def test_rr_absent_is_suspect_never_quarantined(self):
+        dest = _dest(7000)
+        validator = _validator([dest])
+        outcome = Outcome(replied=True, responded=True)
+        [(verdict, reason)] = validator.check_batch([(dest, outcome)])
+        assert (verdict, reason) == (SUSPECT, REASON_RR_ABSENT)
+        summary = validator.summary()
+        assert summary["quarantined"] == []
+        assert summary["invalid_dests"] == 0
+
+    def test_unanswered_probe_is_not_checked(self):
+        dest = _dest(8000)
+        validator = _validator([dest])
+        [(verdict, reason)] = validator.check_batch(
+            [(dest, Outcome(replied=False, responded=False))]
+        )
+        assert (verdict, reason) == (None, None)
+        assert validator.summary()["checked"] == 0
+
+    def test_duplicate_flags_both_occurrences(self):
+        # Two distinct destinations claiming the same (rr, dest_slot)
+        # signature is impossible honestly — the pre-scan must flag
+        # the FIRST occurrence too, not just the second.
+        a, b = _dest(9000), _dest(9001)
+        validator = _validator([a, b])
+        canned = Outcome(
+            replied=True, responded=True, reply_has_rr=True,
+            rr=(1, 2, 3), dest_slot=1,
+        )
+        results = validator.check_batch([(a, canned), (b, canned)])
+        assert results == [
+            (INVALID, REASON_DUPLICATE),
+            (INVALID, REASON_DUPLICATE),
+        ]
+
+    def test_duplicate_detector_is_stateful_across_rounds(self):
+        a, b = _dest(9100), _dest(9101)
+        validator = _validator([a, b])
+        canned = Outcome(
+            replied=True, responded=True, reply_has_rr=True,
+            rr=(4, 5, 6), dest_slot=1,
+        )
+        validator.check_batch([(a, canned)], round_no=0)
+        [(verdict, reason)] = validator.check_batch(
+            [(b, canned)], round_no=1
+        )
+        assert (verdict, reason) == (INVALID, REASON_DUPLICATE)
+
+    def test_shared_header_without_dest_slot_is_not_duplicate(self):
+        # Two same-/24 destinations beyond the RR horizon legitimately
+        # share the full header with no destination stamp.
+        a, b = _dest(9200), _dest(9201)
+        validator = _validator([a, b])
+        shared = Outcome(
+            replied=True, responded=True, reply_has_rr=True,
+            rr=(7, 8, 9), dest_slot=None,
+        )
+        results = validator.check_batch([(a, shared), (b, shared)])
+        assert results == [(VALID, None), (VALID, None)]
+
+    def test_summary_sorted_and_merge_accumulates(self):
+        a, b = _dest(9300), _dest(9301)
+        validator = _validator([a, b])
+        validator.check_batch(
+            [
+                (b, _reply(b, slot=1, rr=(b.addr ^ 1,))),
+                (a, _reply(a, slot=1, rr=(a.addr ^ 1,))),
+            ]
+        )
+        summary = validator.summary()
+        indices = [r["dest_index"] for r in summary["quarantined"]]
+        assert indices == sorted(indices)
+        total = merge_quality(empty_quality(), summary)
+        total = merge_quality(total, summary)
+        assert total["checked"] == 2 * summary["checked"]
+        assert len(total["quarantined"]) == 2 * len(summary["quarantined"])
+        assert merge_quality(total, None) is total
+
+
+# -- clean-path invisibility -----------------------------------------------
+
+
+class TestCleanPath:
+    def test_validation_on_off_byte_identical(self, tmp_path):
+        scenario = _scenario()
+        targets = list(scenario.hitlist)[:DESTS]
+        on = run_rr_survey(_scenario(), dests=targets, vps=None)
+        off = run_rr_survey(
+            _scenario(),
+            dests=list(_scenario().hitlist)[:DESTS],
+            validate=False,
+        )
+        assert _survey_bytes(on, tmp_path, "on") == _survey_bytes(
+            off, tmp_path, "off"
+        )
+
+    def test_clean_campaign_quality_is_empty(self):
+        _, result = _campaign(plan=None)
+        assert result.quality["verdicts"][INVALID] == 0
+        assert result.quality["quarantined"] == []
+        assert result.quality["degraded"] == []
+        assert result.quality["checked"] > 0
+
+
+# -- byte parity under misbehavior -----------------------------------------
+
+
+class TestMisbehaviorParity:
+    @pytest.mark.parametrize("preset", ["misbehave", "hostile"])
+    def test_jobs_parity(self, preset, tmp_path):
+        plan = build_fault_plan(preset, scenario_seed=7)
+        reference = None
+        for jobs in (1, 2, 4):
+            _, result = _campaign(plan, jobs=jobs)
+            data = _survey_bytes(result.survey, tmp_path, f"j{jobs}")
+            if reference is None:
+                reference = data
+            assert data == reference, f"jobs={jobs} diverged"
+
+    @pytest.mark.parametrize("preset", ["misbehave", "hostile"])
+    def test_batched_vs_legacy_parity(self, preset, tmp_path):
+        plan = build_fault_plan(preset, scenario_seed=7)
+        scenario = _scenario()
+        targets = list(scenario.hitlist)[:DESTS]
+        batched = CampaignRunner(scenario, plan=plan).run(targets=targets)
+        legacy_scenario = _scenario()
+        legacy_scenario.prober.batching = False
+        legacy = CampaignRunner(legacy_scenario, plan=plan).run(
+            targets=list(legacy_scenario.hitlist)[:DESTS]
+        )
+        assert _survey_bytes(
+            batched.survey, tmp_path, "batched"
+        ) == _survey_bytes(legacy.survey, tmp_path, "legacy")
+
+    def test_quality_totals_match_across_jobs(self):
+        plan = build_fault_plan("misbehave", scenario_seed=7)
+        _, serial = _campaign(plan, jobs=1)
+        _, pooled = _campaign(plan, jobs=2)
+        assert serial.quality == pooled.quality
+
+
+# -- invalid replies never reach the survey --------------------------------
+
+
+class TestQuarantineContainment:
+    def test_degraded_dests_have_no_rows(self):
+        plan = build_fault_plan("misbehave", scenario_seed=7)
+        _, result = _campaign(plan)
+        survey = result.survey
+        names = [vp.name for vp in survey.vps]
+        degraded = result.quality["degraded"]
+        assert degraded, "expected degradations under misbehave"
+        for record in degraded:
+            vp_index = names.index(record["vp"])
+            dest_index = record["dest_index"]
+            assert vp_index not in survey.responses[dest_index], record
+
+    def test_quarantine_records_carry_reason_codes(self):
+        plan = build_fault_plan("misbehave", scenario_seed=7)
+        _, result = _campaign(plan)
+        records = result.quality["quarantined"]
+        assert records
+        for record in records:
+            assert record["reason"] in QUARANTINE_REASONS, record
+            assert {"vp", "dest", "dest_index", "round"} <= set(record)
+        assert result.quality["verdicts"][INVALID] == len(records)
+
+    def test_manifest_quality_block(self):
+        plan = build_fault_plan("misbehave", scenario_seed=7)
+        _, result = _campaign(plan)
+        manifest = result.manifest()
+        quality = manifest["quality"]
+        assert quality["quarantined_replies"] == len(
+            result.quality["quarantined"]
+        )
+        assert quality["degraded_dests"]
+        for row in quality["degraded_dests"]:
+            assert set(row) == {"vp", "dest", "reason", "ping_responded"}
+
+
+# -- RR→ping degradation ---------------------------------------------------
+
+
+class TestDegradation:
+    def test_sticky_corruption_degrades_every_invalid_dest(self):
+        scenario = _scenario()
+        vp = scenario.working_vps[0].name
+        plan = FaultPlan(
+            seed=11, specs=(StampCorruption(prob=1.0, vps=(vp,)),)
+        )
+        targets = list(scenario.hitlist)[:DESTS]
+        result = CampaignRunner(scenario, plan=plan).run(targets=targets)
+        quality = result.quality
+        assert quality["invalid_dests"] > 0
+        # Sticky misbehavior never heals on retry: every invalid dest
+        # must end in the degradation log, with the reason recorded.
+        assert len(quality["degraded"]) == quality["invalid_dests"]
+        for record in quality["degraded"]:
+            assert record["vp"] == vp
+            assert record["reason"] == REASON_STAMP_MISMATCH
+            assert record["rounds"] >= 1
+            assert isinstance(record["ping_responded"], bool)
+
+    def test_non_sticky_corruption_recovers_on_retry(self):
+        scenario = _scenario()
+        vp = scenario.working_vps[0].name
+        plan = FaultPlan(
+            seed=11,
+            specs=(
+                TruncatedOption(prob=0.4, sticky=False, vps=(vp,)),
+            ),
+        )
+        targets = list(scenario.hitlist)[:DESTS]
+        result = CampaignRunner(scenario, plan=plan).run(targets=targets)
+        quality = result.quality
+        assert quality["invalid_dests"] > 0
+        # A re-draw per retry round heals most destinations, so some
+        # invalid dests must recover instead of degrading.
+        assert len(quality["degraded"]) < quality["invalid_dests"]
+
+    def test_option_strip_yields_suspect_not_invalid(self):
+        scenario = _scenario()
+        vp = scenario.working_vps[0].name
+        plan = FaultPlan(
+            seed=11, specs=(OptionStrip(prob=1.0, vps=(vp,)),)
+        )
+        targets = list(scenario.hitlist)[:DESTS]
+        result = CampaignRunner(scenario, plan=plan).run(targets=targets)
+        quality = result.quality
+        # Stripping the option mimics non-participation: suspect, not
+        # quarantined — exactly the paper's §3.5 non-stamping case.
+        assert quality["reasons"].get(REASON_RR_ABSENT, 0) > 0
+        assert not any(
+            r["vp"] == vp for r in quality["quarantined"]
+        )
+
+    def test_spoofed_replies_are_quarantined(self):
+        scenario = _scenario()
+        vp = scenario.working_vps[0].name
+        plan = FaultPlan(
+            seed=11, specs=(SpoofedReply(prob=1.0, vps=(vp,)),)
+        )
+        targets = list(scenario.hitlist)[:DESTS]
+        result = CampaignRunner(scenario, plan=plan).run(targets=targets)
+        reasons = {
+            r["reason"] for r in result.quality["quarantined"]
+            if r["vp"] == vp
+        }
+        assert reasons == {REASON_SPOOFED}
+
+
+# -- zombie containment ----------------------------------------------------
+
+
+class TestZombieContainment:
+    def _zombie_result(self, jobs=1):
+        scenario = _scenario()
+        vp = scenario.working_vps[0].name
+        plan = FaultPlan(seed=11, specs=(ZombieVp(vps=(vp,)),))
+        supervision = SupervisionConfig(
+            breaker_window=2,
+            breaker_threshold=0.5,
+            quarantine_after=2,
+            hang_timeout=10.0,
+        )
+        targets = list(scenario.hitlist)[:DESTS]
+        result = CampaignRunner(
+            scenario, plan=plan, jobs=jobs, supervision=supervision
+        ).run(targets=targets)
+        return vp, result
+
+    def test_zombie_vp_is_quarantined_as_garbage(self):
+        vp, result = self._zombie_result()
+        assert vp in result.quarantined
+        assert result.quarantined[vp]["kind"] == "garbage"
+        assert result.quarantined[vp]["garbage"] >= 2
+        assert "garbage" in result.quarantined[vp]["reason"]
+
+    def test_zombie_trips_its_breaker(self):
+        vp, result = self._zombie_result()
+        manifest = result.manifest()
+        assert manifest["breaker_states"][vp] == "open"
+
+    def test_zombie_contributes_zero_rows(self):
+        vp, result = self._zombie_result()
+        names = [v.name for v in result.survey.vps]
+        zombie_index = names.index(vp)
+        assert all(
+            zombie_index not in responses
+            for responses in result.survey.responses
+        )
+
+    def test_zombie_duplicates_are_quarantined(self):
+        vp, result = self._zombie_result()
+        reasons = {
+            r["reason"] for r in result.quality["quarantined"]
+            if r["vp"] == vp
+        }
+        assert REASON_DUPLICATE in reasons
+
+    def test_garbage_feeds_quarantine_like_crashes(self):
+        tracker = VpHealthTracker(
+            SupervisionConfig(quarantine_after=2), ["vp"]
+        )
+        tracker.record("vp", "garbage")
+        assert "vp" not in tracker.quarantined
+        tracker.record("vp", "garbage")
+        assert "vp" in tracker.quarantined
+        assert tracker.quarantined["vp"]["kind"] == "garbage"
+
+    def test_garbage_ratio_validation(self):
+        with pytest.raises(ValueError):
+            SupervisionConfig(garbage_ratio=0.0)
+        with pytest.raises(ValueError):
+            SupervisionConfig(garbage_ratio=1.5)
+
+
+# -- sidecar + checkpoint/resume -------------------------------------------
+
+
+class TestSidecarAndResume:
+    def test_sidecar_checksummed_and_deterministic(self, tmp_path):
+        plan = build_fault_plan("misbehave", scenario_seed=7)
+        paths = []
+        for jobs in (1, 2):
+            path = tmp_path / f"quarantine-j{jobs}.json"
+            _campaign(plan, jobs=jobs, quarantine_path=path)
+            paths.append(path)
+        body, error = verify_embedded_checksum(
+            json.loads(paths[0].read_text("utf-8"))
+        )
+        assert error is None, error
+        assert body["records"]
+        assert body["plan"] == plan.describe()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_clean_run_writes_empty_sidecar(self, tmp_path):
+        path = tmp_path / "quarantine.json"
+        _campaign(plan=None, quarantine_path=path)
+        body, error = verify_embedded_checksum(
+            json.loads(path.read_text("utf-8"))
+        )
+        assert error is None, error
+        assert body["records"] == []
+        assert body["degraded"] == []
+
+    def test_kill_resume_preserves_bytes_and_quality(self, tmp_path):
+        plan = build_fault_plan("misbehave", scenario_seed=7)
+        _, baseline = _campaign(plan)
+        checkpoint = tmp_path / "campaign.ckpt"
+        scenario = _scenario()
+        targets = list(scenario.hitlist)[:DESTS]
+        with pytest.raises(CampaignInterrupted):
+            CampaignRunner(
+                scenario, plan=plan, checkpoint_path=checkpoint,
+                kill_after_vps=3,
+            ).run(targets=targets)
+        resumed_scenario = _scenario()
+        resumed = CampaignRunner(
+            resumed_scenario, plan=plan, checkpoint_path=checkpoint,
+        ).run(
+            targets=list(resumed_scenario.hitlist)[:DESTS], resume=True
+        )
+        assert _survey_bytes(
+            baseline.survey, tmp_path, "base"
+        ) == _survey_bytes(resumed.survey, tmp_path, "resumed")
+        assert resumed.quality == baseline.quality

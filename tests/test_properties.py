@@ -19,6 +19,7 @@ from repro.net.checksum import internet_checksum
 from repro.net.icmp import IcmpEcho, IcmpError, ICMP_ECHO_REQUEST
 from repro.net.options import (
     RR_MAX_SLOTS,
+    OptionDecodeError,
     RecordRouteOption,
     decode_options,
     encode_options,
@@ -246,3 +247,115 @@ class TestUnionFindProperties:
             seen |= group
         for a, b in pairs:
             assert union.find(a) == union.find(b)
+
+
+class TestOptionsFuzz:
+    """The option decoders are a trust boundary: hostile bytes from
+    the dataplane must produce :class:`OptionDecodeError` (which the
+    reply-validation pipeline converts to a quarantine record) and
+    never any other exception; valid encodings must round-trip
+    byte-exactly."""
+
+    @given(st.binary(max_size=64))
+    def test_rr_from_bytes_raises_only_decode_error(self, data):
+        try:
+            option = RecordRouteOption.from_bytes(data)
+        except OptionDecodeError:
+            return
+        # Anything that decodes must satisfy the structural invariants
+        # (unused slot bytes are not semantic, so byte-exact re-encode
+        # is only promised for canonical encodings).
+        assert 1 <= option.slots <= RR_MAX_SLOTS
+        assert len(option.recorded) <= option.slots
+        assert option.pointer == 4 + 4 * len(option.recorded)
+
+    @given(st.binary(max_size=80))
+    def test_decode_options_raises_only_decode_error(self, data):
+        try:
+            decode_options(bytes(data))
+        except OptionDecodeError:
+            pass
+
+    @given(
+        st.integers(min_value=1, max_value=RR_MAX_SLOTS),
+        st.lists(addresses, max_size=RR_MAX_SLOTS),
+    )
+    def test_valid_encoding_roundtrips_byte_exactly(
+        self, slots, recorded
+    ):
+        recorded = recorded[:slots]
+        option = RecordRouteOption(slots=slots, recorded=recorded)
+        wire = option.to_bytes()
+        decoded = RecordRouteOption.from_bytes(wire)
+        assert decoded.slots == slots
+        assert list(decoded.recorded) == list(recorded)
+        assert decoded.to_bytes() == wire
+
+    @given(
+        st.integers(min_value=1, max_value=RR_MAX_SLOTS),
+        st.lists(addresses, max_size=RR_MAX_SLOTS),
+        st.data(),
+    )
+    def test_truncations_of_valid_wire_always_rejected(
+        self, slots, recorded, data
+    ):
+        wire = RecordRouteOption(
+            slots=slots, recorded=recorded[:slots]
+        ).to_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(wire) - 1))
+        try:
+            RecordRouteOption.from_bytes(wire[:cut])
+        except OptionDecodeError:
+            return
+        raise AssertionError(
+            f"truncated wire ({cut}/{len(wire)} bytes) decoded"
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=RR_MAX_SLOTS),
+        st.lists(addresses, max_size=RR_MAX_SLOTS),
+        st.data(),
+    )
+    def test_single_byte_mutations_never_crash(
+        self, slots, recorded, data
+    ):
+        wire = bytearray(
+            RecordRouteOption(
+                slots=slots, recorded=recorded[:slots]
+            ).to_bytes()
+        )
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(wire) - 1)
+        )
+        wire[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+        try:
+            option = RecordRouteOption.from_bytes(bytes(wire))
+        except OptionDecodeError:
+            return
+        # A mutation that still decodes (e.g. in the unused slot area
+        # or a stamp byte) must still satisfy the invariants.
+        assert 1 <= option.slots <= RR_MAX_SLOTS
+        assert option.pointer == 4 + 4 * len(option.recorded)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=RR_MAX_SLOTS),
+                st.lists(addresses, max_size=RR_MAX_SLOTS),
+            ),
+            max_size=2,
+        )
+    )
+    def test_options_area_roundtrip(self, specs):
+        options = [
+            RecordRouteOption(slots=slots, recorded=recorded[:slots])
+            for slots, recorded in specs
+        ]
+        try:
+            area = encode_options(options)
+        except ValueError:
+            return  # > 40 bytes: the encoder's documented refusal
+        decoded = decode_options(area)
+        assert [opt.to_bytes() for opt in decoded] == [
+            opt.to_bytes() for opt in options
+        ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import socket
 import threading
 import time
 from pathlib import Path
@@ -40,7 +41,12 @@ from repro.service import (
     load_stream,
     parse_spec,
 )
-from repro.service.control import ControlError, control_request
+from repro.service.control import (
+    ControlError,
+    _recv_line,
+    control_request,
+    control_session,
+)
 from repro.service.scheduler import (
     ACTIVE,
     CreditScheduler,
@@ -524,6 +530,118 @@ def test_control_socket_round_trip(tmp_path):
     assert result["manifest"]["specs"]["alice/rr-a"]["status"] == "done"
     with pytest.raises(ControlError):
         control_request(config.control_path, {"op": "ping"})
+
+
+def _start_control_daemon(tmp_path):
+    """A daemon serving its control socket on a background thread."""
+    config = _config(
+        tmp_path, control_path=tmp_path / "ctl.sock",
+        checkpoint_path=None,
+    )
+    daemon = MeasurementDaemon(
+        _scenario(), config, registry=_registry()
+    )
+    result = {}
+    thread = threading.Thread(
+        target=lambda: result.update(manifest=daemon.run())
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not config.control_path.exists():
+        assert time.monotonic() < deadline, "control socket missing"
+        time.sleep(0.05)
+    return daemon, config, thread
+
+
+def test_control_session_many_requests_one_connection(tmp_path):
+    """A connection is a session: many requests, answered in order."""
+    daemon, config, thread = _start_control_daemon(tmp_path)
+    try:
+        responses = control_session(
+            config.control_path,
+            [
+                {"op": "ping"},
+                {"op": "submit", "spec": SPECS[0]},
+                {"op": "status", "tenant": "alice"},
+                {"op": "frobnicate"},
+                {"op": "ping"},
+            ],
+        )
+        assert responses[0] == {"ok": True, "op": "ping"}
+        assert responses[1]["ok"], responses[1]
+        assert "alice/rr-a" in responses[2]["specs"]
+        assert responses[3]["reason"] == "unknown_op"
+        assert responses[4] == {"ok": True, "op": "ping"}
+    finally:
+        daemon.request_shutdown()
+        thread.join(timeout=60.0)
+    assert not thread.is_alive()
+
+
+def test_control_socket_split_writes_and_pipelining(tmp_path):
+    """The server reassembles fragmented writes and preserves bytes
+    that arrive beyond one request's newline for the next request."""
+    daemon, config, thread = _start_control_daemon(tmp_path)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    try:
+        sock.connect(str(config.control_path))
+        # A large (~40 KB of legal JSON whitespace) request, written
+        # in 1 KB fragments: the old one-recv server truncated this.
+        big = b'{"op": "ping"' + b" " * 40000 + b"}\n"
+        for start in range(0, len(big), 1024):
+            sock.sendall(big[start : start + 1024])
+        line, buffer = _recv_line(sock, b"")
+        assert json.loads(line) == {"ok": True, "op": "ping"}
+        # Two requests pipelined in ONE write: the second must not be
+        # discarded with the first one's trailing bytes.
+        sock.sendall(
+            json.dumps({"op": "ping"}).encode("utf-8") + b"\n"
+            + json.dumps({"op": "status"}).encode("utf-8") + b"\n"
+        )
+        line, buffer = _recv_line(sock, buffer)
+        assert json.loads(line) == {"ok": True, "op": "ping"}
+        line, buffer = _recv_line(sock, buffer)
+        assert json.loads(line)["ok"] is True
+        # A malformed request answers bad_request but keeps the
+        # session alive for the next one.
+        sock.sendall(b"this is not json\n")
+        line, buffer = _recv_line(sock, buffer)
+        assert json.loads(line)["reason"] == "bad_request"
+        sock.sendall(json.dumps({"op": "ping"}).encode("utf-8") + b"\n")
+        line, buffer = _recv_line(sock, buffer)
+        assert json.loads(line) == {"ok": True, "op": "ping"}
+    finally:
+        sock.close()
+        daemon.request_shutdown()
+        thread.join(timeout=60.0)
+    assert not thread.is_alive()
+
+
+# -- per-tenant reply quality ----------------------------------------------
+
+
+def test_rr_unit_records_carry_quality_counts(tmp_path):
+    daemon = MeasurementDaemon(
+        _scenario(), _config(tmp_path), registry=_registry()
+    )
+    assert daemon.submit(SPECS[0])["ok"]
+    manifest = daemon.run()
+    records, _trailer = load_stream(
+        tmp_path / "streams" / "alice" / "rr-a.jsonl"
+    )
+    assert records
+    checked = 0
+    for record in records:
+        quality = record["quality"]
+        # Clean world: the validator runs but quarantines nothing.
+        assert quality["verdicts"]["invalid"] == 0
+        assert quality["invalid_dests"] == 0
+        assert quality["quarantined"] == 0
+        assert quality["degraded"] == 0
+        checked += quality["checked"]
+    assert manifest["quality"]["alice"]["checked"] == checked
+    assert manifest["quality"]["alice"]["invalid"] == 0
 
 
 # -- checkpoint integrity --------------------------------------------------
